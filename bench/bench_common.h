@@ -1,0 +1,55 @@
+// Shared bench-harness plumbing: --scale=quick|paper budget selection and
+// table printing helpers. Every bench prints the paper-style rows for its
+// table/figure; `quick` (default) finishes in seconds-to-minutes, `paper`
+// uses budgets comparable to the paper's 110M-instruction runs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace stbpu::bench {
+
+struct Scale {
+  bool paper = false;
+  std::uint64_t trace_branches = 400'000;
+  std::uint64_t trace_warmup = 50'000;
+  std::uint64_t ooo_instructions = 300'000;
+  std::uint64_t ooo_warmup = 30'000;
+
+  static Scale parse(int argc, char** argv) {
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--scale=paper") == 0) {
+        s.paper = true;
+        s.trace_branches = 5'000'000;
+        s.trace_warmup = 500'000;
+        s.ooo_instructions = 100'000'000;  // paper: 110M incl. warm-up
+        s.ooo_warmup = 10'000'000;
+      } else if (std::strcmp(argv[i], "--scale=quick") == 0) {
+        // defaults
+      } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        std::fprintf(stderr, "unknown scale '%s' (use quick|paper)\n", argv[i]);
+      }
+    }
+    return s;
+  }
+
+  void banner(const char* what) const {
+    std::printf("== %s ==\n", what);
+    std::printf("scale: %s (trace %llu+%lluk branches, ooo %llu+%lluk instr)\n\n",
+                paper ? "paper" : "quick",
+                static_cast<unsigned long long>(trace_branches / 1000),
+                static_cast<unsigned long long>(trace_warmup / 1000),
+                static_cast<unsigned long long>(ooo_instructions / 1000),
+                static_cast<unsigned long long>(ooo_warmup / 1000));
+  }
+};
+
+inline void rule(char c = '-', int n = 100) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace stbpu::bench

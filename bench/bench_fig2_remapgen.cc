@@ -1,0 +1,55 @@
+// Figure 2 reproduction: the automated remapping-function generator finds
+// S/P/C-box circuits for every Table II spec under the §V-A hardware
+// constraints, validates C2 (uniformity) and C3 (avalanche), scores with
+// the Eq. (1) equal-weight objective, and prints the winning R1 design —
+// the paper's Figure 2 (theirs has a 36-transistor critical path; the
+// budget is 45).
+#include "bench_common.h"
+#include "remapgen/search.h"
+
+int main(int argc, char** argv) {
+  using namespace stbpu;
+  const auto scale = bench::Scale::parse(argc, argv);
+  scale.banner("Figure 2: automated remapping-function generation (Table II specs)");
+
+  remapgen::SearchConfig cfg;
+  cfg.candidates = scale.paper ? 64 : 16;
+  cfg.validation.uniformity_samples = scale.paper ? (1u << 17) : (1u << 14);
+  cfg.validation.avalanche_samples = scale.paper ? 2048 : 256;
+
+  std::printf("%-4s %7s %7s | %6s %7s %9s | %8s %8s %8s %8s\n", "fn", "in", "out",
+              "gen'd", "passed", "discarded", "critpath", "transist", "avalanche",
+              "score");
+  bench::rule();
+
+  for (const auto& spec : remapgen::table2_specs()) {
+    const auto r = remapgen::search(spec, cfg);
+    if (r.best) {
+      std::printf("%-4s %7u %7u | %6u %7u %9llu | %8u %8u %8.4f %8.4f\n",
+                  spec.name.c_str(), spec.input_bits, spec.output_bits, r.generated,
+                  r.passed, static_cast<unsigned long long>(r.discarded),
+                  r.best->critical_path_transistors(), r.best->total_transistors(),
+                  r.best_report.mean_avalanche, r.best_report.score);
+    } else {
+      std::printf("%-4s %7u %7u | no candidate passed validation\n", spec.name.c_str(),
+                  spec.input_bits, spec.output_bits);
+    }
+    std::fflush(stdout);
+  }
+
+  // The Figure 2 winner in detail.
+  std::printf("\n== selected R1 construction (cf. paper Figure 2) ==\n");
+  const auto r1 = remapgen::search(remapgen::table2_specs()[0], cfg);
+  if (r1.best) {
+    std::printf("%s", r1.best->describe().c_str());
+    std::printf("validation: uniformity CV %.4f (ideal %.4f), avalanche %.4f,\n"
+                "            per-lambda CV %.4f, per-bit spread %.4f, Eq.(1) score %.4f\n",
+                r1.best_report.bin_cv, r1.best_report.ideal_bin_cv,
+                r1.best_report.mean_avalanche, r1.best_report.avalanche_cv,
+                r1.best_report.per_bit_spread, r1.best_report.score);
+  }
+  std::printf("\npaper: chosen R1 has a 36-transistor critical path (within the\n"
+              "45-transistor single-cycle budget), alternating substitution (PRESENT/\n"
+              "SPONGENT S-boxes), permutation and compression C-S layers.\n");
+  return 0;
+}

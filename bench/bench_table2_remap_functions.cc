@@ -1,0 +1,123 @@
+// Table II reproduction + remap-function microbenchmarks (google-benchmark):
+// the I/O geometry of every baseline and STBPU function, and the per-call
+// cost of the software rendering of the R-functions (the hardware cost is
+// the transistor budget — see bench_fig2_remapgen).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bpu/mapping.h"
+#include "core/remap.h"
+#include "core/secret_token.h"
+#include "core/stbpu_mapping.h"
+
+namespace {
+
+using namespace stbpu;
+
+void print_table2() {
+  std::printf("== Table II: I/O bits for baseline and STBPU functions ==\n");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "fn", "baseline input", "STBPU input",
+              "output", "mapping");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "1", "32 s", "32 psi, 48 s",
+              "9 ind, 8 tag, 5 offs", "R1(80 -> 22)");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "2", "58 BHB", "32 psi, 58 BHB", "8 tag",
+              "R2(90 -> 8)");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "3", "32 s", "32 psi, 48 s", "14 ind",
+              "R3(80 -> 14)");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "4", "18 GHR, 32 s", "32 psi, 16 GHR, 48 s",
+              "14 ind", "R4(96 -> 14)");
+  std::printf("%-4s %-28s %-28s %-22s %s\n", "t", "48 s, L(GHR)", "32 psi, 48 s, L(GHR)",
+              "10/13 ind, 8/12 tag", "Rt(80+ -> 25)");
+  std::printf("%-4s %-28s %-28s %-22s %s\n\n", "p", "48 s", "32 psi, 48 s", "10 ind",
+              "Rp(80 -> 10)");
+}
+
+const bpu::ExecContext kCtx{.pid = 1, .hart = 0, .kernel = false};
+
+void BM_Baseline_F1(benchmark::State& state) {
+  bpu::BaselineMapping m;
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.btb_mode1(ip, kCtx));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Baseline_F1);
+
+void BM_Stbpu_R1(benchmark::State& state) {
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::r1(0xDEADBEEF, ip));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Stbpu_R1);
+
+void BM_Stbpu_R2(benchmark::State& state) {
+  std::uint64_t bhb = 0x12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::r2(0xDEADBEEF, bhb));
+    bhb = bhb * 3 + 1;
+  }
+}
+BENCHMARK(BM_Stbpu_R2);
+
+void BM_Stbpu_R3(benchmark::State& state) {
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::r3(0xDEADBEEF, ip));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Stbpu_R3);
+
+void BM_Stbpu_R4(benchmark::State& state) {
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::r4(0xDEADBEEF, ip, ip & 0xFFFF));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Stbpu_R4);
+
+void BM_Stbpu_Rt(benchmark::State& state) {
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::rt_index(0xDEADBEEF, ip, ip >> 3, 5, 13));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Stbpu_Rt);
+
+void BM_Stbpu_Rp(benchmark::State& state) {
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Remapper::rp(0xDEADBEEF, ip, 10));
+    ip += 16;
+  }
+}
+BENCHMARK(BM_Stbpu_Rp);
+
+void BM_TargetCodecRoundtrip(benchmark::State& state) {
+  core::STManager stm(1);
+  core::StbpuMapping map(&stm);
+  std::uint64_t t = 0x0000'2345'9000ULL;
+  for (auto _ : state) {
+    const auto enc = map.encode_target(t, kCtx);
+    benchmark::DoNotOptimize(map.decode_target(0x0000'2345'6780ULL, enc, kCtx));
+    t += 64;
+  }
+}
+BENCHMARK(BM_TargetCodecRoundtrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\nnote: in hardware each R-function is a <=45-transistor-deep circuit\n"
+              "(single cycle); these numbers measure the simulator's software stand-in.\n");
+  return 0;
+}

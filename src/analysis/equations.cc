@@ -1,0 +1,84 @@
+#include "analysis/equations.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace stbpu::analysis {
+
+namespace {
+/// Birthday factor √(π/2 · x): the expected number of uniform draws from a
+/// space of size x before the first repeat is √(π/2·x) (Raab & Steger
+/// style approximation used by the paper).
+double birthday(double x) { return std::sqrt(std::numbers::pi / 2.0 * x); }
+}  // namespace
+
+ReuseCost btb_reuse_cost(const BtbGeometry& g) {
+  ReuseCost c;
+  const double to = g.tag_space * g.offset_space;
+  c.set_size_n = g.sets * to / 2.0;
+  // M ≈ [n(n+1)/2] / (√(π/2·I) · √(π/2·TO))   (Eq. 2)
+  c.mispredictions_m =
+      c.set_size_n * (c.set_size_n + 1.0) / 2.0 / (birthday(g.sets) * birthday(to));
+  // E ≈ I·T·O/2 − I·W
+  c.evictions_e = std::max(0.0, g.sets * to / 2.0 - g.sets * g.ways);
+  return c;
+}
+
+ReuseCost pht_reuse_cost(const PhtGeometry& g) {
+  ReuseCost c;
+  // n = I·TOeff/2 with TOeff = 2 ⇒ n = I (the full counter count).
+  c.set_size_n = g.sets * g.effective_tag_offset / 2.0;
+  // Only the set-collision birthday factor applies (no tags to compare).
+  c.mispredictions_m =
+      c.set_size_n * (c.set_size_n + 1.0) / 2.0 / birthday(g.sets);
+  c.evictions_e = 0.0;  // PHT entries are not evicted, only perturbed
+  return c;
+}
+
+double naive_eviction_set_probability(const BtbGeometry& g) {
+  // Eq. (3): P(Se) = (1/I)^(W-1).
+  return std::pow(1.0 / g.sets, g.ways - 1.0);
+}
+
+double gem_eviction_cost(const BtbGeometry& g, double p) {
+  // Eq. (4): E ≈ P·I × (P·I·W + (W+1)·(1 − 1/e)·3).
+  const double pi_sets = p * g.sets;
+  return pi_sets *
+         (pi_sets * g.ways + (g.ways + 1.0) * (1.0 - 1.0 / std::numbers::e) * 3.0);
+}
+
+double injection_attempts(double target_space) { return target_space / 2.0; }
+
+std::vector<AttackComplexityRow> section_vi5_table() {
+  const BtbGeometry btb{};
+  const PhtGeometry pht{};
+  const ReuseCost btb_reuse = btb_reuse_cost(btb);
+  const ReuseCost pht_reuse = pht_reuse_cost(pht);
+  return {
+      {"BTB reuse-based side channel", btb_reuse.mispredictions_m,
+       btb_reuse.evictions_e},
+      {"PHT reuse-based side channel (BranchScope)", pht_reuse.mispredictions_m, 0.0},
+      {"BTB eviction-based side channel (GEM, P=0.5)", 0.0,
+       gem_eviction_cost(btb, 0.5)},
+      {"Spectre v2 / SpectreRSB target injection", injection_attempts(), 0.0},
+  };
+}
+
+BindingComplexity binding_complexity() {
+  BindingComplexity c;
+  c.mispredictions_c = pht_reuse_cost(PhtGeometry{}).mispredictions_m;
+  c.evictions_c = gem_eviction_cost(BtbGeometry{}, 0.5);
+  return c;
+}
+
+Thresholds derive_thresholds(double r) {
+  const BindingComplexity c = binding_complexity();
+  Thresholds t;
+  t.mispredictions =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(r * c.mispredictions_c));
+  t.evictions =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(r * c.evictions_c));
+  return t;
+}
+
+}  // namespace stbpu::analysis

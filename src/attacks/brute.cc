@@ -1,0 +1,78 @@
+#include "attacks/brute.h"
+
+#include <vector>
+
+#include "attacks/harness.h"
+#include "util/rng.h"
+
+namespace stbpu::attacks {
+
+namespace {
+constexpr std::uint64_t kVictimTarget = 0x0000'2345'9000ULL;
+
+/// Collision test between two attacker branches a and b: train a, execute
+/// b, re-execute a — a misprediction on the re-execution means b displaced
+/// or rewrote a's entry (same index/tag/offset ⇒ reuse collision). Only the
+/// final probe is an *observation* misprediction (Eq. (2)'s M); the
+/// training executions' cold misses are bookkept separately.
+bool collide(Harness& h, std::uint64_t a, std::uint64_t b,
+             std::uint64_t& observed_misp) {
+  h.jmp(Harness::kAttacker, a, a + 256);
+  h.jmp(Harness::kAttacker, b, b + 256);
+  const auto res = h.jmp(Harness::kAttacker, a, a + 256);
+  if (!res.target_correct) ++observed_misp;
+  return !res.target_correct;
+}
+
+}  // namespace
+
+ReuseSearchResult reuse_collision_search(bpu::IPredictor& bpu,
+                                         const ReuseSearchConfig& cfg) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(cfg.seed);
+  ReuseSearchResult out;
+  std::vector<std::uint64_t> sb;
+
+  std::uint64_t observed = 0;
+  const auto account = [&] {
+    out.mispredictions = observed;
+    out.total_mispredictions = h.attacker_mispredictions();
+    out.evictions = h.attacker_evictions();
+    out.branches = h.attacker_branches();
+  };
+
+  while (sb.size() < cfg.max_set_size) {
+    // i) choose a new branch in the attacker's address space
+    const std::uint64_t b_new = 0x0000'4000'0000ULL + (rng.below(1ULL << 30) << 4);
+
+    // ii) SB hygiene: discard b_new if it collides with any existing member
+    if (cfg.internal_collision_checks) {
+      bool internal = false;
+      for (const std::uint64_t b : sb) {
+        if (collide(h, b, b_new, observed)) {
+          internal = true;
+          break;
+        }
+      }
+      if (internal) continue;
+    }
+    sb.push_back(b_new);
+
+    // iii) probe against the victim: train b_new, let V run, re-execute.
+    h.jmp(Harness::kAttacker, b_new, b_new + 256);
+    h.jmp(Harness::kVictim, cfg.victim_ip, kVictimTarget);
+    const auto res = h.jmp(Harness::kAttacker, b_new, b_new + 256);
+    if (!res.target_correct) {
+      ++observed;
+      out.found = true;
+      out.set_size = sb.size();
+      account();
+      return out;
+    }
+  }
+  out.set_size = sb.size();
+  account();
+  return out;
+}
+
+}  // namespace stbpu::attacks

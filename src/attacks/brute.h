@@ -1,0 +1,41 @@
+// Brute-force reuse-collision search (paper §VI-A2) and its cost
+// measurement: the attacker grows a set SB of mutually non-colliding
+// branches until one collides with the victim's static branch, counting the
+// mispredictions (M) and evictions (E) triggered along the way — the
+// quantities Equation (2) approximates and the ST monitors throttle.
+#pragma once
+
+#include <cstdint>
+
+#include "bpu/predictor.h"
+
+namespace stbpu::attacks {
+
+struct ReuseSearchConfig {
+  std::uint64_t victim_ip = 0x0000'2345'6780ULL;
+  std::uint64_t max_set_size = 1 << 14;
+  std::uint64_t seed = 0xB24E;
+  /// Verify candidates against the existing set for internal collisions
+  /// (the paper's SB hygiene steps). Quadratic — disable for large runs.
+  bool internal_collision_checks = true;
+};
+
+struct ReuseSearchResult {
+  bool found = false;                ///< a collision with V was detected
+  std::uint64_t set_size = 0;        ///< |SB| when found (or at the cap)
+  /// Collision-observation mispredictions: re-execution probes that missed
+  /// (what Eq. (2)'s M estimates — first-touch cold misses excluded).
+  std::uint64_t mispredictions = 0;
+  std::uint64_t total_mispredictions = 0;  ///< including cold misses
+  std::uint64_t evictions = 0;             ///< attacker evictions (E)
+  std::uint64_t branches = 0;
+  std::uint64_t rerandomizations = 0;  ///< filled by caller for ST targets
+};
+
+/// Run the search against the shared predictor. The victim periodically
+/// re-executes its branch; the attacker detects collisions by observing
+/// its own mispredictions after victim activity.
+ReuseSearchResult reuse_collision_search(bpu::IPredictor& bpu,
+                                         const ReuseSearchConfig& cfg);
+
+}  // namespace stbpu::attacks

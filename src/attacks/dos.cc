@@ -1,0 +1,93 @@
+#include "attacks/dos.h"
+
+#include <functional>
+#include <utility>
+
+#include "attacks/harness.h"
+#include "util/rng.h"
+
+namespace stbpu::attacks {
+
+namespace {
+
+constexpr std::uint64_t kVictimCode = 0x0000'2345'0000ULL;
+
+/// One round of the victim's hot loop; returns (correct, total).
+std::pair<std::uint64_t, std::uint64_t> victim_round(Harness& h, unsigned hot) {
+  std::uint64_t correct = 0;
+  for (unsigned i = 0; i < hot; ++i) {
+    const std::uint64_t ip = kVictimCode + i * 16;
+    const auto res = h.jmp(Harness::kVictim, ip, ip + 1024);
+    if (res.overall_correct) ++correct;
+  }
+  return {correct, hot};
+}
+
+double run_victim(bpu::IPredictor& bpu, const DosConfig& cfg,
+                  const std::function<void(Harness&, std::uint64_t)>& attacker) {
+  Harness h(&bpu);
+  std::uint64_t correct = 0, total = 0;
+  // Warm the victim up once so steady-state accuracy is measured.
+  victim_round(h, cfg.victim_hot_branches);
+  for (std::uint64_t r = 0; r < cfg.rounds; ++r) {
+    if (attacker) attacker(h, r);
+    const auto [c, n] = victim_round(h, cfg.victim_hot_branches);
+    correct += c;
+    total += n;
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace
+
+DosResult dos_eviction(bpu::IPredictor& clean_bpu, bpu::IPredictor& attacked_bpu,
+                       const DosConfig& cfg, bool targeted) {
+  DosResult out;
+  out.victim_oae_clean = run_victim(clean_bpu, cfg, nullptr);
+
+  util::Xoshiro256 rng(cfg.seed);
+  std::uint64_t attacker_branches = 0;
+  out.victim_oae_attacked = run_victim(
+      attacked_bpu, cfg, [&](Harness& h, std::uint64_t round) {
+        for (unsigned i = 0; i < cfg.attacker_burst; ++i) {
+          std::uint64_t ip;
+          if (targeted) {
+            // Fill a victim line's whole set: `ways` aliases back-to-back
+            // (same set/offset bits under the legacy mapping, distinct
+            // tags) so LRU pushes the victim's entry out.
+            const unsigned line =
+                static_cast<unsigned>((round + i / 8) % cfg.victim_hot_branches);
+            ip = (kVictimCode + line * 16) ^ (std::uint64_t{1 + i % 8} << 14);
+          } else {
+            // Blind flood: uniformly random branches.
+            ip = 0x0000'4000'0000ULL + (rng.below(1ULL << 30) << 4);
+          }
+          h.jmp(Harness::kAttacker, ip, ip + 64);
+          ++attacker_branches;
+        }
+      });
+  out.attacker_branches = attacker_branches;
+  return out;
+}
+
+DosResult dos_reuse(bpu::IPredictor& clean_bpu, bpu::IPredictor& attacked_bpu,
+                    const DosConfig& cfg) {
+  DosResult out;
+  out.victim_oae_clean = run_victim(clean_bpu, cfg, nullptr);
+
+  std::uint64_t attacker_branches = 0;
+  out.victim_oae_attacked = run_victim(
+      attacked_bpu, cfg, [&](Harness& h, std::uint64_t) {
+        // Fill the victim's exact (virtual-address) entries with bogus
+        // targets; on the legacy BPU these are reuse collisions.
+        for (unsigned i = 0; i < cfg.victim_hot_branches; ++i) {
+          const std::uint64_t ip = kVictimCode + i * 16;
+          h.jmp(Harness::kAttacker, ip, 0x0000'6660'0000ULL + i * 16);
+          ++attacker_branches;
+        }
+      });
+  out.attacker_branches = attacker_branches;
+  return out;
+}
+
+}  // namespace stbpu::attacks

@@ -1,0 +1,40 @@
+// Denial-of-service attacks on the BPU (paper §VI-A6): the attacker does
+// not try to leak data, only to degrade the victim's prediction accuracy —
+// either by evicting the victim's performance-critical BTB entries or by
+// filling the BTB with bogus targets the victim then speculates on.
+#pragma once
+
+#include <cstdint>
+
+#include "bpu/predictor.h"
+
+namespace stbpu::attacks {
+
+struct DosConfig {
+  unsigned victim_hot_branches = 64;   ///< the victim's hot loop footprint
+  std::uint64_t rounds = 2000;         ///< interleaved execution rounds
+  unsigned attacker_burst = 64;        ///< attacker branches per round
+  std::uint64_t seed = 0xD05;
+};
+
+struct DosResult {
+  double victim_oae_clean = 0.0;     ///< accuracy without the attacker
+  double victim_oae_attacked = 0.0;  ///< accuracy under attack
+  std::uint64_t attacker_branches = 0;
+  [[nodiscard]] double degradation() const {
+    return victim_oae_clean - victim_oae_attacked;
+  }
+};
+
+/// Eviction-based DoS: attacker spams branches hoping to displace the
+/// victim's hot BTB entries. `targeted` uses the known legacy mapping to
+/// aim at the victim's sets (only meaningful against the baseline).
+DosResult dos_eviction(bpu::IPredictor& clean_bpu, bpu::IPredictor& attacked_bpu,
+                       const DosConfig& cfg, bool targeted);
+
+/// Reuse-based DoS: attacker pre-fills colliding entries with bogus targets
+/// so the victim keeps speculating to wrong addresses.
+DosResult dos_reuse(bpu::IPredictor& clean_bpu, bpu::IPredictor& attacked_bpu,
+                    const DosConfig& cfg);
+
+}  // namespace stbpu::attacks

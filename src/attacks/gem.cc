@@ -1,0 +1,87 @@
+#include "attacks/gem.h"
+
+#include <algorithm>
+
+#include "attacks/harness.h"
+#include "util/rng.h"
+
+namespace stbpu::attacks {
+
+namespace {
+
+constexpr std::uint64_t kProbeTarget = 0x0000'5555'0000ULL;
+
+/// Eviction oracle: train the probe branch, walk the candidate lines, and
+/// re-execute the probe — a misprediction means the candidates evicted it.
+bool evicts(Harness& h, std::uint64_t target_ip,
+            const std::vector<std::uint64_t>& lines, GemResult& stats) {
+  ++stats.probes;
+  h.jmp(Harness::kAttacker, target_ip, kProbeTarget);
+  for (const std::uint64_t s : lines) {
+    const auto res = h.jmp(Harness::kAttacker, s, s + 128);
+    if (res.btb_eviction) ++stats.evictions;
+  }
+  const auto res = h.jmp(Harness::kAttacker, target_ip, kProbeTarget);
+  if (res.btb_eviction) ++stats.evictions;
+  return !res.target_correct;
+}
+
+}  // namespace
+
+GemResult gem_eviction_set(bpu::IPredictor& bpu, std::uint64_t target_ip,
+                           const GemConfig& cfg) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(cfg.seed);
+  GemResult out;
+
+  // Candidate pool L: random branch addresses across the attacker's space.
+  const unsigned l0 = cfg.initial_lines != 0
+                          ? cfg.initial_lines
+                          : 2u * cfg.ways * cfg.sets_hint;
+  std::vector<std::uint64_t> lines;
+  lines.reserve(l0);
+  for (unsigned i = 0; i < l0; ++i) {
+    lines.push_back(0x0000'4000'0000ULL + (rng.below(1ULL << 30) << 4));
+  }
+
+  if (!evicts(h, target_ip, lines, out)) {
+    out.branches = h.attacker_branches();
+    return out;  // pool too small — cannot even evict once
+  }
+
+  // Group elimination: drop one of (ways+1) groups per round whenever the
+  // remainder still evicts the target. Group assignment is re-randomized
+  // every round — with a fixed partition a single unlucky layout (every
+  // group holding one essential line) would wedge the reduction.
+  unsigned stuck = 0;
+  while (lines.size() > cfg.ways && out.rounds < cfg.max_rounds) {
+    ++out.rounds;
+    for (std::size_t i = lines.size(); i > 1; --i) {
+      std::swap(lines[i - 1], lines[rng.below(i)]);
+    }
+    const std::size_t groups = std::min<std::size_t>(cfg.ways + 1, lines.size());
+    const std::size_t chunk = (lines.size() + groups - 1) / groups;
+    bool reduced = false;
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::vector<std::uint64_t> rest;
+      rest.reserve(lines.size());
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i / chunk != g) rest.push_back(lines[i]);
+      }
+      if (rest.size() < lines.size() && evicts(h, target_ip, rest, out)) {
+        lines = std::move(rest);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced && ++stuck >= 8) break;  // truly minimal (or mapping moved)
+    if (reduced) stuck = 0;
+  }
+
+  out.eviction_set = lines;
+  out.success = lines.size() <= cfg.ways && evicts(h, target_ip, lines, out);
+  out.branches = h.attacker_branches();
+  return out;
+}
+
+}  // namespace stbpu::attacks

@@ -1,0 +1,39 @@
+// GEM — the group-elimination method of Qureshi [59], adapted from
+// randomized caches to the BTB (paper §VI-A4). The attacker reduces a large
+// candidate set of branches to a minimal eviction set for a chosen target
+// branch purely from eviction observations, without knowing the mapping.
+// Against STBPU the construction triggers enough evictions that the ST
+// monitor re-randomizes the mapping out from under the attacker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/predictor.h"
+
+namespace stbpu::attacks {
+
+struct GemConfig {
+  unsigned ways = 8;
+  /// Initial candidate-line count L; 0 = auto (≈ 2·ways·sets worth).
+  unsigned initial_lines = 0;
+  unsigned sets_hint = 512;  ///< used only for the auto sizing of L
+  unsigned max_rounds = 4096;
+  std::uint64_t seed = 0x6E4D;
+};
+
+struct GemResult {
+  bool success = false;          ///< reduced to ≤ ways lines that still evict
+  std::vector<std::uint64_t> eviction_set;
+  std::uint64_t branches = 0;    ///< attacker branch executions
+  std::uint64_t evictions = 0;   ///< attacker-triggered BTB evictions
+  std::uint64_t probes = 0;      ///< evicts() oracle calls
+  unsigned rounds = 0;
+};
+
+/// Build a minimal eviction set for the attacker's own probe branch
+/// `target_ip` on the shared BTB behind `bpu`.
+GemResult gem_eviction_set(bpu::IPredictor& bpu, std::uint64_t target_ip,
+                           const GemConfig& cfg);
+
+}  // namespace stbpu::attacks

@@ -1,0 +1,112 @@
+// Attack harness — the actor model for the Table I attack surface.
+//
+// Attacker (A) and victim (V) are software entities sharing one BPU, either
+// cross-process (time-sliced or SMT-sibling) or user/kernel within one
+// address space (paper §III threat model). The harness provides the branch
+// primitives attacks are composed of, counts the misprediction/eviction
+// events the attacker inevitably triggers (the quantities §VI's equations
+// bound and the ST monitors watch), and exposes the observation channel:
+// whether the attacker's own branch was mispredicted — the
+// microarchitectural proxy for the timing measurement a real attacker does
+// with rdtscp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bpu/predictor.h"
+#include "bpu/types.h"
+
+namespace stbpu::attacks {
+
+struct AttackResult {
+  std::string name;
+  bool success = false;       ///< attack achieved its goal at realistic cost
+  double success_rate = 0.0;  ///< per-trial goal-achievement frequency
+  double baseline_rate = 0.5; ///< blind-guess rate for this attack's goal
+  std::uint64_t branches = 0; ///< attacker branches executed
+  std::uint64_t attacker_mispredictions = 0;
+  std::uint64_t attacker_evictions = 0;
+  std::uint64_t rerandomizations = 0;  ///< STBPU ST rotations during attack
+  std::string detail;
+};
+
+class Harness {
+ public:
+  explicit Harness(bpu::IPredictor* bpu) : bpu_(bpu) {}
+
+  [[nodiscard]] bpu::IPredictor& bpu() noexcept { return *bpu_; }
+
+  static constexpr bpu::ExecContext kAttacker{.pid = 100, .hart = 0, .kernel = false};
+  static constexpr bpu::ExecContext kVictim{.pid = 200, .hart = 0, .kernel = false};
+  /// Same-address-space victim (kernel mode of the attacker's process).
+  static constexpr bpu::ExecContext kKernelVictim{.pid = 100, .hart = 0, .kernel = true};
+
+  /// Execute one branch as `ctx`, simulating the OS context/mode switch
+  /// when the running entity changes.
+  bpu::AccessResult run(const bpu::ExecContext& ctx, std::uint64_t ip,
+                        bpu::BranchType type, bool taken, std::uint64_t target) {
+    if (has_last_ && !(last_ == ctx)) bpu_->on_switch(last_, ctx);
+    last_ = ctx;
+    has_last_ = true;
+    bpu::BranchRecord rec{.ip = ip, .target = target, .type = type,
+                          .taken = taken, .ctx = ctx};
+    const bpu::AccessResult res = bpu_->access(rec);
+    if (ctx.pid == kAttacker.pid && !ctx.kernel) {
+      ++attacker_branches_;
+      if (!res.overall_correct) ++attacker_misp_;
+      if (res.btb_eviction) ++attacker_evict_;
+    }
+    return res;
+  }
+
+  // Convenience wrappers (Table I notation).
+  bpu::AccessResult jmp(const bpu::ExecContext& c, std::uint64_t s, std::uint64_t d) {
+    return run(c, s, bpu::BranchType::kDirectJump, true, d);
+  }
+  bpu::AccessResult jcc(const bpu::ExecContext& c, std::uint64_t s, bool taken,
+                        std::uint64_t d) {
+    return run(c, s, bpu::BranchType::kConditional, taken,
+               taken ? d : s + bpu::kBranchInstrLen);
+  }
+  bpu::AccessResult ijmp(const bpu::ExecContext& c, std::uint64_t s, std::uint64_t d) {
+    return run(c, s, bpu::BranchType::kIndirectJump, true, d);
+  }
+  bpu::AccessResult call(const bpu::ExecContext& c, std::uint64_t s, std::uint64_t d) {
+    return run(c, s, bpu::BranchType::kDirectCall, true, d);
+  }
+  bpu::AccessResult ret(const bpu::ExecContext& c, std::uint64_t s, std::uint64_t d) {
+    return run(c, s, bpu::BranchType::kReturn, true, d);
+  }
+
+  /// Equalize the BHB for `ctx` by walking a fixed branch sequence — what
+  /// real Spectre v2 exploits do to reach the victim's indirect branch with
+  /// a chosen history (sequence is address-based, so attacker and victim
+  /// reach identical BHB values on the legacy BPU).
+  void align_history(const bpu::ExecContext& ctx) {
+    for (unsigned i = 0; i < 32; ++i) {
+      const std::uint64_t s = 0x0'4440'0000ULL + i * 64;
+      jmp(ctx, s, s + 64);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t attacker_branches() const { return attacker_branches_; }
+  [[nodiscard]] std::uint64_t attacker_mispredictions() const { return attacker_misp_; }
+  [[nodiscard]] std::uint64_t attacker_evictions() const { return attacker_evict_; }
+
+  void fill(AttackResult& r) const {
+    r.branches = attacker_branches_;
+    r.attacker_mispredictions = attacker_misp_;
+    r.attacker_evictions = attacker_evict_;
+  }
+
+ private:
+  bpu::IPredictor* bpu_;
+  bpu::ExecContext last_{};
+  bool has_last_ = false;
+  std::uint64_t attacker_branches_ = 0;
+  std::uint64_t attacker_misp_ = 0;
+  std::uint64_t attacker_evict_ = 0;
+};
+
+}  // namespace stbpu::attacks

@@ -1,0 +1,114 @@
+// Scaled-geometry mappings + predictors for empirical validation of the
+// §VI attack-complexity equations. Attack cost grows with I·T·O (structure
+// geometry), so the experiments shrink the BTB, measure misprediction /
+// eviction counts, and compare them to Equations (2)-(4) evaluated at the
+// same geometry — then the analysis module extrapolates to the full-size
+// Skylake numbers of §VI-A5.
+#pragma once
+
+#include <memory>
+
+#include "bpu/direction.h"
+#include "bpu/mapping.h"
+#include "bpu/predictor.h"
+#include "core/monitor.h"
+#include "core/remap.h"
+#include "core/secret_token.h"
+#include "core/stbpu_mapping.h"
+
+namespace stbpu::attacks {
+
+struct ScaledGeometry {
+  unsigned set_bits = 4;     ///< I = 2^set_bits
+  unsigned tag_bits = 3;     ///< T = 2^tag_bits
+  unsigned offset_bits = 1;  ///< O = 2^offset_bits
+  unsigned ways = 4;         ///< W
+
+  [[nodiscard]] std::uint64_t sets() const { return 1ULL << set_bits; }
+  [[nodiscard]] std::uint64_t tag_space() const { return 1ULL << tag_bits; }
+  [[nodiscard]] std::uint64_t offset_space() const { return 1ULL << offset_bits; }
+  /// I·T·O — the collision space of one structure.
+  [[nodiscard]] std::uint64_t ito() const {
+    return sets() * tag_space() * offset_space();
+  }
+};
+
+/// Legacy mapping at reduced geometry (deterministic truncation/folding).
+class ScaledBaselineMapping final : public bpu::BaselineMapping {
+ public:
+  explicit ScaledBaselineMapping(const ScaledGeometry& g) : g_(g) {}
+
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
+                                        const bpu::ExecContext&) const override {
+    bpu::BtbIndex out;
+    out.offset = static_cast<std::uint32_t>(util::bits(ip, 0, g_.offset_bits));
+    out.set = static_cast<std::uint32_t>(util::bits(ip, g_.offset_bits, g_.set_bits));
+    out.tag = util::fold_xor(
+        util::bits(ip, g_.offset_bits + g_.set_bits,
+                   kUsedAddressBits - g_.offset_bits - g_.set_bits),
+        g_.tag_bits);
+    return out;
+  }
+
+ private:
+  ScaledGeometry g_;
+};
+
+/// STBPU mapping at reduced geometry (keyed R1 with narrow outputs).
+class ScaledStbpuMapping final : public bpu::BaselineMapping {
+ public:
+  ScaledStbpuMapping(core::STManager* stm, const ScaledGeometry& g)
+      : stm_(stm), g_(g) {}
+
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
+                                        const bpu::ExecContext& ctx) const override {
+    return core::Remapper::r1_scaled(stm_->token(ctx).psi, ip, g_.set_bits,
+                                     g_.tag_bits, g_.offset_bits);
+  }
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
+                                            const bpu::ExecContext& ctx) const override {
+    return util::bits(target, 0, 32) ^ stm_->token(ctx).phi;
+  }
+  [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
+                                            const bpu::ExecContext& ctx) const override {
+    const std::uint64_t lo = (stored ^ stm_->token(ctx).phi) & 0xFFFF'FFFFULL;
+    return (branch_ip & 0xFFFF'0000'0000ULL) | lo;
+  }
+
+ private:
+  core::STManager* stm_;
+  ScaledGeometry g_;
+};
+
+/// A fully wired scaled experiment target: CorePredictor over a scaled BTB
+/// with either the legacy or the ST mapping (and optionally a live monitor).
+struct ScaledTarget {
+  std::unique_ptr<core::STManager> stm;
+  std::unique_ptr<core::EventMonitor> monitor;
+  std::unique_ptr<bpu::MappingProvider> mapping;
+  std::unique_ptr<bpu::CorePredictor> predictor;
+};
+
+inline ScaledTarget make_scaled_target(const ScaledGeometry& g, bool stbpu,
+                                       std::uint64_t seed,
+                                       const core::MonitorConfig* monitor_cfg = nullptr) {
+  ScaledTarget t;
+  bpu::CorePredictorConfig cfg;
+  cfg.btb.sets = static_cast<std::uint32_t>(g.sets());
+  cfg.btb.ways = g.ways;
+  if (stbpu) {
+    t.stm = std::make_unique<core::STManager>(seed);
+    if (monitor_cfg != nullptr) {
+      t.monitor = std::make_unique<core::EventMonitor>(t.stm.get(), *monitor_cfg);
+    }
+    t.mapping = std::make_unique<ScaledStbpuMapping>(t.stm.get(), g);
+  } else {
+    t.mapping = std::make_unique<ScaledBaselineMapping>(g);
+  }
+  t.predictor = std::make_unique<bpu::CorePredictor>(
+      cfg, t.mapping.get(), std::make_unique<bpu::SklCondPredictor>(t.mapping.get()),
+      t.monitor.get());
+  return t;
+}
+
+}  // namespace stbpu::attacks

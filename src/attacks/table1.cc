@@ -1,0 +1,286 @@
+#include "attacks/table1.h"
+
+namespace stbpu::attacks {
+
+namespace {
+
+// Fixed addresses (48-bit space). Cross-process attacks use identical
+// virtual addresses in both spaces — the classic collision vector, since
+// the legacy BPU keys on (truncated) virtual addresses only.
+constexpr std::uint64_t kVictimBranch = 0x0000'2345'6780ULL;
+constexpr std::uint64_t kVictimTarget = 0x0000'2345'9000ULL;
+constexpr std::uint64_t kAttackerTarget = 0x0000'6666'0000ULL;
+constexpr std::uint64_t kFunction = 0x0000'2400'0000ULL;
+
+/// Score a 1-bit leak: fraction of trials where the recovered bit equals
+/// the secret bit.
+AttackResult score(std::string name, Harness& h, unsigned trials, unsigned correct,
+                   double baseline, std::string detail = {}) {
+  AttackResult r;
+  r.name = std::move(name);
+  r.success_rate = trials ? static_cast<double>(correct) / trials : 0.0;
+  r.baseline_rate = baseline;
+  // An attack "works" when it clears the blind-guess rate decisively.
+  r.success = r.success_rate > baseline + 0.4 * (1.0 - baseline);
+  r.detail = std::move(detail);
+  h.fill(r);
+  return r;
+}
+
+}  // namespace
+
+AttackResult btb_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned correct = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    const bool secret = rng.chance(0.5);
+    if (secret) {
+      // V: jmp s → d; BTB ← (s, d)
+      h.jmp(Harness::kVictim, kVictimBranch, kVictimTarget);
+    }
+    // A: jmp s → d'; if (s, d) is reused A observes a misprediction whose
+    // predicted target is V's d.
+    const auto res = h.jmp(Harness::kAttacker, kVictimBranch, kAttackerTarget);
+    const bool recovered = res.pred.target_valid && res.pred.target == kVictimTarget;
+    if (recovered == secret) ++correct;
+  }
+  return score("BTB reuse (home): V's jump leaked", h, trials, correct, 0.5);
+}
+
+AttackResult pht_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned correct = 0;
+  // BranchScope's mode-priming: the hybrid predictor must be steered into
+  // its 1-level (base) mode before the counter can be read. A branch that
+  // shares the victim's *choice* entry but not its PHT counter (the legacy
+  // fold is linear, so flipping address bit 12 flips PHT index bit 12 while
+  // the 12-bit choice index is untouched) is executed with a consistent
+  // outcome under varying history — 1-level right, 2-level cold-wrong —
+  // dragging the shared choice toward the base predictor.
+  const std::uint64_t mode_primer = kVictimBranch ^ (1ULL << 12);
+  for (unsigned t = 0; t < trials; ++t) {
+    const bool secret = rng.chance(0.5);
+    for (int i = 0; i < 6; ++i) {
+      h.jcc(Harness::kAttacker, mode_primer, true, kAttackerTarget);
+    }
+    // V: secret-dependent conditional, executed thrice to saturate the
+    // 2-bit counter (BranchScope's prime phase).
+    for (int i = 0; i < 3; ++i) {
+      h.jcc(Harness::kVictim, kVictimBranch, secret, kVictimTarget);
+    }
+    // A: probe the colliding counter; the *prediction* is the leak.
+    const auto res = h.jcc(Harness::kAttacker, kVictimBranch, true, kAttackerTarget);
+    if (res.pred.taken == secret) ++correct;
+    // A restores a neutral state for the next trial (counter hygiene).
+    h.jcc(Harness::kAttacker, kVictimBranch, false, kAttackerTarget);
+  }
+  return score("PHT reuse (home): BranchScope direction leak", h, trials, correct, 0.5);
+}
+
+AttackResult rsb_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  const std::uint64_t site0 = 0x0000'2345'1000ULL;
+  const std::uint64_t site1 = 0x0000'2345'2000ULL;
+  unsigned correct = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    const bool secret = rng.chance(0.5);
+    // V: call from a secret-dependent site; RSB ← (site + 4).
+    h.call(Harness::kVictim, secret ? site1 : site0, kFunction);
+    // A: ret; the predicted target reveals V's call site.
+    const auto res = h.ret(Harness::kAttacker, kFunction + 128, site0 + 4);
+    const bool recovered =
+        res.pred.target_valid && res.pred.target == site1 + bpu::kBranchInstrLen;
+    if (recovered == secret) ++correct;
+  }
+  return score("RSB reuse (home): V's call site leaked", h, trials, correct, 0.5);
+}
+
+AttackResult pht_reuse_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned steered = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    // A: train not-taken into the shared counter (V's branch is taken).
+    for (int i = 0; i < 3; ++i) {
+      h.jcc(Harness::kAttacker, kVictimBranch, false, kAttackerTarget);
+    }
+    // V: executes its (actually taken) branch; if the attacker's training
+    // is reused, V mispredicts and speculatively executes the fall-through.
+    const auto res = h.jcc(Harness::kVictim, kVictimBranch, true, kVictimTarget);
+    if (!res.pred.taken) ++steered;
+  }
+  return score("PHT reuse (away): V steered to wrong path", h, trials, steered, 0.0);
+}
+
+AttackResult btb_injection_away(bpu::IPredictor& bpu, unsigned trials,
+                                std::uint64_t seed, std::uint64_t gadget) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned injected = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    // A: reach the shared indirect branch with the victim's history, then
+    // train the gadget target (Spectre v2 priming).
+    h.align_history(Harness::kAttacker);
+    h.ijmp(Harness::kAttacker, kVictimBranch, gadget);
+    // V: same history, same branch — does it speculate at the gadget?
+    h.align_history(Harness::kVictim);
+    const auto res = h.ijmp(Harness::kVictim, kVictimBranch, kVictimTarget);
+    if (res.pred.target_valid && res.pred.target == gadget) ++injected;
+  }
+  return score("BTB injection (away): Spectre v2", h, trials, injected, 0.0);
+}
+
+AttackResult rsb_injection_away(bpu::IPredictor& bpu, unsigned trials,
+                                std::uint64_t seed, std::uint64_t gadget) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned injected = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    // A: call whose return address is the gadget (call at gadget - 4).
+    h.call(Harness::kAttacker, gadget - bpu::kBranchInstrLen, kFunction);
+    // V: ret — speculates with the attacker's RSB entry (SpectreRSB).
+    const auto res = h.ret(Harness::kVictim, kFunction + 128, kVictimTarget);
+    if (res.pred.target_valid && res.pred.target == gadget) ++injected;
+  }
+  return score("RSB injection (away): SpectreRSB", h, trials, injected, 0.0);
+}
+
+AttackResult same_address_space_trojan(bpu::IPredictor& bpu, unsigned trials,
+                                       std::uint64_t seed, std::uint64_t gadget) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned injected = 0;
+  // Trojan branch aliases the victim branch modulo 2^30 — the legacy BPU
+  // discards the upper address bits, so both map to one BTB entry [78].
+  const std::uint64_t trojan = kVictimBranch + (1ULL << 30);
+  for (unsigned t = 0; t < trials; ++t) {
+    // Trojan gadget runs inside the victim's own process (same ST!).
+    h.jmp(Harness::kVictim, trojan, gadget);
+    const auto res = h.jcc(Harness::kVictim, kVictimBranch, true, kVictimTarget);
+    if (res.pred.target_valid && res.pred.target == gadget) ++injected;
+  }
+  return score("same-address-space trojan (2^30 alias)", h, trials, injected, 0.0,
+               "defeated only by full 48-bit remapping, not by flushing");
+}
+
+namespace {
+
+/// Baseline-mapping collision family for kVictimBranch's BTB set: same set
+/// and offset bits, distinct tags (bit flips above bit 13).
+std::uint64_t set_alias(unsigned i) { return kVictimBranch ^ (std::uint64_t{i + 1} << 14); }
+
+}  // namespace
+
+AttackResult btb_eviction_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  constexpr unsigned kWays = 8;
+  unsigned correct = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    const bool secret = rng.chance(0.5);
+    // A: prime the victim's set with `ways` same-set branches.
+    for (unsigned i = 0; i < kWays; ++i) {
+      h.jmp(Harness::kAttacker, set_alias(i), kAttackerTarget + i * 64);
+    }
+    if (secret) {
+      // V: executes a branch landing in the primed set, evicting A's LRU.
+      h.jmp(Harness::kVictim, kVictimBranch, kVictimTarget);
+    }
+    // A: probe — any miss among the primed branches betrays V.
+    bool evicted = false;
+    for (unsigned i = 0; i < kWays; ++i) {
+      const auto res = h.jmp(Harness::kAttacker, set_alias(i), kAttackerTarget + i * 64);
+      if (!res.target_correct) evicted = true;
+    }
+    if (evicted == secret) ++correct;
+  }
+  return score("BTB eviction (home): prime+probe on V's set", h, trials, correct, 0.5);
+}
+
+AttackResult btb_eviction_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  constexpr unsigned kWays = 8;
+  unsigned degraded = 0;
+  for (unsigned t = 0; t < trials; ++t) {
+    // V: trains its branch.
+    h.jmp(Harness::kVictim, kVictimBranch, kVictimTarget);
+    // A: floods the victim's set.
+    for (unsigned i = 0; i < kWays; ++i) {
+      h.jmp(Harness::kAttacker, set_alias(i), kAttackerTarget + i * 64);
+    }
+    // V: re-executes; a BTB miss forces the static (no-target) prediction.
+    const auto res = h.jmp(Harness::kVictim, kVictimBranch, kVictimTarget);
+    if (!res.target_correct) ++degraded;
+  }
+  return score("BTB eviction (away): V forced to static prediction", h, trials,
+               degraded, 0.0);
+}
+
+AttackResult rsb_eviction_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned correct = 0;
+  const std::uint64_t a_site = 0x0000'7777'0000ULL;
+  for (unsigned t = 0; t < trials; ++t) {
+    const bool secret = rng.chance(0.5);
+    // A: fill the RSB with its own calls.
+    for (unsigned i = 0; i < 16; ++i) {
+      h.call(Harness::kAttacker, a_site + i * 64, kFunction);
+    }
+    if (secret) {
+      // V: two calls overwrite A's oldest entries (ring wrap).
+      h.call(Harness::kVictim, kVictimBranch, kFunction);
+      h.call(Harness::kVictim, kVictimBranch + 64, kFunction);
+    }
+    // A: unwind; mispredicted returns reveal V's call activity. This is an
+    // occupancy channel: it works regardless of target encryption, but
+    // leaks only call counts, never addresses.
+    bool noticed = false;
+    for (int i = 15; i >= 0; --i) {
+      const auto res =
+          h.ret(Harness::kAttacker, kFunction + 128, a_site + i * 64 + 4);
+      if (!res.target_correct) noticed = true;
+    }
+    if (noticed == secret) ++correct;
+  }
+  return score("RSB eviction (home): call-count occupancy channel", h, trials, correct,
+               0.5, "content-independent; STBPU bounds it to call counts");
+}
+
+AttackResult rsb_eviction_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed) {
+  Harness h(&bpu);
+  util::Xoshiro256 rng(seed);
+  unsigned degraded_returns = 0;
+  unsigned total_returns = 0;
+  const std::uint64_t v_site = 0x0000'2345'0000ULL;
+  const std::uint64_t a_site = 0x0000'7777'0000ULL;
+  for (unsigned t = 0; t < trials; ++t) {
+    // V: builds a deep call chain.
+    for (unsigned i = 0; i < 8; ++i) {
+      h.call(Harness::kVictim, v_site + i * 64, kFunction);
+    }
+    // A: loops calls, overflowing the shared RSB (Table I: "overflows RSB
+    // by looping call s' → d'").
+    for (unsigned i = 0; i < 16; ++i) {
+      h.call(Harness::kAttacker, a_site + i * 64, kFunction);
+    }
+    // V: unwinds; its returns lost their RSB entries.
+    for (int i = 7; i >= 0; --i) {
+      const auto res = h.ret(Harness::kVictim, kFunction + 128, v_site + i * 64 + 4);
+      ++total_returns;
+      if (!res.target_correct) ++degraded_returns;
+    }
+  }
+  AttackResult r;
+  Harness& href = h;
+  r = score("RSB eviction (away): V's returns degraded", href, total_returns,
+            degraded_returns, 0.0,
+            "denial of prediction; shared-occupancy effect");
+  return r;
+}
+
+}  // namespace stbpu::attacks

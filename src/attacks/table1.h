@@ -1,0 +1,64 @@
+// The complete collision-based attack surface of Table I, implemented as
+// executable attack procedures. Each returns a per-trial success rate: on
+// the unprotected baseline the attack's rate should be near 1.0, while a
+// protected design pushes it to the blind-guess baseline (0.5 for 1-bit
+// leaks, ~0 for target injection). The bench bench_table1_attack_surface
+// reproduces the table by running every cell against every model.
+//
+// Attack naming: <structure>_<reuse|eviction|injection>_<home|away>:
+//   * home  — the adversarial effect is observed in the attacker's own
+//             execution (side channel: A times its own branches);
+//   * away  — the effect lands in the victim's execution (V is steered
+//             into mispredicting / speculating at an attacker-chosen
+//             address).
+#pragma once
+
+#include "attacks/harness.h"
+#include "util/rng.h"
+
+namespace stbpu::attacks {
+
+/// RB-HE / BTB: A observes V's jump s→d by reusing V's BTB entry.
+AttackResult btb_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// RB-HE / PHT: BranchScope — A reads the direction V trained into a
+/// shared PHT counter.
+AttackResult pht_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// RB-HE / RSB: A pops V's return address and learns V's call site.
+AttackResult rsb_reuse_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// RB-AE / PHT: A trains a direction into V's conditional branch; V
+/// speculatively executes the attacker-chosen path.
+AttackResult pht_reuse_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// RB-AE / BTB: Spectre v2 — A injects a gadget target into V's indirect
+/// branch.
+AttackResult btb_injection_away(bpu::IPredictor& bpu, unsigned trials,
+                                std::uint64_t seed, std::uint64_t gadget);
+
+/// RB-AE / RSB: SpectreRSB — A plants a return target V speculates with.
+AttackResult rsb_injection_away(bpu::IPredictor& bpu, unsigned trials,
+                                std::uint64_t seed, std::uint64_t gadget);
+
+/// Same-address-space transient trojan [78]: a branch aliased modulo 2^30
+/// injects a target into a victim branch of the same process.
+AttackResult same_address_space_trojan(bpu::IPredictor& bpu, unsigned trials,
+                                       std::uint64_t seed, std::uint64_t gadget);
+
+/// EB-HE / BTB: A primes V's BTB set and detects V's execution via the
+/// eviction of one of A's entries.
+AttackResult btb_eviction_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// EB-AE / BTB: A evicts V's entry; V falls back to static prediction.
+AttackResult btb_eviction_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// EB-HE / RSB: A fills the RSB and counts V's calls via overwritten
+/// entries (occupancy channel — content-independent).
+AttackResult rsb_eviction_home(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+/// EB-AE / RSB: A overflows the RSB by looping calls; V's deep returns
+/// lose their predictions.
+AttackResult rsb_eviction_away(bpu::IPredictor& bpu, unsigned trials, std::uint64_t seed);
+
+}  // namespace stbpu::attacks

@@ -1,0 +1,143 @@
+// Branch target buffer (paper §II-A): set-associative cache of encoded
+// branch targets with two addressing modes (mode 1: address only; mode 2:
+// address + BHB context for indirect branches). Baseline geometry is the
+// Skylake-like 4096-entry / 8-way table; the conservative secure model uses
+// the same class with 48-bit tags and reduced capacity; STIBP-style logical
+// partitioning is supported by constraining the set index per hart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/mapping.h"
+#include "bpu/types.h"
+#include "util/bits.h"
+
+namespace stbpu::bpu {
+
+struct BtbConfig {
+  std::uint32_t sets = 512;
+  std::uint32_t ways = 8;
+  /// STIBP model: when true, each hart owns half the sets (logical
+  /// segmentation so SMT siblings cannot collide).
+  bool partition_by_hart = false;
+};
+
+class BranchTargetBuffer {
+ public:
+  struct LookupResult {
+    bool hit = false;
+    std::uint64_t payload = 0;  ///< stored (possibly φ-encrypted) target bits
+  };
+  struct InsertResult {
+    bool hit = false;       ///< an existing entry was refreshed/overwritten
+    bool evicted = false;   ///< a *different* valid entry was displaced
+  };
+
+  explicit BranchTargetBuffer(const BtbConfig& cfg = {})
+      : cfg_(cfg), entries_(std::size_t{cfg.sets} * cfg.ways) {}
+
+  [[nodiscard]] const BtbConfig& config() const noexcept { return cfg_; }
+
+  LookupResult lookup(const BtbIndex& idx, std::uint8_t hart) noexcept {
+    const std::size_t base = set_base(idx.set, hart);
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+      Entry& e = entries_[base + w];
+      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
+        e.lru = ++clock_;
+        return {.hit = true, .payload = e.payload};
+      }
+    }
+    return {};
+  }
+
+  InsertResult insert(const BtbIndex& idx, std::uint64_t payload, std::uint8_t hart,
+                      bool indirect = false) noexcept {
+    const std::size_t base = set_base(idx.set, hart);
+    std::size_t victim = base;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+      Entry& e = entries_[base + w];
+      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
+        e.payload = payload;
+        e.indirect = indirect;
+        e.lru = ++clock_;
+        return {.hit = true, .evicted = false};
+      }
+      if (!e.valid) {
+        // Prefer an invalid way; mark it "oldest possible".
+        if (oldest != 0) {
+          oldest = 0;
+          victim = base + w;
+        }
+      } else if (e.lru < oldest) {
+        oldest = e.lru;
+        victim = base + w;
+      }
+    }
+    Entry& v = entries_[victim];
+    const bool evicted = v.valid;
+    v = Entry{.valid = true, .indirect = indirect, .offset = idx.offset,
+              .tag = idx.tag, .payload = payload, .lru = ++clock_};
+    return {.hit = false, .evicted = evicted};
+  }
+
+  /// IBRS-style barrier: invalidate only indirect-predictor entries
+  /// (mode-2 targets); direct-branch targets are not speculation-controlled
+  /// by lower-privilege software and survive.
+  void flush_indirect() noexcept {
+    for (auto& e : entries_) {
+      if (e.indirect) e.valid = false;
+    }
+  }
+
+  /// Invalidate a matching entry if present (used by flush-style probes).
+  bool invalidate(const BtbIndex& idx, std::uint8_t hart) noexcept {
+    const std::size_t base = set_base(idx.set, hart);
+    for (std::size_t w = 0; w < cfg_.ways; ++w) {
+      Entry& e = entries_[base + w];
+      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
+        e.valid = false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void flush() noexcept {
+    for (auto& e : entries_) e.valid = false;
+  }
+
+  [[nodiscard]] std::size_t valid_entries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    bool indirect = false;  ///< stored via mode-2 (indirect predictor) path
+    std::uint32_t offset = 0;
+    std::uint64_t tag = 0;
+    std::uint64_t payload = 0;
+    std::uint64_t lru = 0;
+  };
+
+  [[nodiscard]] std::size_t set_base(std::uint32_t set, std::uint8_t hart) const noexcept {
+    std::uint32_t s = set & (cfg_.sets - 1);
+    if (cfg_.partition_by_hart) {
+      const std::uint32_t half = cfg_.sets / 2;
+      s = (s & (half - 1)) | (static_cast<std::uint32_t>(hart & 1) * half);
+    }
+    return std::size_t{s} * cfg_.ways;
+  }
+
+  BtbConfig cfg_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace stbpu::bpu

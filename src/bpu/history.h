@@ -1,0 +1,56 @@
+// Shift-register branch histories (paper §II-A): the global history register
+// (GHR) feeding the conditional predictor's 2-level mode, and the branch
+// history buffer (BHB) accumulating branch context for the indirect
+// predictor. Both are per-hardware-thread, as in SMT processors.
+#pragma once
+
+#include <cstdint>
+
+#include "bpu/types.h"
+#include "util/bits.h"
+
+namespace stbpu::bpu {
+
+/// Global taken/not-taken history. The Skylake-like baseline uses 18 bits
+/// for PHT mode 2 (Table II); STBPU consumes 16 of them. TAGE keeps its own
+/// much longer history internally.
+class GlobalHistoryRegister {
+ public:
+  explicit GlobalHistoryRegister(unsigned bits = 18) noexcept : bits_(bits) {}
+
+  void push(bool taken) noexcept {
+    value_ = ((value_ << 1) | static_cast<std::uint64_t>(taken)) & util::mask(bits_);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] unsigned width() const noexcept { return bits_; }
+  void clear() noexcept { value_ = 0; }
+  void set(std::uint64_t v) noexcept { value_ = v & util::mask(bits_); }
+
+ private:
+  unsigned bits_;
+  std::uint64_t value_ = 0;
+};
+
+/// Branch history buffer: 58-bit register mixed from the source and target
+/// addresses of taken branches (reverse engineered in the Spectre paper,
+/// [32]). Used as part of BTB mode-2 lookups so one indirect branch can
+/// hold multiple context-dependent targets.
+class BranchHistoryBuffer {
+ public:
+  static constexpr unsigned kBits = 58;
+
+  void push(std::uint64_t src, std::uint64_t dst) noexcept {
+    // Two-bit shift then XOR-mix of low source/target bits, following the
+    // publicly reverse-engineered Haswell/Skylake update function shape.
+    const std::uint64_t mix = util::bits(src, 4, 15) ^ (util::bits(dst, 0, 6) << 12);
+    value_ = ((value_ << 2) ^ mix) & util::mask(kBits);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void clear() noexcept { value_ = 0; }
+  void set(std::uint64_t v) noexcept { value_ = v & util::mask(kBits); }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace stbpu::bpu

@@ -1,0 +1,165 @@
+// The mapping-provider abstraction — the seam STBPU plugs into.
+//
+// Every BPU structure computes indexes/tags/offsets and encodes/decodes
+// stored targets exclusively through this interface (functions 1-5 of the
+// paper's Figure 1 plus the TAGE/perceptron hooks of Table II). The
+// baseline provider below reproduces the legacy truncating/folding
+// behaviour reverse-engineered from Intel parts — deterministic and
+// collision-friendly, which is exactly what the Table I attacks exploit.
+// The STBPU provider (src/core/stbpu_mapping.h) swaps in the keyed
+// R-functions and the XOR target codec without touching the predictors.
+#pragma once
+
+#include <cstdint>
+
+#include "bpu/types.h"
+#include "util/bits.h"
+
+namespace stbpu::bpu {
+
+/// Output of function 1 / R1: where a branch lives in the BTB.
+struct BtbIndex {
+  std::uint32_t set = 0;     ///< 9 bits baseline
+  std::uint64_t tag = 0;     ///< 8 bits baseline (full address, conservative model)
+  std::uint32_t offset = 0;  ///< 5 bits baseline
+  friend constexpr bool operator==(const BtbIndex&, const BtbIndex&) = default;
+};
+
+class MappingProvider {
+ public:
+  virtual ~MappingProvider() = default;
+
+  /// Function 1 / R1 — BTB set/tag/offset from the branch address.
+  [[nodiscard]] virtual BtbIndex btb_mode1(std::uint64_t ip,
+                                           const ExecContext& ctx) const = 0;
+
+  /// Function 2 / R2 — extra tag from the BHB for mode-2 (indirect) lookups.
+  [[nodiscard]] virtual std::uint32_t btb_mode2_tag(std::uint64_t bhb,
+                                                    const ExecContext& ctx) const = 0;
+
+  /// Function 3 / R3 — PHT 1-level index.
+  [[nodiscard]] virtual std::uint32_t pht_index_1level(std::uint64_t ip,
+                                                       const ExecContext& ctx) const = 0;
+
+  /// Function 4 / R4 — PHT 2-level (gshare) index from address + GHR.
+  [[nodiscard]] virtual std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t ghr,
+                                                       const ExecContext& ctx) const = 0;
+
+  /// Target store codec (function 5 and STBPU's φ encryption). The baseline
+  /// BTB/RSB store 32 bits; decode re-extends using the 16 upper bits of the
+  /// branch instruction pointer. STBPU XORs the stored payload with φ both
+  /// ways. The conservative model stores the full 48 bits (hence uint64).
+  [[nodiscard]] virtual std::uint64_t encode_target(std::uint64_t target,
+                                                    const ExecContext& ctx) const = 0;
+  [[nodiscard]] virtual std::uint64_t decode_target(std::uint64_t branch_ip,
+                                                    std::uint64_t stored,
+                                                    const ExecContext& ctx) const = 0;
+
+  /// Rt — TAGE tagged-table index/tag from address + folded history.
+  [[nodiscard]] virtual std::uint32_t tage_index(std::uint64_t ip, std::uint64_t folded_hist,
+                                                 unsigned table, unsigned index_bits,
+                                                 const ExecContext& ctx) const = 0;
+  [[nodiscard]] virtual std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t folded_hist,
+                                               unsigned table, unsigned tag_bits,
+                                               const ExecContext& ctx) const = 0;
+
+  /// Rp — perceptron row selection.
+  [[nodiscard]] virtual std::uint32_t perceptron_row(std::uint64_t ip, unsigned row_bits,
+                                                     const ExecContext& ctx) const = 0;
+};
+
+/// Legacy (insecure) mapping reproducing the baseline model of §II-A:
+///  * only the low 30 bits of the 48-bit virtual address are consumed, so
+///    addresses equal modulo 2^30 collide fully (same-address-space attacks,
+///    transient trojans [78]);
+///  * the BTB tag is an 8-bit XOR-fold of bits 14..29, so crafted aliases
+///    collide within one address space too (Jump-over-ASLR [19]);
+///  * stored targets are truncated to 32 bits and re-extended with the upper
+///    16 bits of the *predicting* branch's address (function 5).
+class BaselineMapping : public MappingProvider {
+ public:
+  static constexpr unsigned kUsedAddressBits = 30;
+  static constexpr unsigned kBtbSetBits = 9;     // 512 sets
+  static constexpr unsigned kBtbTagBits = 8;
+  static constexpr unsigned kBtbOffsetBits = 5;
+  static constexpr unsigned kPhtIndexBits = 14;  // 16K entries
+  static constexpr unsigned kGhrBits = 18;
+
+  [[nodiscard]] BtbIndex btb_mode1(std::uint64_t ip, const ExecContext&) const override {
+    BtbIndex out;
+    out.offset = static_cast<std::uint32_t>(util::bits(ip, 0, kBtbOffsetBits));
+    out.set = static_cast<std::uint32_t>(util::bits(ip, kBtbOffsetBits, kBtbSetBits));
+    out.tag = static_cast<std::uint32_t>(
+        util::fold_xor(util::bits(ip, kBtbOffsetBits + kBtbSetBits,
+                                  kUsedAddressBits - kBtbOffsetBits - kBtbSetBits),
+                       kBtbTagBits));
+    return out;
+  }
+
+  [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb,
+                                            const ExecContext&) const override {
+    return static_cast<std::uint32_t>(util::fold_xor(bhb, kBtbTagBits));
+  }
+
+  [[nodiscard]] std::uint32_t pht_index_1level(std::uint64_t ip,
+                                               const ExecContext&) const override {
+    // XOR-fold of the 30 utilized address bits — deterministic and linear,
+    // so an attacker can solve for colliding addresses (BranchScope), but
+    // without the naive bits-0..13 systematic aliasing.
+    return static_cast<std::uint32_t>(
+        util::fold_xor(util::bits(ip, 0, kUsedAddressBits), kPhtIndexBits));
+  }
+
+  [[nodiscard]] std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t ghr,
+                                               const ExecContext& ctx) const override {
+    // gshare-style: folded address XOR folded 18-bit global history.
+    const std::uint64_t hist = util::fold_xor(util::bits(ghr, 0, kGhrBits), kPhtIndexBits);
+    return pht_index_1level(ip, ctx) ^ static_cast<std::uint32_t>(hist);
+  }
+
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
+                                            const ExecContext&) const override {
+    return util::bits(target, 0, 32);
+  }
+
+  [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
+                                            const ExecContext&) const override {
+    // Function 5: 16 upper bits from the branch IP + 32 stored bits.
+    return (branch_ip & 0xFFFF'0000'0000ULL) | (stored & 0xFFFF'FFFFULL);
+  }
+
+  [[nodiscard]] std::uint32_t tage_index(std::uint64_t ip, std::uint64_t folded_hist,
+                                         unsigned table, unsigned index_bits,
+                                         const ExecContext&) const override {
+    // TAGE index hash (Seznec-quality mix). Unlike the BTB/PHT truncations
+    // above, shipping TAGE designs use strong index hashes; modelling them
+    // as weak would flatter STBPU in Figures 4/5. Not security-relevant:
+    // the hash is keyless and public.
+    std::uint64_t x = ip ^ (folded_hist * 0x9E3779B97F4A7C15ULL) ^
+                      (std::uint64_t{table} << 59);
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 32;
+    return static_cast<std::uint32_t>(util::bits(x, 0, index_bits));
+  }
+
+  [[nodiscard]] std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t folded_hist,
+                                       unsigned table, unsigned tag_bits,
+                                       const ExecContext&) const override {
+    std::uint64_t x = (ip * 0xC2B2AE3D27D4EB4FULL) ^ (folded_hist << 1) ^
+                      (folded_hist >> 2) ^ (std::uint64_t{table} * 0x9E55ULL);
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(util::bits(x, 0, tag_bits));
+  }
+
+  [[nodiscard]] std::uint32_t perceptron_row(std::uint64_t ip, unsigned row_bits,
+                                             const ExecContext&) const override {
+    std::uint64_t x = (ip >> 2) * 0x9E3779B97F4A7C15ULL;
+    x ^= x >> 33;
+    return static_cast<std::uint32_t>(util::bits(x, 0, row_bits));
+  }
+};
+
+}  // namespace stbpu::bpu

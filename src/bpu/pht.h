@@ -1,0 +1,41 @@
+// Pattern history table (paper §II-A): one 16K-entry array of 2-bit
+// saturating counters addressed in two modes (1-level address-only and
+// 2-level gshare-style with the GHR). Both modes address the *same*
+// physical array, as in the reverse-engineered baseline — which is why
+// PHT collisions (BranchScope) are possible and why there are no
+// "evictions", only counter perturbation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/saturating_counter.h"
+
+namespace stbpu::bpu {
+
+class PatternHistoryTable {
+ public:
+  explicit PatternHistoryTable(std::uint32_t entries = 1u << 14)
+      : counters_(entries) {}
+
+  [[nodiscard]] bool predict(std::uint32_t index) const noexcept {
+    return counters_[index & (counters_.size() - 1)].taken();
+  }
+  [[nodiscard]] std::uint8_t raw(std::uint32_t index) const noexcept {
+    return counters_[index & (counters_.size() - 1)].raw();
+  }
+  void update(std::uint32_t index, bool taken) noexcept {
+    counters_[index & (counters_.size() - 1)].update(taken);
+  }
+  void flush() noexcept {
+    for (auto& c : counters_) c = util::SaturatingCounter<2>{};
+  }
+  [[nodiscard]] std::uint32_t entries() const noexcept {
+    return static_cast<std::uint32_t>(counters_.size());
+  }
+
+ private:
+  std::vector<util::SaturatingCounter<2>> counters_;
+};
+
+}  // namespace stbpu::bpu

@@ -1,0 +1,105 @@
+// CorePredictor — the full BPU of Figure 1: a direction predictor
+// (SKLCond / TAGE-SC-L / Perceptron), the BTB with its two addressing
+// modes, the per-hart RSB and BHB, all wired through a MappingProvider so
+// the identical prediction machinery runs unprotected (BaselineMapping),
+// conservatively, or secured (STBPU mapping). Every access reports the
+// events STBPU's MSRs monitor.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "bpu/btb.h"
+#include "bpu/direction.h"
+#include "bpu/history.h"
+#include "bpu/mapping.h"
+#include "bpu/rsb.h"
+#include "bpu/types.h"
+
+namespace stbpu::bpu {
+
+/// All branch instructions in the synthetic ISA are 4 bytes, so a call at
+/// `ip` returns to `ip + kBranchInstrLen`. The trace generator honours this.
+inline constexpr std::uint64_t kBranchInstrLen = 4;
+
+/// Top-level predictor interface consumed by the simulators, the secure
+/// model wrappers and the attack framework.
+class IPredictor {
+ public:
+  virtual ~IPredictor() = default;
+
+  /// Predict + resolve + train for one dynamic branch. Returns the
+  /// prediction made and the events it generated.
+  virtual AccessResult access(const BranchRecord& rec) = 0;
+
+  /// Called by the simulator when the running context changes (context
+  /// switch when pid changes, mode switch when kernel bit changes). The
+  /// microcode/conservative models flush here; STBPU reloads the ST
+  /// register implicitly (it keys every mapping call by context).
+  virtual void on_switch(const ExecContext& from, const ExecContext& to) {
+    (void)from;
+    (void)to;
+  }
+
+  virtual void flush() = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+struct CorePredictorConfig {
+  BtbConfig btb{};
+  bool rsb_per_hart = true;  ///< real SMT parts statically partition the RSB
+};
+
+class CorePredictor final : public IPredictor {
+ public:
+  CorePredictor(const CorePredictorConfig& cfg, const MappingProvider* mapping,
+                std::unique_ptr<IDirectionPredictor> direction,
+                IEventSink* sink = nullptr);
+
+  AccessResult access(const BranchRecord& rec) override;
+  void flush() override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  /// Flush only shared target structures (IBRS-style partial flush).
+  void flush_targets();
+  /// Flush the per-hart state of one hardware thread.
+  void flush_hart(std::uint8_t hart);
+
+  [[nodiscard]] IDirectionPredictor& direction() noexcept { return *direction_; }
+  [[nodiscard]] BranchTargetBuffer& btb() noexcept { return btb_; }
+  [[nodiscard]] ReturnStackBuffer& rsb(std::uint8_t hart) noexcept {
+    return rsb_[hart & 1];
+  }
+  [[nodiscard]] std::uint64_t bhb_value(std::uint8_t hart) const noexcept {
+    return bhb_[hart & 1].value();
+  }
+  void set_event_sink(IEventSink* sink) noexcept { sink_ = sink ? sink : &null_sink_; }
+  void set_name(std::string_view name) { name_ = name; }
+
+  /// The prediction half of access(), without any state change other than
+  /// the RSB pop it models; exposed for the OoO front end.
+  [[nodiscard]] Prediction predict_only(const BranchRecord& rec) const;
+
+ private:
+  struct TargetPrediction {
+    bool valid = false;
+    std::uint64_t target = 0;
+    bool rsb_underflow = false;
+  };
+
+  [[nodiscard]] BtbIndex mode2_index(std::uint64_t ip, const ExecContext& ctx) const;
+  TargetPrediction predict_target(const BranchRecord& rec, bool pop_rsb);
+  void train_target(const BranchRecord& rec, AccessResult& res);
+
+  CorePredictorConfig cfg_;
+  const MappingProvider* mapping_;
+  std::unique_ptr<IDirectionPredictor> direction_;
+  NullEventSink null_sink_;
+  IEventSink* sink_;
+  BranchTargetBuffer btb_;
+  ReturnStackBuffer rsb_[2];
+  BranchHistoryBuffer bhb_[2];
+  std::string name_ = "core";
+};
+
+}  // namespace stbpu::bpu

@@ -1,0 +1,56 @@
+// Return stack buffer (paper §II-A): fixed 16-entry hardware stack of
+// encoded return targets. Calls push, returns pop. Overflow silently wraps
+// (oldest entries are overwritten — the RSB-overflow DoS of Table I);
+// underflow reports failure and the predictor falls back to the indirect
+// predictor, exactly the behaviour SpectreRSB [34, 43] abuses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace stbpu::bpu {
+
+class ReturnStackBuffer {
+ public:
+  static constexpr std::uint32_t kEntries = 16;
+
+  void push(std::uint64_t payload) noexcept {
+    top_ = (top_ + 1) % kEntries;
+    ring_[top_] = payload;
+    if (depth_ < kEntries) ++depth_;
+  }
+
+  /// Pops the predicted return target; std::nullopt on underflow.
+  std::optional<std::uint64_t> pop() noexcept {
+    if (depth_ == 0) return std::nullopt;
+    const std::uint64_t v = ring_[top_];
+    top_ = (top_ + kEntries - 1) % kEntries;
+    --depth_;
+    return v;
+  }
+
+  /// Overwrite the current top (reuse-based RSB attack primitive).
+  void poke_top(std::uint64_t payload) noexcept {
+    if (depth_ > 0) ring_[top_] = payload;
+  }
+
+  /// Read the current top without popping (const prediction path).
+  [[nodiscard]] std::optional<std::uint64_t> peek() const noexcept {
+    if (depth_ == 0) return std::nullopt;
+    return ring_[top_];
+  }
+
+  [[nodiscard]] std::uint32_t depth() const noexcept { return depth_; }
+  void flush() noexcept {
+    depth_ = 0;
+    top_ = 0;
+  }
+
+ private:
+  std::array<std::uint64_t, kEntries> ring_{};
+  std::uint32_t top_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace stbpu::bpu

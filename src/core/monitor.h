@@ -1,0 +1,111 @@
+// Event monitors (paper §IV-B): model-specific registers holding counters
+// initialised to OS-programmed thresholds. Every monitored event —
+// branch misprediction or BTB eviction — decrements the current entity's
+// counter; at zero the ST is re-randomized and the counter reloads.
+// ST_TAGE designs add a separate threshold register for mispredictions
+// produced by the tagged TAGE tables (paper §VII-B2); SKLCond does not,
+// which is why it suffers more re-randomizations under SMT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/types.h"
+#include "core/secret_token.h"
+
+namespace stbpu::core {
+
+struct MonitorConfig {
+  /// Γ_M — misprediction threshold. Default: r=0.05 of the BranchScope
+  /// complexity C≈8.38e5 (paper §VII-A).
+  std::uint64_t misprediction_threshold = 41'900;
+  /// Γ_E — BTB eviction threshold. Default: r=0.05 of C≈5.3e5.
+  std::uint64_t eviction_threshold = 26'500;
+  /// Separate register for tagged-component mispredictions (0 = absent;
+  /// tagged mispredictions then fall into the main counter).
+  std::uint64_t tagged_misprediction_threshold = 0;
+
+  /// Scale all thresholds by attack-difficulty factor r relative to the
+  /// 50%-success attack complexity C (Γ = r · C, paper §VII-A).
+  [[nodiscard]] static MonitorConfig from_difficulty(double r, bool separate_tagged) {
+    MonitorConfig cfg;
+    cfg.misprediction_threshold =
+        std::uint64_t(r * 8.38e5) > 0 ? std::uint64_t(r * 8.38e5) : 1;
+    cfg.eviction_threshold =
+        std::uint64_t(r * 5.3e5) > 0 ? std::uint64_t(r * 5.3e5) : 1;
+    cfg.tagged_misprediction_threshold =
+        separate_tagged ? cfg.misprediction_threshold : 0;
+    return cfg;
+  }
+};
+
+class EventMonitor final : public bpu::IEventSink {
+ public:
+  EventMonitor(STManager* stm, const MonitorConfig& cfg) : stm_(stm), cfg_(cfg) {}
+
+  void on_misprediction(const bpu::ExecContext& ctx, bool tagged_component) override {
+    Counters& c = counters(ctx);
+    if (tagged_component && cfg_.tagged_misprediction_threshold != 0) {
+      if (--c.tagged_misp == 0) fire(ctx);
+    } else {
+      if (--c.misp == 0) fire(ctx);
+    }
+  }
+
+  void on_btb_eviction(const bpu::ExecContext& ctx) override {
+    Counters& c = counters(ctx);
+    if (--c.evict == 0) fire(ctx);
+  }
+
+  [[nodiscard]] std::uint64_t rerandomizations() const noexcept { return fires_; }
+  [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
+
+  /// Remaining budget before the next re-randomization for an entity —
+  /// used by tests to verify attacks cannot outrun the monitor.
+  struct Remaining {
+    std::uint64_t misp, evict, tagged;
+  };
+  [[nodiscard]] Remaining remaining(const bpu::ExecContext& ctx) {
+    const Counters& c = counters(ctx);
+    return {c.misp, c.evict, c.tagged_misp};
+  }
+
+ private:
+  struct Counters {
+    std::uint64_t misp = 0;
+    std::uint64_t evict = 0;
+    std::uint64_t tagged_misp = 0;
+    bool valid = false;
+  };
+
+  Counters& counters(const bpu::ExecContext& ctx) {
+    // Kernel entity occupies slot 0; user pids shift up by one.
+    const std::size_t slot = ctx.kernel ? 0 : std::size_t{ctx.pid} + 1;
+    if (slot >= counters_.size()) counters_.resize(slot + 1);
+    Counters& c = counters_[slot];
+    if (!c.valid) reload(c);
+    return c;
+  }
+
+  void reload(Counters& c) {
+    c.misp = cfg_.misprediction_threshold;
+    c.evict = cfg_.eviction_threshold;
+    c.tagged_misp = cfg_.tagged_misprediction_threshold != 0
+                        ? cfg_.tagged_misprediction_threshold
+                        : ~std::uint64_t{0};
+    c.valid = true;
+  }
+
+  void fire(const bpu::ExecContext& ctx) {
+    ++fires_;
+    stm_->rerandomize(ctx);
+    reload(counters(ctx));
+  }
+
+  STManager* stm_;
+  MonitorConfig cfg_;
+  std::vector<Counters> counters_;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace stbpu::core

@@ -1,0 +1,203 @@
+// The keyed remapping functions R1..R4, Rt, Rp of Table II.
+//
+// Each is the software rendering of a hardware circuit found by the
+// generator in src/remapgen/: alternating substitution layers (PRESENT and
+// SPONGENT 4-bit S-boxes, applied nibble-parallel), permutation layers
+// (fixed wire crossings, realised branch-free as delta swaps + rotations),
+// and XOR compression layers — no multiplies, no table-driven rounds, so
+// the transistor-count argument of §V-A (critical path ≤ 45 transistors,
+// single cycle) carries over. The functions consume the full 48-bit virtual
+// address (crucial against same-address-space attacks [78]) plus the 32-bit
+// ψ key, and differ from one another by fixed round tweaks.
+//
+// tests/core/remap_test.cc validates the same C2 (uniformity) and C3
+// (avalanche) criteria the generator enforces, over every R function.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bpu/mapping.h"
+#include "util/bits.h"
+
+namespace stbpu::core {
+
+namespace detail {
+
+/// PRESENT S-box [10] — optimal 4-bit nonlinearity, trivially hardware-able.
+inline constexpr std::array<std::uint8_t, 16> kPresentSbox = {
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2};
+/// SPONGENT S-box [11].
+inline constexpr std::array<std::uint8_t, 16> kSpongentSbox = {
+    0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF, 0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6};
+
+/// Expand a 4-bit S-box into a byte-level LUT (two parallel S-boxes), so a
+/// 64-bit substitution layer is eight table reads.
+consteval std::array<std::uint8_t, 256> expand_sbox(
+    const std::array<std::uint8_t, 16>& s) {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned i = 0; i < 256; ++i) {
+    t[i] = static_cast<std::uint8_t>((s[i >> 4] << 4) | s[i & 0xF]);
+  }
+  return t;
+}
+
+inline constexpr auto kPresentByteLut = expand_sbox(kPresentSbox);
+inline constexpr auto kSpongentByteLut = expand_sbox(kSpongentSbox);
+
+template <const std::array<std::uint8_t, 256>& Lut>
+constexpr std::uint64_t sbox_layer(std::uint64_t x) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(Lut[(x >> (8 * i)) & 0xFF]) << (8 * i);
+  }
+  return r;
+}
+
+/// Delta swap: exchanges the bit groups selected by `m` with the groups `s`
+/// positions up — pure wiring in hardware, three gates' worth in software.
+constexpr std::uint64_t delta_swap(std::uint64_t x, std::uint64_t m, unsigned s) noexcept {
+  const std::uint64_t t = ((x >> s) ^ x) & m;
+  return x ^ t ^ (t << s);
+}
+
+/// Fixed permutation layers (P-boxes) — bit scrambles chosen by the
+/// generator; two distinct wirings give inter-nibble diffusion.
+constexpr std::uint64_t pbox_a(std::uint64_t x) noexcept {
+  x = delta_swap(x, 0x00000000FFFF0000ULL, 32);
+  x = delta_swap(x, 0x0000FF000000FF00ULL, 8);
+  x = delta_swap(x, 0x00F000F000F000F0ULL, 4);
+  return util::rotl64(x, 29);
+}
+constexpr std::uint64_t pbox_b(std::uint64_t x) noexcept {
+  x = delta_swap(x, 0x00000000F0F0F0F0ULL, 28);
+  x = delta_swap(x, 0x0000CCCC0000CCCCULL, 14);
+  x = delta_swap(x, 0x0A0A0A0A0A0A0A0AULL, 3);
+  return util::rotl64(x, 17);
+}
+
+/// Sigma diffusion layer: each output bit XORs three state bits at fixed
+/// rotational offsets — pure wiring plus one 3-input XOR gate per bit in
+/// hardware (2 gate levels), and the cross-nibble diffusion the 4-bit
+/// S-boxes cannot provide on their own. Offsets are coprime to 64 so the
+/// dependency graph reaches every bit within two applications.
+constexpr std::uint64_t sigma(std::uint64_t x, unsigned a, unsigned b) noexcept {
+  return x ^ util::rotl64(x, a) ^ util::rotl64(x, b);
+}
+
+/// Core keyed compression: up to 128 input bits (ψ-spread ⊕ tweak as the
+/// round keys, `lo`/`hi` as data) → 64 mixed bits. Three S/P/σ rounds — the
+/// depth Figure 2's winning R1 circuit has.
+constexpr std::uint64_t mix(std::uint64_t lo, std::uint64_t hi, std::uint32_t psi,
+                            std::uint64_t tweak) noexcept {
+  const std::uint64_t k =
+      (static_cast<std::uint64_t>(psi) << 32 | psi) ^ tweak;
+  std::uint64_t x = lo ^ util::rotl64(hi, 21) ^ k;
+  x = sbox_layer<kPresentByteLut>(x);
+  x = sigma(pbox_a(x), 19, 43);
+  x ^= util::rotl64(hi, 47) ^ util::rotl64(k, 13);
+  x = sbox_layer<kSpongentByteLut>(x);
+  x = sigma(pbox_b(x), 11, 50);
+  x ^= util::rotl64(k, 37);
+  x = sbox_layer<kPresentByteLut>(x);
+  x = sigma(x, 29, 39);
+  // Final XOR compression (C-S box row): fold the halves together.
+  return x ^ (x >> 31);
+}
+
+}  // namespace detail
+
+/// Stateless keyed remapping per Table II. Per-function tweak constants make
+/// R1..R4/Rt/Rp mutually independent even under one ψ.
+class Remapper {
+ public:
+  // Table II output geometry (baseline Skylake-like structures).
+  static constexpr unsigned kBtbSetBits = 9;
+  static constexpr unsigned kBtbTagBits = 8;
+  static constexpr unsigned kBtbOffsetBits = 5;
+  static constexpr unsigned kPhtIndexBits = 14;
+  static constexpr unsigned kGhrBitsUsed = 16;  ///< STBPU consumes 16 GHR bits
+
+  /// R1(80 ↦ 22): ψ + 48-bit address → BTB set/tag/offset.
+  [[nodiscard]] static bpu::BtbIndex r1(std::uint32_t psi, std::uint64_t ip) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0xB7E151628AED2A6AULL);
+    return bpu::BtbIndex{
+        .set = static_cast<std::uint32_t>(util::bits(m, 0, kBtbSetBits)),
+        .tag = static_cast<std::uint32_t>(util::bits(m, kBtbSetBits, kBtbTagBits)),
+        .offset = static_cast<std::uint32_t>(
+            util::bits(m, kBtbSetBits + kBtbTagBits, kBtbOffsetBits)),
+    };
+  }
+
+  /// R2(90 ↦ 8): ψ + 58-bit BHB → mode-2 tag component.
+  [[nodiscard]] static std::uint32_t r2(std::uint32_t psi, std::uint64_t bhb) noexcept {
+    const std::uint64_t m = detail::mix(bhb, bhb >> 32, psi, 0x9E3779B97F4A7C15ULL);
+    return static_cast<std::uint32_t>(util::bits(m, 0, kBtbTagBits));
+  }
+
+  /// R3(80 ↦ 14): ψ + 48-bit address → PHT 1-level index.
+  [[nodiscard]] static std::uint32_t r3(std::uint32_t psi, std::uint64_t ip) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0x3C6EF372FE94F82BULL);
+    return static_cast<std::uint32_t>(util::bits(m, 0, kPhtIndexBits));
+  }
+
+  /// R4(96 ↦ 14): ψ + 16-bit GHR + 48-bit address → PHT 2-level index.
+  [[nodiscard]] static std::uint32_t r4(std::uint32_t psi, std::uint64_t ip,
+                                        std::uint64_t ghr) noexcept {
+    const std::uint64_t m = detail::mix(ip & bpu::kVirtualAddressMask,
+                                        util::bits(ghr, 0, kGhrBitsUsed), psi,
+                                        0xA54FF53A5F1D36F1ULL);
+    return static_cast<std::uint32_t>(util::bits(m, 0, kPhtIndexBits));
+  }
+
+  /// Rt(80↑ ↦ 25): ψ + 48-bit address + folded geometric history →
+  /// per-table TAGE index/tag (10/8 bits for the 8KB config, 13/12 for 64KB).
+  [[nodiscard]] static std::uint32_t rt_index(std::uint32_t psi, std::uint64_t ip,
+                                              std::uint64_t folded_hist, unsigned table,
+                                              unsigned index_bits) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask,
+                    folded_hist ^ (std::uint64_t{table} << 58), psi,
+                    0x510E527FADE682D1ULL);
+    return static_cast<std::uint32_t>(util::bits(m, 0, index_bits));
+  }
+  [[nodiscard]] static std::uint32_t rt_tag(std::uint32_t psi, std::uint64_t ip,
+                                            std::uint64_t folded_hist, unsigned table,
+                                            unsigned tag_bits) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask,
+                    folded_hist ^ (std::uint64_t{table} << 58), psi,
+                    0x9B05688C2B3E6C1FULL);
+    // Tag drawn from a disjoint bit window so index/tag are not correlated.
+    return static_cast<std::uint32_t>(util::bits(m, 14, tag_bits));
+  }
+
+  /// Rp(80 ↦ 10): ψ + 48-bit address → perceptron row.
+  [[nodiscard]] static std::uint32_t rp(std::uint32_t psi, std::uint64_t ip,
+                                        unsigned row_bits) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0x1F83D9ABFB41BD6BULL);
+    return static_cast<std::uint32_t>(util::bits(m, 0, row_bits));
+  }
+
+  /// R1 with parameterized output geometry — used by the scaled-down
+  /// structures that validate the §VI equations empirically (attack cost
+  /// scales with I·T·O, so experiments shrink the structure, measure, and
+  /// compare against the closed forms at both scales).
+  [[nodiscard]] static bpu::BtbIndex r1_scaled(std::uint32_t psi, std::uint64_t ip,
+                                               unsigned set_bits, unsigned tag_bits,
+                                               unsigned offset_bits) noexcept {
+    const std::uint64_t m =
+        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0xB7E151628AED2A6AULL);
+    return bpu::BtbIndex{
+        .set = static_cast<std::uint32_t>(util::bits(m, 0, set_bits)),
+        .tag = util::bits(m, set_bits, tag_bits),
+        .offset = static_cast<std::uint32_t>(
+            util::bits(m, set_bits + tag_bits, offset_bits)),
+    };
+  }
+};
+
+}  // namespace stbpu::core

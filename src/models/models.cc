@@ -1,0 +1,119 @@
+#include "models/models.h"
+
+#include "bpu/direction.h"
+#include "perceptron/perceptron.h"
+#include "tage/tage.h"
+
+namespace stbpu::models {
+
+std::string to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kUnprotected: return "unprotected";
+    case ModelKind::kUcode1: return "ucode1_IBPB+IBRS";
+    case ModelKind::kUcode2: return "ucode2_IBPB+IBRS+STIBP";
+    case ModelKind::kConservative: return "conservative";
+    case ModelKind::kStbpu: return "STBPU";
+  }
+  return "?";
+}
+
+std::string to_string(DirectionKind d) {
+  switch (d) {
+    case DirectionKind::kSklCond: return "SKLCond";
+    case DirectionKind::kTage8: return "TAGE_SC_L_8KB";
+    case DirectionKind::kTage64: return "TAGE_SC_L_64KB";
+    case DirectionKind::kPerceptron: return "PerceptronBP";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<bpu::IDirectionPredictor> make_direction(DirectionKind kind,
+                                                         const bpu::MappingProvider* map,
+                                                         std::uint64_t seed) {
+  switch (kind) {
+    case DirectionKind::kSklCond:
+      return std::make_unique<bpu::SklCondPredictor>(map);
+    case DirectionKind::kTage8:
+      return std::make_unique<tage::TagePredictor>(tage::TageConfig::kb8(), map, seed);
+    case DirectionKind::kTage64:
+      return std::make_unique<tage::TagePredictor>(tage::TageConfig::kb64(), map, seed);
+    case DirectionKind::kPerceptron:
+      return std::make_unique<perceptron::PerceptronPredictor>(map);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<BpuModel> BpuModel::create(const ModelSpec& spec) {
+  auto model = std::unique_ptr<BpuModel>(new BpuModel());
+  model->spec_ = spec;
+
+  bpu::CorePredictorConfig core_cfg;
+  switch (spec.model) {
+    case ModelKind::kUnprotected:
+    case ModelKind::kUcode1:
+      model->mapping_ = std::make_unique<bpu::BaselineMapping>();
+      break;
+    case ModelKind::kUcode2:
+      model->mapping_ = std::make_unique<bpu::BaselineMapping>();
+      core_cfg.btb.partition_by_hart = true;  // STIBP logical segmentation
+      break;
+    case ModelKind::kConservative:
+      model->mapping_ = std::make_unique<ConservativeMapping>();
+      // Full 48-bit tags + untruncated targets nearly triple the entry
+      // size (budget-neutral entry reduction), and the structure is also
+      // partitioned between hardware threads ("flushing or partitioning").
+      core_cfg.btb.sets = ConservativeMapping::kSets;
+      core_cfg.btb.partition_by_hart = true;
+      break;
+    case ModelKind::kStbpu: {
+      model->stm_ = std::make_unique<core::STManager>(spec.seed);
+      const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
+                                   spec.direction == DirectionKind::kTage64;
+      model->monitor_ = std::make_unique<core::EventMonitor>(
+          model->stm_.get(),
+          core::MonitorConfig::from_difficulty(spec.rerand_difficulty_r,
+                                               separate_tagged));
+      model->mapping_ = std::make_unique<core::StbpuMapping>(model->stm_.get());
+      break;
+    }
+  }
+
+  model->core_ = std::make_unique<bpu::CorePredictor>(
+      core_cfg, model->mapping_.get(),
+      make_direction(spec.direction, model->mapping_.get(), spec.seed),
+      model->monitor_.get());
+  model->name_ =
+      to_string(spec.model) + "/" + to_string(spec.direction);
+  model->core_->set_name(model->name_);
+  return model;
+}
+
+void BpuModel::on_switch(const bpu::ExecContext& from, const bpu::ExecContext& to) {
+  switch (spec_.model) {
+    case ModelKind::kUnprotected:
+    case ModelKind::kStbpu:
+      // STBPU retains history across switches: the OS reloads the ST
+      // register, modelled implicitly by the per-entity token lookup.
+      return;
+    case ModelKind::kUcode1:
+    case ModelKind::kUcode2:
+    case ModelKind::kConservative:
+      if (from.pid != to.pid) {
+        // IBPB: full barrier on context switch.
+        core_->flush();
+        ++flushes_;
+      } else if (to.kernel && !from.kernel) {
+        // IBRS: entering a more privileged mode must not speculate on
+        // lower-privileged BPU contents — flush target structures.
+        core_->flush_targets();
+        ++flushes_;
+      }
+      return;
+  }
+}
+
+}  // namespace stbpu::models

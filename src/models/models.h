@@ -1,0 +1,119 @@
+// Secure BPU model factory (paper §VII-B1): builds the five evaluated
+// designs around the same CorePredictor machinery —
+//   * unprotected  — baseline mapping, no policies (the normalization base);
+//   * ucode1       — IBPB + IBRS: flush the whole BPU on context switches
+//                    and the target structures on kernel entry;
+//   * ucode2       — ucode1 + STIBP: logically partition the BTB between
+//                    SMT hardware threads;
+//   * conservative — full 48-bit BTB tags + untruncated targets (collision-
+//                    free by construction) at reduced capacity, plus the
+//                    ucode flush policy: stops every known collision attack
+//                    the way structural changes would;
+//   * stbpu        — secret-token remapping + φ encryption + event-driven
+//                    re-randomization (the paper's design).
+// Each model can host any of the four direction predictors of §VII-B2
+// (SKLCond, TAGE-SC-L 8KB/64KB, PerceptronBP).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bpu/mapping.h"
+#include "bpu/predictor.h"
+#include "core/monitor.h"
+#include "core/secret_token.h"
+#include "core/stbpu_mapping.h"
+
+namespace stbpu::models {
+
+enum class ModelKind : std::uint8_t {
+  kUnprotected,
+  kUcode1,        // IBPB + IBRS
+  kUcode2,        // IBPB + IBRS + STIBP
+  kConservative,  // full tags, reduced capacity, flush
+  kStbpu,
+};
+
+enum class DirectionKind : std::uint8_t {
+  kSklCond,
+  kTage8,
+  kTage64,
+  kPerceptron,
+};
+
+[[nodiscard]] std::string to_string(ModelKind m);
+[[nodiscard]] std::string to_string(DirectionKind d);
+
+/// Conservative mapping: the BTB keeps the complete 48-bit branch address
+/// (set bits excluded) as its tag and the complete target — no compression,
+/// no truncation, hence no aliasing. Budget-neutral capacity reduction is
+/// applied by the factory (2048 entries vs 4096; see DESIGN.md).
+class ConservativeMapping final : public bpu::BaselineMapping {
+ public:
+  // Budget-neutral entry count: a baseline entry is ~45 bits (8 tag + 5
+  // offset + 32 target); a conservative entry holds the full remaining
+  // address (35 bits) + full 48-bit target + metadata ~= 120 bits. The
+  // 4096-entry budget therefore shrinks to ~1024 entries.
+  static constexpr unsigned kSets = 128;
+
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
+                                        const bpu::ExecContext&) const override {
+    return bpu::BtbIndex{
+        .set = static_cast<std::uint32_t>(util::bits(ip, 5, 8)),
+        .tag = (ip & bpu::kVirtualAddressMask) >> 13,  // full remaining address
+        .offset = static_cast<std::uint32_t>(util::bits(ip, 0, 5)),
+    };
+  }
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
+                                            const bpu::ExecContext&) const override {
+    return target & bpu::kVirtualAddressMask;
+  }
+  [[nodiscard]] std::uint64_t decode_target(std::uint64_t, std::uint64_t stored,
+                                            const bpu::ExecContext&) const override {
+    return stored;
+  }
+};
+
+struct ModelSpec {
+  ModelKind model = ModelKind::kUnprotected;
+  DirectionKind direction = DirectionKind::kSklCond;
+  /// Attack-difficulty factor r for STBPU thresholds (Γ = r · C, §VII-A).
+  double rerand_difficulty_r = 0.05;
+  std::uint64_t seed = 0x57B9;
+};
+
+/// A fully assembled BPU model: owns the mapping provider, token manager,
+/// monitor, and predictor, and applies the model's switch policy.
+class BpuModel final : public bpu::IPredictor {
+ public:
+  static std::unique_ptr<BpuModel> create(const ModelSpec& spec);
+
+  bpu::AccessResult access(const bpu::BranchRecord& rec) override {
+    return core_->access(rec);
+  }
+
+  void on_switch(const bpu::ExecContext& from, const bpu::ExecContext& to) override;
+  void flush() override { core_->flush(); }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] const ModelSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bpu::CorePredictor& core() noexcept { return *core_; }
+  /// Non-null only for STBPU models.
+  [[nodiscard]] core::STManager* tokens() noexcept { return stm_.get(); }
+  [[nodiscard]] core::EventMonitor* monitor() noexcept { return monitor_.get(); }
+  /// Total flushes triggered by the switch policy (perf diagnostics).
+  [[nodiscard]] std::uint64_t policy_flushes() const noexcept { return flushes_; }
+
+ private:
+  BpuModel() = default;
+
+  ModelSpec spec_;
+  std::string name_;
+  std::unique_ptr<bpu::MappingProvider> mapping_;
+  std::unique_ptr<core::STManager> stm_;
+  std::unique_ptr<core::EventMonitor> monitor_;
+  std::unique_ptr<bpu::CorePredictor> core_;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace stbpu::models

@@ -1,0 +1,200 @@
+#include "remapgen/circuit.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace stbpu::remapgen {
+
+namespace {
+// PRESENT [10] and SPONGENT [11] 4-bit S-boxes; a 3-bit S-box (from the
+// inverse-in-GF(2^3) family) tiles widths not divisible by 4.
+constexpr std::array<std::uint8_t, 16> kSbox4[2] = {
+    {0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2},
+    {0xE, 0xD, 0xB, 0x0, 0x2, 0x1, 0x4, 0xF, 0x7, 0xA, 0x8, 0x5, 0x9, 0xC, 0x3, 0x6}};
+constexpr std::array<std::uint8_t, 8> kSbox3 = {0x3, 0x6, 0x5, 0x1, 0x7, 0x2, 0x0, 0x4};
+}  // namespace
+
+unsigned Layer::transistors() const {
+  switch (kind) {
+    case LayerKind::kSubstitution: {
+      unsigned t = 0;
+      unsigned covered = 0;
+      for (std::size_t g = 0; g < sbox_choice.size(); ++g) {
+        if (covered + 4 <= in_width) {
+          t += CostModel::kSbox4Transistors;
+          covered += 4;
+        } else {
+          t += CostModel::kSbox3Transistors;
+          covered += 3;
+        }
+      }
+      return t;
+    }
+    case LayerKind::kPermutation:
+      return 0;  // wiring
+    case LayerKind::kCompression: {
+      // out[j] folds ceil(in/out) inputs: (fan_in - 1) XOR2 gates each.
+      const unsigned fan_in = (in_width + out_width - 1) / out_width;
+      return out_width * (fan_in - 1) * CostModel::kXor2Transistors;
+    }
+    case LayerKind::kXorMix:
+      return out_width * CostModel::kXor2Transistors;
+  }
+  return 0;
+}
+
+unsigned Layer::critical_path() const {
+  switch (kind) {
+    case LayerKind::kSubstitution:
+      return CostModel::kSbox4Depth;
+    case LayerKind::kPermutation:
+      return 0;
+    case LayerKind::kCompression: {
+      const unsigned fan_in = (in_width + out_width - 1) / out_width;
+      // Balanced XOR tree: ceil(log2(fan_in)) levels.
+      const unsigned levels =
+          fan_in <= 1 ? 0 : static_cast<unsigned>(std::bit_width(fan_in - 1));
+      return levels * CostModel::kXor2Depth;
+    }
+    case LayerKind::kXorMix:
+      return CostModel::kXor2Depth;
+  }
+  return 0;
+}
+
+unsigned Layer::crossovers() const {
+  if (kind != LayerKind::kPermutation) return 0;
+  // Inversion count — the planar-routing proxy for wire crossings.
+  unsigned inv = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    for (std::size_t j = i + 1; j < perm.size(); ++j) {
+      if (perm[i] > perm[j]) ++inv;
+    }
+  }
+  return inv;
+}
+
+std::string Layer::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case LayerKind::kSubstitution: {
+      unsigned p = 0, s = 0, three = 0;
+      unsigned covered = 0;
+      for (std::size_t g = 0; g < sbox_choice.size(); ++g) {
+        if (covered + 4 <= in_width) {
+          (sbox_choice[g] == 0 ? p : s) += 1;
+          covered += 4;
+        } else {
+          ++three;
+          covered += 3;
+        }
+      }
+      os << "S-layer " << in_width << "b: " << p << "x PRESENT-4, " << s
+         << "x SPONGENT-4";
+      if (three) os << ", " << three << "x 3-bit";
+      break;
+    }
+    case LayerKind::kPermutation:
+      os << "P-layer " << in_width << "b: wiring, " << crossovers() << " crossovers";
+      break;
+    case LayerKind::kCompression:
+      os << "C-S layer " << in_width << "b -> " << out_width << "b (XOR fold)";
+      break;
+    case LayerKind::kXorMix:
+      os << "C-S mix " << in_width << "b (XOR row, shift " << shift << ")";
+      break;
+  }
+  os << "  [" << transistors() << " T, depth " << critical_path() << "]";
+  return os.str();
+}
+
+unsigned Circuit::total_transistors() const {
+  unsigned t = 0;
+  for (const auto& l : layers_) t += l.transistors();
+  return t;
+}
+
+unsigned Circuit::critical_path_transistors() const {
+  unsigned t = 0;
+  for (const auto& l : layers_) t += l.critical_path();
+  return t;
+}
+
+unsigned Circuit::max_breadth() const {
+  unsigned b = 0;
+  for (const auto& l : layers_) b = std::max(b, l.transistors());
+  return b;
+}
+
+unsigned Circuit::total_crossovers() const {
+  unsigned c = 0;
+  for (const auto& l : layers_) c += l.crossovers();
+  return c;
+}
+
+bool Circuit::satisfies(const HwConstraints& hw) const {
+  return critical_path_transistors() <= hw.max_critical_path_transistors &&
+         max_breadth() <= hw.max_parallel_transistors &&
+         total_transistors() <= hw.max_total_transistors &&
+         layers_.size() <= hw.max_layers && total_crossovers() <= hw.max_wire_crossover;
+}
+
+BitVec Circuit::evaluate(const BitVec& in) const {
+  BitVec cur = in;
+  for (const auto& l : layers_) {
+    BitVec next(l.out_width);
+    switch (l.kind) {
+      case LayerKind::kSubstitution: {
+        unsigned covered = 0;
+        for (std::size_t g = 0; g < l.sbox_choice.size(); ++g) {
+          if (covered + 4 <= l.in_width) {
+            unsigned v = 0;
+            for (unsigned b = 0; b < 4; ++b) v |= cur.get(covered + b) << b;
+            const unsigned s = kSbox4[l.sbox_choice[g] & 1][v];
+            for (unsigned b = 0; b < 4; ++b) next.set(covered + b, (s >> b) & 1);
+            covered += 4;
+          } else {
+            unsigned v = 0;
+            const unsigned w = l.in_width - covered;  // 1..3 trailing bits
+            for (unsigned b = 0; b < w; ++b) v |= cur.get(covered + b) << b;
+            const unsigned s = kSbox3[v & 7];
+            for (unsigned b = 0; b < w; ++b) next.set(covered + b, (s >> b) & 1);
+            covered += w;
+          }
+        }
+        break;
+      }
+      case LayerKind::kPermutation:
+        for (unsigned i = 0; i < l.out_width; ++i) next.set(i, cur.get(l.perm[i]));
+        break;
+      case LayerKind::kCompression:
+        for (unsigned i = 0; i < l.in_width; ++i) {
+          const unsigned j = i % l.out_width;
+          next.set(j, next.get(j) ^ cur.get(i));
+        }
+        break;
+      case LayerKind::kXorMix:
+        for (unsigned i = 0; i < l.out_width; ++i) {
+          next.set(i, cur.get(i) ^ cur.get((i + l.shift) % l.in_width));
+        }
+        break;
+    }
+    cur = next;
+  }
+  return cur;
+}
+
+std::string Circuit::describe() const {
+  std::ostringstream os;
+  os << "circuit " << in_bits_ << "b -> " << out_bits_ << "b, " << layers_.size()
+     << " layers, " << total_transistors() << " transistors total, critical path "
+     << critical_path_transistors() << " transistors, " << total_crossovers()
+     << " crossovers\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    os << "  stage " << (i + 1) << ": " << layers_[i].describe() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace stbpu::remapgen

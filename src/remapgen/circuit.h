@@ -1,0 +1,148 @@
+// Hardware circuit model for remapping-function generation (§V-A).
+//
+// A candidate remapping function is a layered combinational circuit built
+// from the primitive pool: 4-bit S-boxes (PRESENT [10] / SPONGENT [11]),
+// 3-bit S-boxes for tiling remainders, P-boxes (pure wiring permutations),
+// and compression C-S boxes (XOR trees folding |m| bits to |n| < |m|).
+// Each primitive carries a transistor-count cost model so candidates can be
+// checked against C1: ≤ 45 transistors on the critical path (single cycle
+// at 15-20 gate levels, §V-A), plus breadth/total/crossover limits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stbpu::remapgen {
+
+/// Up-to-128-bit value manipulated by circuit evaluation.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(unsigned size) : size_(size) {}
+  BitVec(std::uint64_t lo, std::uint64_t hi, unsigned size) : size_(size) {
+    w_[0] = lo;
+    w_[1] = hi;
+  }
+
+  [[nodiscard]] bool get(unsigned i) const { return (w_[i >> 6] >> (i & 63)) & 1; }
+  void set(unsigned i, bool v) {
+    const std::uint64_t m = std::uint64_t{1} << (i & 63);
+    if (v) {
+      w_[i >> 6] |= m;
+    } else {
+      w_[i >> 6] &= ~m;
+    }
+  }
+  [[nodiscard]] unsigned size() const { return size_; }
+  void resize(unsigned s) {
+    size_ = s;
+    if (s < 128) {
+      // clear bits above the new size
+      for (unsigned i = s; i < 128; ++i) set(i, false);
+    }
+  }
+  [[nodiscard]] std::uint64_t low64() const { return w_[0]; }
+  [[nodiscard]] std::uint64_t word(unsigned i) const { return w_[i]; }
+
+  [[nodiscard]] unsigned hamming(const BitVec& o) const {
+    return static_cast<unsigned>(std::popcount(w_[0] ^ o.w_[0]) +
+                                 std::popcount(w_[1] ^ o.w_[1]));
+  }
+
+ private:
+  std::uint64_t w_[2] = {0, 0};
+  unsigned size_ = 0;
+};
+
+/// Transistor cost model (standard-cell-ish): a CMOS XOR2 is 6 transistors
+/// with depth ~3; a 4-bit S-box in combinational logic is ~28 transistors,
+/// ~10 on its critical path; wiring (P-box) is free of transistors but pays
+/// routing cost counted as crossovers.
+struct CostModel {
+  static constexpr unsigned kSbox4Transistors = 28;
+  static constexpr unsigned kSbox4Depth = 10;
+  static constexpr unsigned kSbox3Transistors = 18;
+  static constexpr unsigned kSbox3Depth = 8;
+  static constexpr unsigned kXor2Transistors = 6;
+  static constexpr unsigned kXor2Depth = 3;
+};
+
+enum class LayerKind : std::uint8_t {
+  kSubstitution,
+  kPermutation,
+  kCompression,
+  /// Width-preserving XOR row (a C-S box with |m| = |n|): out[i] =
+  /// in[i] ^ in[(i+shift) mod n]. One XOR2 per bit — the cheap linear
+  /// diffusion that carries single-nibble differences across the word,
+  /// which S-boxes and wiring alone cannot do fast enough.
+  kXorMix,
+};
+
+struct Layer {
+  LayerKind kind = LayerKind::kSubstitution;
+  unsigned in_width = 0;
+  unsigned out_width = 0;
+  /// Substitution: S-box id per 4-bit group (0 = PRESENT, 1 = SPONGENT);
+  /// a trailing 3-bit group uses the 3-bit S-box.
+  std::vector<std::uint8_t> sbox_choice;
+  /// Permutation: out[i] = in[perm[i]].
+  std::vector<std::uint16_t> perm;
+  /// XorMix: rotation distance of the second operand row.
+  unsigned shift = 0;
+
+  [[nodiscard]] unsigned transistors() const;
+  [[nodiscard]] unsigned critical_path() const;
+  [[nodiscard]] unsigned crossovers() const;  ///< inversions (permutation only)
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Hardware constraints of §V-A (inputs to the generator).
+struct HwConstraints {
+  unsigned max_critical_path_transistors = 45;
+  unsigned max_parallel_transistors = 2048;  ///< breadth per layer
+  unsigned max_total_transistors = 12000;
+  unsigned max_layers = 9;
+  unsigned min_layers = 4;
+  unsigned max_wire_crossover = 8192;
+};
+
+class Circuit {
+ public:
+  Circuit(unsigned in_bits, unsigned out_bits) : in_bits_(in_bits), out_bits_(out_bits) {}
+
+  [[nodiscard]] unsigned input_bits() const { return in_bits_; }
+  [[nodiscard]] unsigned output_bits() const { return out_bits_; }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+  [[nodiscard]] unsigned current_width() const {
+    return layers_.empty() ? in_bits_ : layers_.back().out_width;
+  }
+
+  void push(Layer l) { layers_.push_back(std::move(l)); }
+
+  [[nodiscard]] unsigned total_transistors() const;
+  [[nodiscard]] unsigned critical_path_transistors() const;
+  [[nodiscard]] unsigned max_breadth() const;
+  [[nodiscard]] unsigned total_crossovers() const;
+  [[nodiscard]] bool satisfies(const HwConstraints& hw) const;
+  [[nodiscard]] bool complete() const { return current_width() == out_bits_; }
+
+  /// Evaluate the circuit on an input value.
+  [[nodiscard]] BitVec evaluate(const BitVec& in) const;
+  /// Convenience: evaluate on packed 128-bit input, returning low output.
+  [[nodiscard]] std::uint64_t evaluate64(std::uint64_t lo, std::uint64_t hi) const {
+    return evaluate(BitVec(lo, hi, in_bits_)).low64();
+  }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  unsigned in_bits_;
+  unsigned out_bits_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace stbpu::remapgen

@@ -1,0 +1,115 @@
+#include "remapgen/generator.h"
+
+#include <algorithm>
+
+namespace stbpu::remapgen {
+
+Layer Generator::make_substitution(unsigned width) {
+  Layer l;
+  l.kind = LayerKind::kSubstitution;
+  l.in_width = l.out_width = width;
+  unsigned covered = 0;
+  while (covered < width) {
+    l.sbox_choice.push_back(static_cast<std::uint8_t>(rng_.below(2)));
+    covered += (covered + 4 <= width) ? 4 : (width - covered);
+  }
+  return l;
+}
+
+Layer Generator::make_permutation(unsigned width) {
+  Layer l;
+  l.kind = LayerKind::kPermutation;
+  l.in_width = l.out_width = width;
+  l.perm.resize(width);
+  for (unsigned i = 0; i < width; ++i) l.perm[i] = static_cast<std::uint16_t>(i);
+  // Fisher–Yates with the generator's RNG (the "pin mappings generated
+  // randomly by our remap function generator" of §V-B).
+  for (unsigned i = width; i > 1; --i) {
+    std::swap(l.perm[i - 1], l.perm[rng_.below(i)]);
+  }
+  return l;
+}
+
+Layer Generator::make_compression(unsigned width, unsigned out_bits,
+                                  unsigned layers_left) {
+  Layer l;
+  l.kind = LayerKind::kCompression;
+  l.in_width = width;
+  // Compress either all the way (if this is the last chance) or by roughly
+  // half, never below the target output width.
+  unsigned target = std::max(out_bits, width / 2);
+  if (layers_left <= 2) target = out_bits;
+  l.out_width = target;
+  return l;
+}
+
+Layer Generator::make_xormix(unsigned width) {
+  Layer l;
+  l.kind = LayerKind::kXorMix;
+  l.in_width = l.out_width = width;
+  // A shift coprime-ish to the width carries nibble-local differences
+  // across S-box group boundaries.
+  l.shift = 1 + static_cast<unsigned>(rng_.range(width / 4, width - 2));
+  return l;
+}
+
+std::optional<Circuit> Generator::generate(unsigned in_bits, unsigned out_bits) {
+  for (unsigned attempt = 0; attempt < cfg_.max_attempts_per_candidate; ++attempt) {
+    Circuit c(in_bits, out_bits);
+    // Adaptive weights: substitution, permutation/mix, compression.
+    double w_sub = 0.40, w_mix = 0.35, w_comp = 0.25;
+    unsigned substitutions = 0;
+    bool dead = false;
+    while (!c.complete()) {
+      if (c.layers().size() >= cfg_.hw.max_layers) {
+        dead = true;  // ran out of layers before reaching the output width
+        break;
+      }
+      const unsigned width = c.current_width();
+      const unsigned layers_left =
+          cfg_.hw.max_layers - static_cast<unsigned>(c.layers().size());
+
+      Layer l;
+      const double u = rng_.uniform() * (w_sub + w_mix + w_comp);
+      const bool must_compress =
+          width > out_bits &&
+          layers_left <= 2;  // final layers must land on the output width
+      const bool last_was_sub =
+          !c.layers().empty() && c.layers().back().kind == LayerKind::kSubstitution;
+      if (must_compress || (width > out_bits && u >= w_sub + w_mix)) {
+        l = make_compression(width, out_bits, layers_left);
+      } else if (u < w_sub && !last_was_sub) {
+        // Two substitutions back-to-back compose into one S-box — the
+        // diffusion must come between them.
+        l = make_substitution(width);
+        ++substitutions;
+      } else {
+        // Diffusion: alternate wiring permutations with XOR rows; the XOR
+        // rows are what actually propagate differences across the word.
+        l = rng_.chance(0.6) ? make_xormix(width) : make_permutation(width);
+      }
+      c.push(std::move(l));
+
+      if (!c.satisfies(cfg_.hw)) {
+        dead = true;  // scenario (ii): discard
+        break;
+      }
+      // Scenario (iii): still incomplete — raise compression weight in
+      // proportion to how much width must still be shed.
+      const double excess =
+          static_cast<double>(c.current_width()) / std::max(1u, out_bits);
+      w_comp = 0.25 + std::min(0.55, 0.15 * excess);
+    }
+    // A candidate needs at least two separated S-layers for any nonlinear
+    // avalanche; fewer can never pass C3.
+    if (dead || c.layers().size() < cfg_.hw.min_layers || substitutions < 2) {
+      ++discarded_;
+      continue;
+    }
+    if (c.complete() && c.satisfies(cfg_.hw)) return c;  // scenario (i)
+    ++discarded_;
+  }
+  return std::nullopt;
+}
+
+}  // namespace stbpu::remapgen

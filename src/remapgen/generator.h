@@ -1,0 +1,42 @@
+// Randomized layer-by-layer circuit generation (§V-A "Automated Remap
+// Generation Algorithm"): compose candidate remapping functions from the
+// primitive pool, testing constraints after every layer. Outcomes per
+// round: (i) complete and constraint-satisfying → candidate; (ii) violates
+// a constraint → discard; (iii) incomplete → adapt the layer-kind weights
+// (e.g. favour compression when width must still fall) and continue.
+#pragma once
+
+#include <optional>
+
+#include "remapgen/circuit.h"
+#include "util/rng.h"
+
+namespace stbpu::remapgen {
+
+struct GeneratorConfig {
+  HwConstraints hw{};
+  unsigned max_attempts_per_candidate = 64;
+};
+
+class Generator {
+ public:
+  Generator(const GeneratorConfig& cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+  /// Generate one constraint-satisfying candidate (or nullopt if the
+  /// attempt budget is exhausted).
+  std::optional<Circuit> generate(unsigned in_bits, unsigned out_bits);
+
+  [[nodiscard]] std::uint64_t discarded() const { return discarded_; }
+
+ private:
+  Layer make_substitution(unsigned width);
+  Layer make_permutation(unsigned width);
+  Layer make_compression(unsigned width, unsigned out_bits, unsigned layers_left);
+  Layer make_xormix(unsigned width);
+
+  GeneratorConfig cfg_;
+  util::Xoshiro256 rng_;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace stbpu::remapgen

@@ -1,0 +1,39 @@
+#include "remapgen/search.h"
+
+namespace stbpu::remapgen {
+
+std::vector<RemapSpec> table2_specs() {
+  return {
+      {.name = "R1", .input_bits = 80, .output_bits = 22},   // 32ψ+48s → 9+8+5
+      {.name = "R2", .input_bits = 90, .output_bits = 8},    // 32ψ+58BHB → 8
+      {.name = "R3", .input_bits = 80, .output_bits = 14},   // 32ψ+48s → 14
+      {.name = "R4", .input_bits = 96, .output_bits = 14},   // 32ψ+16GHR+48s → 14
+      {.name = "Rt", .input_bits = 112, .output_bits = 25},  // +L(GHR) → 13+12
+      {.name = "Rp", .input_bits = 80, .output_bits = 10},   // 32ψ+48s → 10
+  };
+}
+
+SearchResult search(const RemapSpec& spec, const SearchConfig& cfg) {
+  SearchResult out;
+  out.spec = spec;
+  Generator gen(cfg.generator, cfg.seed ^ (spec.input_bits * 131 + spec.output_bits));
+
+  double best_score = 1e100;
+  for (unsigned i = 0; i < cfg.candidates; ++i) {
+    auto candidate = gen.generate(spec.input_bits, spec.output_bits);
+    if (!candidate) continue;
+    ++out.generated;
+    const ValidationReport rep = validate(*candidate, cfg.validation);
+    if (!rep.pass) continue;
+    ++out.passed;
+    if (rep.score < best_score) {
+      best_score = rep.score;
+      out.best = std::move(*candidate);
+      out.best_report = rep;
+    }
+  }
+  out.discarded = gen.discarded();
+  return out;
+}
+
+}  // namespace stbpu::remapgen

@@ -1,0 +1,45 @@
+// Full §V pipeline: generate candidates under the hardware constraints,
+// validate C2/C3, score with Eq. (1), and select the best circuit for each
+// remapping-function specification of Table II.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "remapgen/generator.h"
+#include "remapgen/validate.h"
+
+namespace stbpu::remapgen {
+
+/// Table II I/O specification of one remapping function.
+struct RemapSpec {
+  std::string name;
+  unsigned input_bits = 80;
+  unsigned output_bits = 22;
+};
+
+/// The six specs of Table II (R1..R4, Rt, Rp). Rt is listed at its widest
+/// output (13-bit index + 12-bit tag, the 64KB TAGE configuration).
+[[nodiscard]] std::vector<RemapSpec> table2_specs();
+
+struct SearchConfig {
+  GeneratorConfig generator{};
+  ValidationConfig validation{};
+  unsigned candidates = 24;  ///< validated candidates per spec
+  std::uint64_t seed = 0x5EA2C4;
+};
+
+struct SearchResult {
+  RemapSpec spec;
+  std::optional<Circuit> best;
+  ValidationReport best_report{};
+  unsigned generated = 0;
+  unsigned passed = 0;
+  std::uint64_t discarded = 0;  ///< constraint-violating partial designs
+};
+
+/// Run the search for one spec.
+SearchResult search(const RemapSpec& spec, const SearchConfig& cfg);
+
+}  // namespace stbpu::remapgen

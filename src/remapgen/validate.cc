@@ -1,0 +1,78 @@
+#include "remapgen/validate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace stbpu::remapgen {
+
+namespace {
+BitVec random_input(util::Xoshiro256& rng, unsigned bits) {
+  return BitVec(rng(), rng(), bits);
+}
+}  // namespace
+
+ValidationReport validate(const Circuit& c, const ValidationConfig& cfg) {
+  ValidationReport rep;
+  util::Xoshiro256 rng(cfg.seed);
+  const unsigned out_bits = c.output_bits();
+
+  // --- C2: balls-and-bins uniformity --------------------------------------
+  const unsigned bin_bits = std::min(out_bits, 12u);
+  const std::size_t bins = std::size_t{1} << bin_bits;
+  std::vector<double> load(bins, 0.0);
+  for (std::uint64_t i = 0; i < cfg.uniformity_samples; ++i) {
+    const BitVec out = c.evaluate(random_input(rng, c.input_bits()));
+    load[out.low64() & (bins - 1)] += 1.0;
+  }
+  rep.bin_cv = util::coefficient_of_variation(load);
+  const double mean_load =
+      static_cast<double>(cfg.uniformity_samples) / static_cast<double>(bins);
+  rep.ideal_bin_cv = 1.0 / std::sqrt(mean_load);  // Poisson loads
+
+  // --- C3: strict avalanche criterion --------------------------------------
+  std::vector<double> per_lambda_hd;
+  per_lambda_hd.reserve(cfg.avalanche_samples);
+  std::vector<double> bit_flips(out_bits, 0.0);
+  double flip_trials = 0.0;
+  for (std::uint64_t i = 0; i < cfg.avalanche_samples; ++i) {
+    const BitVec x = random_input(rng, c.input_bits());
+    const BitVec fx = c.evaluate(x);
+    double hd_sum = 0.0;
+    for (unsigned b = 0; b < c.input_bits(); ++b) {
+      BitVec flipped = x;
+      flipped.set(b, !x.get(b));
+      const BitVec fy = c.evaluate(flipped);
+      hd_sum += fx.hamming(fy);
+      for (unsigned ob = 0; ob < out_bits; ++ob) {
+        if (fx.get(ob) != fy.get(ob)) bit_flips[ob] += 1.0;
+      }
+      flip_trials += 1.0;
+    }
+    per_lambda_hd.push_back(hd_sum / c.input_bits() / out_bits);
+  }
+  rep.mean_avalanche = util::mean(per_lambda_hd);
+  rep.avalanche_cv = util::coefficient_of_variation(per_lambda_hd);
+  double mn = 1.0, mx = 0.0;
+  for (unsigned ob = 0; ob < out_bits; ++ob) {
+    const double f = bit_flips[ob] / flip_trials;
+    mn = std::min(mn, f);
+    mx = std::max(mx, f);
+  }
+  rep.per_bit_spread = mx - mn;
+
+  // --- Eq. (1): equal-weight normalized score ------------------------------
+  const double uni_term =
+      std::max(0.0, rep.bin_cv / std::max(rep.ideal_bin_cv, 1e-12) - 1.0);
+  const double mean_term = std::abs(rep.mean_avalanche - 0.5) / 0.5;
+  const double cv_term = rep.avalanche_cv;
+  const double spread_term = rep.per_bit_spread;
+  rep.score = uni_term + mean_term + cv_term + spread_term;
+  rep.pass = rep.uniform() && rep.avalanche_ok();
+  return rep;
+}
+
+}  // namespace stbpu::remapgen

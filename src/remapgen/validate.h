@@ -1,0 +1,40 @@
+// Validation of candidate remapping functions against C2 (uniformity,
+// balls-and-bins coefficient of variation [60]) and C3 (strict avalanche
+// criterion), plus the Eq. (1) weighted score used for final selection
+// (§V-A "Validation" and §V-B "Optimization and Remapping Selection").
+#pragma once
+
+#include <cstdint>
+
+#include "remapgen/circuit.h"
+
+namespace stbpu::remapgen {
+
+struct ValidationConfig {
+  std::uint64_t uniformity_samples = 1 << 16;
+  std::uint64_t avalanche_samples = 1 << 10;  ///< inputs λ (paper uses 1M)
+  std::uint64_t seed = 0x7A11D;
+};
+
+struct ValidationReport {
+  // C2 — uniformity.
+  double bin_cv = 0.0;        ///< CV of output bin loads
+  double ideal_bin_cv = 0.0;  ///< CV a perfect uniform hash would show
+  // C3 — avalanche.
+  double mean_avalanche = 0.0;     ///< mean output-flip fraction (ideal 0.5)
+  double avalanche_cv = 0.0;       ///< CV of per-λ hamming distances (ideal 0)
+  double per_bit_spread = 0.0;     ///< max-min per-output-bit flip rate (ideal 0)
+  // Eq. (1): equal-weight sum of normalized metric deviations (0 = ideal).
+  double score = 0.0;
+  bool pass = false;
+
+  [[nodiscard]] bool uniform() const { return bin_cv <= 1.5 * ideal_bin_cv + 1e-9; }
+  [[nodiscard]] bool avalanche_ok() const {
+    return mean_avalanche > 0.45 && mean_avalanche < 0.55 && avalanche_cv < 0.25 &&
+           per_bit_spread < 0.35;
+  }
+};
+
+ValidationReport validate(const Circuit& c, const ValidationConfig& cfg);
+
+}  // namespace stbpu::remapgen

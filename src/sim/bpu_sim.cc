@@ -1,0 +1,35 @@
+#include "sim/bpu_sim.h"
+
+namespace stbpu::sim {
+
+BranchStats simulate_bpu(bpu::IPredictor& model, trace::BranchStream& stream,
+                         const BpuSimOptions& opt) {
+  BranchStats stats;
+  bpu::BranchRecord rec;
+  bool have_last[2] = {false, false};
+  bpu::ExecContext last[2];
+
+  const std::uint64_t total = opt.warmup_branches + opt.max_branches;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    if (!stream.next(rec)) break;
+    const unsigned h = rec.ctx.hart & 1;
+    if (have_last[h] && !(last[h] == rec.ctx)) {
+      model.on_switch(last[h], rec.ctx);
+      if (i >= opt.warmup_branches) {
+        if (last[h].pid != rec.ctx.pid) {
+          ++stats.context_switches;
+        } else {
+          ++stats.mode_switches;
+        }
+      }
+    }
+    last[h] = rec.ctx;
+    have_last[h] = true;
+
+    const bpu::AccessResult res = model.access(rec);
+    if (i >= opt.warmup_branches) stats.absorb(rec, res);
+  }
+  return stats;
+}
+
+}  // namespace stbpu::sim

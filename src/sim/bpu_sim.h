@@ -1,0 +1,25 @@
+// Trace-based BPU simulator (paper §VII-B1's "in-house BPU simulator"):
+// feeds a branch stream through any IPredictor, detecting context and mode
+// switches in the stream (naturally occurring in the captured workloads)
+// and reporting OAE/direction/target accuracy.
+#pragma once
+
+#include <cstdint>
+
+#include "bpu/predictor.h"
+#include "sim/stats.h"
+#include "trace/stream.h"
+
+namespace stbpu::sim {
+
+struct BpuSimOptions {
+  std::uint64_t max_branches = 2'000'000;
+  std::uint64_t warmup_branches = 100'000;  ///< excluded from the stats
+};
+
+/// Run `stream` through `model`. The stream is consumed from its current
+/// position; callers reset() it between models to replay identical traces.
+BranchStats simulate_bpu(bpu::IPredictor& model, trace::BranchStream& stream,
+                         const BpuSimOptions& opt = {});
+
+}  // namespace stbpu::sim

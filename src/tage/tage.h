@@ -1,0 +1,148 @@
+// TAGE-SC-L conditional predictor (Seznec [67]), parameterized for the
+// paper's 8KB and 64KB configurations. Structure:
+//   * bimodal base table (the "base directional predictor" that reuse-based
+//     attacks like BranchScope/BlueThunder target — paper §VI-A2);
+//   * N partially-tagged tables indexed by geometrically growing global
+//     history lengths, 3-bit prediction counters, 2-bit useful counters;
+//   * a loop predictor (L) capturing constant trip counts;
+//   * a lightweight GEHL-style statistical corrector (SC).
+// All index/tag computation goes through the MappingProvider (Rt under
+// STBPU — Table II: 10-bit index/8-bit tag for 8KB, 13/12 for 64KB), so the
+// secured variant differs only in data representation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bpu/direction.h"
+#include "bpu/mapping.h"
+#include "bpu/types.h"
+#include "util/rng.h"
+#include "util/saturating_counter.h"
+
+namespace stbpu::tage {
+
+struct TageConfig {
+  std::string_view name = "TAGE_SC_L_64KB";
+  unsigned num_tables = 10;    ///< tagged tables
+  unsigned index_bits = 13;    ///< per-table entries = 2^index_bits
+  unsigned tag_bits = 12;
+  unsigned min_history = 4;
+  unsigned max_history = 256;
+  unsigned bimodal_bits = 13;  ///< base table entries = 2^bimodal_bits
+  bool use_loop_predictor = true;
+  bool use_statistical_corrector = true;
+
+  [[nodiscard]] static TageConfig kb64() { return {}; }
+  [[nodiscard]] static TageConfig kb8() {
+    return {.name = "TAGE_SC_L_8KB",
+            .num_tables = 6,
+            .index_bits = 10,
+            .tag_bits = 8,
+            .min_history = 4,
+            .max_history = 64,
+            .bimodal_bits = 12,
+            .use_loop_predictor = true,
+            .use_statistical_corrector = true};
+  }
+};
+
+class TagePredictor final : public bpu::IDirectionPredictor {
+ public:
+  TagePredictor(const TageConfig& cfg, const bpu::MappingProvider* mapping,
+                std::uint64_t seed = 0x7A6E);
+
+  [[nodiscard]] bpu::DirPrediction predict(std::uint64_t ip,
+                                           const bpu::ExecContext& ctx) override;
+  void update(std::uint64_t ip, const bpu::ExecContext& ctx, bool taken,
+              const bpu::DirPrediction& pred) override;
+  void track(const bpu::BranchRecord& rec) override;
+  void flush() override;
+  void flush_hart(std::uint8_t hart) override;
+  [[nodiscard]] std::string_view name() const override { return cfg_.name; }
+
+  [[nodiscard]] const TageConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct TaggedEntry {
+    util::SignedSaturatingCounter<3> ctr;
+    std::uint32_t tag = 0;
+    util::SaturatingCounter<2> useful{0};
+    bool valid = false;
+  };
+
+  struct LoopEntry {
+    std::uint32_t tag = 0;
+    std::uint16_t past_iters = 0;     ///< learned trip count
+    std::uint16_t current_iter = 0;
+    util::SaturatingCounter<2> conf{0};
+    bool valid = false;
+  };
+
+  /// Per-hart global history with incrementally maintained folded values
+  /// (standard TAGE circular-shift-register folding).
+  struct Folded {
+    std::uint32_t value = 0;
+    unsigned comp_length = 0;  ///< folded width
+    unsigned orig_length = 0;  ///< history length
+    void update(const std::vector<std::uint8_t>& hist, unsigned head);
+  };
+  struct HartState {
+    std::vector<std::uint8_t> history;  ///< circular buffer, newest at head
+    unsigned head = 0;
+    std::vector<Folded> folded_index;
+    std::vector<Folded> folded_tag;
+    std::uint64_t path = 0;
+    void push(bool taken, unsigned max_hist);
+  };
+
+  struct TableMatch {
+    int table = -1;  ///< -1: bimodal
+    std::uint32_t index = 0;
+    bool prediction = false;
+    bool weak = false;
+  };
+
+  [[nodiscard]] std::uint64_t folded_for(const HartState& hs, unsigned table,
+                                         bool for_tag) const;
+  [[nodiscard]] std::uint32_t bimodal_index(std::uint64_t ip,
+                                            const bpu::ExecContext& ctx) const;
+  void find_matches(std::uint64_t ip, const bpu::ExecContext& ctx, TableMatch& provider,
+                    TableMatch& alt);
+  [[nodiscard]] bool loop_predict(std::uint64_t ip, const bpu::ExecContext& ctx,
+                                  bool& valid) const;
+  void loop_update(std::uint64_t ip, const bpu::ExecContext& ctx, bool taken);
+  [[nodiscard]] int sc_sum(std::uint64_t ip, const bpu::ExecContext& ctx,
+                           bool tage_pred) const;
+  void sc_update(std::uint64_t ip, const bpu::ExecContext& ctx, bool taken,
+                 bool tage_pred);
+
+  TageConfig cfg_;
+  const bpu::MappingProvider* mapping_;
+  std::vector<unsigned> history_lengths_;
+  std::vector<std::vector<TaggedEntry>> tables_;
+  std::vector<util::SaturatingCounter<2>> bimodal_;
+  std::vector<LoopEntry> loop_;
+  // SC: bias table + two GEHL history tables of 6-bit signed counters.
+  std::vector<util::SignedSaturatingCounter<6>> sc_bias_;
+  std::array<std::vector<util::SignedSaturatingCounter<6>>, 2> sc_gehl_;
+  util::SignedSaturatingCounter<4> use_alt_on_na_;
+  HartState harts_[2];
+  util::Xoshiro256 rng_;
+  std::uint32_t tick_ = 0;
+
+  // Transient state between predict() and update() for the same branch —
+  // the simulator always pairs them, matching speculative update repair.
+  struct Scratch {
+    TableMatch provider, alt;
+    bool tage_pred = false;
+    bool loop_valid = false;
+    bool loop_pred = false;
+    bool sc_used = false;
+    bool final_pred = false;
+  } scratch_;
+};
+
+}  // namespace stbpu::tage

@@ -1,0 +1,419 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bpu/predictor.h"  // kBranchInstrLen
+
+namespace stbpu::trace {
+
+namespace {
+// Address-space layout (48-bit): per-process user images, a function area
+// per image, and one kernel image shared by every process.
+constexpr std::uint64_t kUserBase = 0x0000'1000'0000ULL;
+constexpr std::uint64_t kImageStride = 0x0000'0800'0000ULL;
+constexpr std::uint64_t kFunctionAreaOff = 0x0000'0400'0000ULL;
+constexpr std::uint64_t kKernelBase = 0x7FFF'0000'0000ULL;
+constexpr std::uint64_t kSiteStride = 16;
+}  // namespace
+
+SyntheticWorkloadGenerator::SyntheticWorkloadGenerator(const WorkloadProfile& profile,
+                                                       std::uint64_t seed_override)
+    : profile_(profile),
+      seed_(seed_override ? seed_override : profile.seed),
+      rng_(seed_) {
+  // Build static programs once; reset() only rebuilds dynamic state.
+  util::Xoshiro256 build_rng(seed_ ^ 0xB01D'FACEULL);
+  const unsigned num_images =
+      profile_.processes_share_code ? 1 : std::max(1u, profile_.num_processes);
+  programs_.reserve(num_images);
+  for (unsigned i = 0; i < num_images; ++i) {
+    // ASLR-style base jitter: without it every image would share its low
+    // address bits and the baseline's truncated mappings would alias
+    // *systematically* across processes and against the kernel.
+    const std::uint64_t jitter = (build_rng() & 0x3F'FFFFULL) * kSiteStride;
+    programs_.push_back(build_program(kUserBase + i * kImageStride + jitter, build_rng));
+  }
+  kernel_ = build_kernel_program(build_rng);
+  init_dynamic_state();
+}
+
+SyntheticWorkloadGenerator::Program SyntheticWorkloadGenerator::build_program(
+    std::uint64_t base, util::Xoshiro256& rng) const {
+  Program prog;
+  const unsigned n = profile_.static_branches;
+
+  // Functions first so sites can target them.
+  prog.functions.reserve(profile_.functions);
+  const std::uint64_t fn_base = base + kFunctionAreaOff;
+  for (unsigned f = 0; f < profile_.functions; ++f) {
+    const std::uint64_t entry = fn_base + f * 256;
+    prog.functions.push_back({.entry = entry, .ret_ip = entry + 128});
+  }
+
+  // Split the site budget by the type mix; remainder is conditional.
+  const auto count = [n](double frac) {
+    return std::max<unsigned>(1, static_cast<unsigned>(n * frac));
+  };
+  const unsigned n_calls = count(profile_.frac_call);
+  const unsigned n_jumps = count(profile_.frac_direct_jump);
+  const unsigned n_ind = count(profile_.frac_indirect);
+  const unsigned n_cond =
+      std::max<unsigned>(16, n - std::min(n, n_calls + n_jumps + n_ind));
+
+  std::uint64_t ip = base;
+  const auto next_ip = [&ip]() {
+    const std::uint64_t v = ip;
+    ip += kSiteStride;
+    return v;
+  };
+
+  prog.conds.reserve(n_cond);
+  for (unsigned i = 0; i < n_cond; ++i) {
+    CondSite s;
+    s.ip = next_ip();
+    // Taken targets are short backward jumps (loop-shaped).
+    s.target = s.ip - kSiteStride * rng.range(1, 64);
+    const double u = rng.uniform();
+    if (u < profile_.biased_frac) {
+      s.behavior = CondBehavior::kBiased;
+      s.taken_prob = rng.chance(0.6) ? 0.99f : 0.01f;
+    } else if (u < profile_.biased_frac + profile_.loop_frac) {
+      s.behavior = CondBehavior::kLoop;
+      // Mostly short loops (learnable from history), occasionally long.
+      s.trip = static_cast<std::uint16_t>(
+          rng.chance(0.7) ? rng.range(3, 16)
+                          : rng.range(8, profile_.max_trip_count));
+    } else if (u < profile_.biased_frac + profile_.loop_frac + profile_.pattern_frac) {
+      // Outcome is a boolean function of recent global outcomes — the
+      // correlation history predictors exploit ("if (x)" ... "if (x) again").
+      s.behavior = CondBehavior::kCorrelated;
+      s.tap1 = static_cast<std::uint8_t>(rng.range(1, 10));
+      s.tap2 = rng.chance(0.4) ? static_cast<std::uint8_t>(rng.range(1, 12)) : 0;
+      s.invert = rng.chance(0.5);
+    } else {
+      s.behavior = CondBehavior::kRandom;
+      s.taken_prob = static_cast<float>(profile_.hard_taken_prob);
+    }
+    prog.conds.push_back(std::move(s));
+  }
+
+  prog.jumps.reserve(n_jumps);
+  for (unsigned i = 0; i < n_jumps; ++i) {
+    JumpSite s;
+    s.ip = next_ip();
+    s.target = base + kSiteStride * rng.below(n);
+    prog.jumps.push_back(s);
+  }
+
+  prog.calls.reserve(n_calls);
+  for (unsigned i = 0; i < n_calls; ++i) {
+    CallSite s;
+    s.ip = next_ip();
+    s.callee = static_cast<std::uint32_t>(rng.below(prog.functions.size()));
+    prog.calls.push_back(s);
+  }
+
+  prog.indirects.reserve(n_ind);
+  for (unsigned i = 0; i < n_ind; ++i) {
+    IndirectSite s;
+    s.ip = next_ip();
+    s.is_call = rng.chance(0.3);
+    const unsigned fanout =
+        static_cast<unsigned>(rng.range(2, std::max(2u, profile_.indirect_targets)));
+    s.targets.reserve(fanout);
+    for (unsigned t = 0; t < fanout; ++t) {
+      if (s.is_call) {
+        s.targets.push_back(prog.functions[rng.below(prog.functions.size())].entry);
+      } else {
+        s.targets.push_back(base + kSiteStride * rng.below(n));
+      }
+    }
+    prog.indirects.push_back(std::move(s));
+  }
+  return prog;
+}
+
+SyntheticWorkloadGenerator::Program SyntheticWorkloadGenerator::build_kernel_program(
+    util::Xoshiro256& rng) const {
+  // The kernel image is conditional/jump only (handlers): its role in the
+  // evaluation is mode-switch pollution and kernel-entity history.
+  Program prog;
+  const unsigned n = std::max(64u, profile_.kernel_branches);
+  const std::uint64_t base = kKernelBase + (rng() & 0x3F'FFFFULL) * kSiteStride;
+  std::uint64_t ip = base;
+  for (unsigned i = 0; i < n; ++i) {
+    if (i % 5 == 4) {
+      prog.jumps.push_back({.ip = ip, .target = base + kSiteStride * rng.below(n)});
+    } else {
+      CondSite s;
+      s.ip = ip;
+      s.target = ip - kSiteStride * rng.range(1, 32);
+      const double u = rng.uniform();
+      if (u < 0.6) {
+        s.behavior = CondBehavior::kBiased;
+        s.taken_prob = rng.chance(0.6) ? 0.99f : 0.01f;
+      } else if (u < 0.9) {
+        s.behavior = CondBehavior::kCorrelated;
+        s.tap1 = static_cast<std::uint8_t>(rng.range(1, 8));
+        s.tap2 = 0;
+        s.invert = rng.chance(0.5);
+      } else {
+        s.behavior = CondBehavior::kRandom;
+        s.taken_prob = 0.5f;
+      }
+      prog.conds.push_back(std::move(s));
+    }
+    ip += kSiteStride;
+  }
+  return prog;
+}
+
+void SyntheticWorkloadGenerator::init_dynamic_state() {
+  processes_.clear();
+  const unsigned nproc = std::max(1u, profile_.num_processes);
+  processes_.resize(nproc);
+  for (unsigned i = 0; i < nproc; ++i) {
+    ProcessState& ps = processes_[i];
+    ps.pid = static_cast<std::uint16_t>(i + 1);
+    ps.program = profile_.processes_share_code
+                     ? 0
+                     : static_cast<std::uint32_t>(i % programs_.size());
+    const Program& prog = programs_[ps.program];
+    ps.loop_iter.assign(prog.conds.size(), 0);
+    ps.ind_current.assign(prog.indirects.size(), 0);
+    ps.stack.clear();
+    ps.history = 0;
+    ps.burst_site = -1;
+  }
+  kernel_history_ = 0;
+  current_proc_ = 0;
+  kernel_remaining_ = 0;
+  switch_after_kernel_ = false;
+  emitted_ = 0;
+}
+
+void SyntheticWorkloadGenerator::reset() {
+  rng_ = util::Xoshiro256(seed_);
+  init_dynamic_state();
+}
+
+std::size_t SyntheticWorkloadGenerator::pick_site(std::size_t n) {
+  if (n <= 4) return rng_.below(n);
+  // Two-tier working set: the hot head is revisited constantly (and skewed
+  // inside), the cold tail only occasionally — matching the instruction
+  // reuse distance profile of real code.
+  const std::size_t hot = std::max<std::size_t>(8, n / profile_.hot_divisor);
+  if (hot >= n || rng_.chance(profile_.hot_ratio)) {
+    const double x = std::pow(rng_.uniform(), profile_.site_skew);
+    auto idx = static_cast<std::size_t>(x * static_cast<double>(std::min(hot, n)));
+    return idx >= n ? n - 1 : idx;
+  }
+  return hot + rng_.below(n - hot);
+}
+
+bool SyntheticWorkloadGenerator::cond_outcome(const CondSite& s, ProcessState& ps,
+                                              std::size_t idx) {
+  switch (s.behavior) {
+    case CondBehavior::kBiased:
+    case CondBehavior::kRandom:
+      return rng_.chance(s.taken_prob);
+    case CondBehavior::kLoop: {
+      std::uint16_t& iter = ps.loop_iter[idx];
+      if (iter < s.trip) {
+        ++iter;
+        return true;
+      }
+      iter = 0;
+      return false;
+    }
+    case CondBehavior::kCorrelated: {
+      bool v = (ps.history >> s.tap1) & 1;
+      if (s.tap2 != 0) v ^= (ps.history >> s.tap2) & 1;
+      return v != s.invert;
+    }
+  }
+  return false;
+}
+
+bpu::BranchRecord SyntheticWorkloadGenerator::emit_conditional(ProcessState& ps,
+                                                               std::size_t idx) {
+  const Program& prog = programs_[ps.program];
+  const CondSite& s = prog.conds[idx];
+  bpu::BranchRecord rec;
+  rec.ctx = {.pid = ps.pid, .hart = 0, .kernel = false};
+  rec.ip = s.ip;
+  rec.type = bpu::BranchType::kConditional;
+  const bool taken = cond_outcome(s, ps, idx);
+  rec.taken = taken;
+  rec.target = taken ? s.target : s.ip + bpu::kBranchInstrLen;
+  ps.history = (ps.history << 1) | static_cast<std::uint64_t>(taken);
+
+  if (s.behavior == CondBehavior::kLoop) {
+    // Keep the loop alive as a burst until its exit is emitted.
+    ps.burst_site = taken ? static_cast<std::int64_t>(idx) : -1;
+  }
+  return rec;
+}
+
+bpu::BranchRecord SyntheticWorkloadGenerator::emit_kernel_branch() {
+  const ProcessState& ps = processes_[current_proc_];
+  bpu::BranchRecord rec;
+  rec.ctx = {.pid = ps.pid, .hart = 0, .kernel = true};
+
+  // 1-in-5 sites are jumps (see build_kernel_program).
+  if (!kernel_.jumps.empty() && rng_.chance(0.2)) {
+    const JumpSite& s = kernel_.jumps[pick_site(kernel_.jumps.size())];
+    rec.ip = s.ip;
+    rec.target = s.target;
+    rec.type = bpu::BranchType::kDirectJump;
+    rec.taken = true;
+    return rec;
+  }
+  const std::size_t i = pick_site(kernel_.conds.size());
+  const CondSite& s = kernel_.conds[i];
+  rec.ip = s.ip;
+  rec.type = bpu::BranchType::kConditional;
+  bool taken;
+  if (s.behavior == CondBehavior::kCorrelated) {
+    bool v = (kernel_history_ >> s.tap1) & 1;
+    if (s.tap2 != 0) v ^= (kernel_history_ >> s.tap2) & 1;
+    taken = v != s.invert;
+  } else {
+    taken = rng_.chance(s.taken_prob);
+  }
+  kernel_history_ = (kernel_history_ << 1) | static_cast<std::uint64_t>(taken);
+  rec.taken = taken;
+  rec.target = taken ? s.target : s.ip + bpu::kBranchInstrLen;
+  return rec;
+}
+
+bpu::BranchRecord SyntheticWorkloadGenerator::emit_user_branch(ProcessState& ps) {
+  const Program& prog = programs_[ps.program];
+
+  // Active loop burst: mostly re-execute the loop branch, sometimes a body
+  // branch in between.
+  if (ps.burst_site >= 0 && !rng_.chance(profile_.body_interleave)) {
+    return emit_conditional(ps, static_cast<std::size_t>(ps.burst_site));
+  }
+
+  bpu::BranchRecord rec;
+  rec.ctx = {.pid = ps.pid, .hart = 0, .kernel = false};
+
+  const double u = rng_.uniform();
+  double acc = profile_.frac_call;
+
+  // Returns are emitted with a probability that grows with stack depth so
+  // the steady-state depth hovers around call_depth_bias.
+  const double depth = static_cast<double>(ps.stack.size());
+  const double p_ret =
+      ps.stack.empty() ? 0.0
+                       : profile_.frac_call * (depth / profile_.call_depth_bias) * 2.0;
+
+  if (u < acc && !prog.calls.empty()) {
+    const CallSite& s = prog.calls[pick_site(prog.calls.size())];
+    rec.ip = s.ip;
+    rec.type = bpu::BranchType::kDirectCall;
+    rec.taken = true;
+    rec.target = prog.functions[s.callee].entry;
+    if (ps.stack.size() < 256) {
+      ps.stack.push_back({.ret_addr = s.ip + bpu::kBranchInstrLen, .fn = s.callee});
+    }
+    return rec;
+  }
+  acc += p_ret;
+  if (u < acc && !ps.stack.empty()) {
+    const ProcessState::Frame frame = ps.stack.back();
+    ps.stack.pop_back();
+    rec.ip = prog.functions[frame.fn].ret_ip;
+    rec.type = bpu::BranchType::kReturn;
+    rec.taken = true;
+    rec.target = frame.ret_addr;
+    return rec;
+  }
+  acc += profile_.frac_direct_jump;
+  if (u < acc && !prog.jumps.empty()) {
+    const JumpSite& s = prog.jumps[pick_site(prog.jumps.size())];
+    rec.ip = s.ip;
+    rec.type = bpu::BranchType::kDirectJump;
+    rec.taken = true;
+    rec.target = s.target;
+    return rec;
+  }
+  acc += profile_.frac_indirect;
+  if (u < acc && !prog.indirects.empty()) {
+    const std::size_t i = pick_site(prog.indirects.size());
+    const IndirectSite& s = prog.indirects[i];
+    std::uint8_t& cur = ps.ind_current[i];
+    if (rng_.chance(profile_.indirect_switch_prob)) {
+      cur = static_cast<std::uint8_t>(rng_.below(s.targets.size()));
+    }
+    rec.ip = s.ip;
+    rec.taken = true;
+    rec.target = s.targets[cur];
+    if (s.is_call) {
+      rec.type = bpu::BranchType::kIndirectCall;
+      // Indirect calls land on function entries; recover the callee index
+      // so the matching return comes from the right ret site.
+      const std::uint64_t fn_base = s.targets[cur];
+      const std::uint32_t fn = static_cast<std::uint32_t>(
+          (fn_base - prog.functions.front().entry) / 256);
+      if (ps.stack.size() < 256 && fn < prog.functions.size()) {
+        ps.stack.push_back({.ret_addr = s.ip + bpu::kBranchInstrLen, .fn = fn});
+      }
+    } else {
+      rec.type = bpu::BranchType::kIndirectJump;
+    }
+    return rec;
+  }
+
+  return emit_conditional(ps, pick_site(prog.conds.size()));
+}
+
+bool SyntheticWorkloadGenerator::next(bpu::BranchRecord& out) {
+  ++emitted_;
+
+  if (kernel_remaining_ > 0) {
+    --kernel_remaining_;
+    out = emit_kernel_branch();
+    if (kernel_remaining_ == 0 && switch_after_kernel_) {
+      // Scheduler decision. With a weighted primary (compute-bound SPEC +
+      // background daemons) the foreground process keeps or regains the
+      // core with probability `primary_process_weight`.
+      switch_after_kernel_ = false;
+      if (rng_.chance(profile_.primary_process_weight)) {
+        current_proc_ = 0;
+      } else {
+        current_proc_ = (current_proc_ + 1 + rng_.below(processes_.size())) %
+                        processes_.size();
+      }
+    }
+    return true;
+  }
+
+  // System events.
+  if (processes_.size() > 1 && rng_.chance(profile_.context_switch_rate)) {
+    kernel_remaining_ = static_cast<std::uint32_t>(rng_.range(16, 48));  // scheduler
+    switch_after_kernel_ = true;
+    out = emit_kernel_branch();
+    --kernel_remaining_;
+    return true;
+  }
+  if (rng_.chance(profile_.syscall_rate)) {
+    kernel_remaining_ = static_cast<std::uint32_t>(rng_.range(8, 64));
+    out = emit_kernel_branch();
+    --kernel_remaining_;
+    return true;
+  }
+  if (rng_.chance(profile_.interrupt_rate)) {
+    kernel_remaining_ = static_cast<std::uint32_t>(rng_.range(24, 128));
+    out = emit_kernel_branch();
+    --kernel_remaining_;
+    return true;
+  }
+
+  out = emit_user_branch(processes_[current_proc_]);
+  return true;
+}
+
+}  // namespace stbpu::trace

@@ -1,0 +1,126 @@
+// Synthetic workload generator — produces the branch streams the paper
+// captures with Intel PT (DESIGN.md substitution #1). The generator builds
+// a static "program" per process (conditional/jump/call/indirect sites and
+// a call graph laid out in a 48-bit address space, plus one shared kernel
+// program) and then walks it statistically while preserving the structure
+// real predictors learn from:
+//   * conditional sites follow one of four behaviours — heavily biased,
+//     fixed-trip loops (emitted as consecutive iteration *bursts* so
+//     history-based predictors can learn the exits), branches whose outcome
+//     is a function of recent global history (learnable correlation, the
+//     bread-and-butter of gshare/TAGE), or data-dependent randomness (the
+//     irreducible misprediction floor);
+//   * a two-tier hot/cold instruction working set controls BTB pressure;
+//   * calls/returns maintain a real call stack so RSB behaviour is honest
+//     (depth drifts around `call_depth_bias`, occasionally past the 16-entry
+//     RSB — underflows happen, as in real code);
+//   * indirect sites rotate among a target set with a switch probability;
+//   * syscalls/interrupts insert kernel excursions (mode switches) and
+//     context switches move execution between processes, with code either
+//     shared (apache/mysql workers) or private (chrome) — the system noise
+//     that separates flushing designs from STBPU in Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/types.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+#include "util/rng.h"
+
+namespace stbpu::trace {
+
+class SyntheticWorkloadGenerator final : public BranchStream {
+ public:
+  explicit SyntheticWorkloadGenerator(const WorkloadProfile& profile,
+                                      std::uint64_t seed_override = 0);
+
+  bool next(bpu::BranchRecord& out) override;
+  void reset() override;
+
+  [[nodiscard]] const WorkloadProfile& profile() const noexcept { return profile_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  enum class CondBehavior : std::uint8_t { kBiased, kLoop, kCorrelated, kRandom };
+
+  struct CondSite {
+    std::uint64_t ip = 0;
+    std::uint64_t target = 0;  ///< taken target (typically backward)
+    CondBehavior behavior = CondBehavior::kRandom;
+    float taken_prob = 0.5f;   ///< biased/random draw
+    std::uint16_t trip = 0;    ///< loop trip count
+    std::uint8_t tap1 = 1;     ///< correlated: history tap positions
+    std::uint8_t tap2 = 0;     ///< 0 = single-tap
+    bool invert = false;
+  };
+  struct JumpSite {
+    std::uint64_t ip = 0;
+    std::uint64_t target = 0;
+  };
+  struct IndirectSite {
+    std::uint64_t ip = 0;
+    bool is_call = false;
+    std::vector<std::uint64_t> targets;
+  };
+  struct CallSite {
+    std::uint64_t ip = 0;
+    std::uint32_t callee = 0;  ///< function index
+  };
+  struct Function {
+    std::uint64_t entry = 0;
+    std::uint64_t ret_ip = 0;
+  };
+
+  /// Static code image; shared between processes when the profile says so.
+  struct Program {
+    std::vector<CondSite> conds;
+    std::vector<JumpSite> jumps;
+    std::vector<CallSite> calls;
+    std::vector<IndirectSite> indirects;
+    std::vector<Function> functions;
+  };
+
+  /// Per-process dynamic state (independent even over shared code).
+  struct ProcessState {
+    std::uint16_t pid = 0;
+    std::uint32_t program = 0;
+    std::uint64_t history = 0;  ///< this process's global outcome history
+    std::vector<std::uint16_t> loop_iter;    // per cond site
+    std::vector<std::uint8_t> ind_current;   // per indirect site
+    struct Frame {
+      std::uint64_t ret_addr;
+      std::uint32_t fn;
+    };
+    std::vector<Frame> stack;
+    // Active loop burst: keep emitting this site's iterations (interleaved
+    // with body branches) until the exit is emitted.
+    std::int64_t burst_site = -1;
+  };
+
+  Program build_program(std::uint64_t base, util::Xoshiro256& rng) const;
+  Program build_kernel_program(util::Xoshiro256& rng) const;
+  void init_dynamic_state();
+  [[nodiscard]] std::size_t pick_site(std::size_t n);
+  [[nodiscard]] bool cond_outcome(const CondSite& s, ProcessState& ps, std::size_t idx);
+  bpu::BranchRecord emit_conditional(ProcessState& ps, std::size_t idx);
+  bpu::BranchRecord emit_user_branch(ProcessState& ps);
+  bpu::BranchRecord emit_kernel_branch();
+
+  WorkloadProfile profile_;
+  std::uint64_t seed_;
+  util::Xoshiro256 rng_;
+
+  std::vector<Program> programs_;
+  Program kernel_;
+  std::vector<ProcessState> processes_;
+  std::uint64_t kernel_history_ = 0;
+
+  std::size_t current_proc_ = 0;
+  std::uint32_t kernel_remaining_ = 0;  ///< branches left in kernel excursion
+  bool switch_after_kernel_ = false;    ///< context switch pending
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace stbpu::trace

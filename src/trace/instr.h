@@ -1,0 +1,154 @@
+// Instruction-level trace records for the cycle-level OoO simulator
+// (DESIGN.md substitution #2). The generator wraps a branch stream and
+// fills the gaps between branches with basic blocks whose instruction mix,
+// register dependencies and memory locality follow the workload profile —
+// what the Table IV machine model needs to produce IPC that responds to
+// branch mispredictions and cache behaviour.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "bpu/types.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+#include "util/rng.h"
+
+namespace stbpu::trace {
+
+struct InstrRecord {
+  enum class Kind : std::uint8_t { kAlu, kMul, kDiv, kFp, kLoad, kStore, kBranch };
+  Kind kind = Kind::kAlu;
+  std::uint8_t dst = 0;   ///< architectural destination register (0 = none)
+  std::uint8_t src1 = 0;  ///< 0 = no register dependency (ready operand)
+  std::uint8_t src2 = 0;
+  bool streaming = false;      ///< unit-stride access (prefetcher-friendly)
+  std::uint64_t mem_addr = 0;  ///< loads/stores
+  bpu::BranchRecord branch;    ///< valid when kind == kBranch
+};
+
+class InstrStream {
+ public:
+  virtual ~InstrStream() = default;
+  virtual bool next(InstrRecord& out) = 0;
+  virtual void reset() = 0;
+};
+
+/// Statistical basic-block expansion around a branch stream.
+class SyntheticInstrGenerator final : public InstrStream {
+ public:
+  explicit SyntheticInstrGenerator(const WorkloadProfile& profile,
+                                   std::uint64_t seed_override = 0)
+      : profile_(profile),
+        branches_(profile, seed_override),
+        rng_((seed_override ? seed_override : profile.seed) ^ 0x1257ULL) {}
+
+  bool next(InstrRecord& out) override {
+    if (block_remaining_ == 0) {
+      // Emit the branch ending the previous block, then size the next one.
+      if (pending_branch_) {
+        out = InstrRecord{.kind = InstrRecord::Kind::kBranch};
+        out.branch = branch_;
+        pending_branch_ = false;
+        return true;
+      }
+      branches_.next(branch_);
+      pending_branch_ = true;
+      // Geometric block length with mean 1/density - 1 (>= 1).
+      const double mean =
+          std::max(1.0, 1.0 / std::max(0.01, profile_.branch_density) - 1.0);
+      block_remaining_ = 1 + static_cast<unsigned>(-mean * std::log(1.0 - rng_.uniform()));
+      if (block_remaining_ > 64) block_remaining_ = 64;
+      // Dependency chains break at block boundaries: loop iterations and
+      // separate blocks are mostly independent work (the source of ILP and
+      // memory-level parallelism in real code).
+      in_block_chain_ = false;
+    }
+    --block_remaining_;
+    out = make_instr();
+    return true;
+  }
+
+  void reset() override {
+    branches_.reset();
+    rng_ = util::Xoshiro256(profile_.seed ^ 0x1257ULL);
+    block_remaining_ = 0;
+    pending_branch_ = false;
+    stream_ptr_ = 0;
+    last_dst_ = 1;
+  }
+
+  [[nodiscard]] const WorkloadProfile& profile() const noexcept { return profile_; }
+
+ private:
+  InstrRecord make_instr() {
+    InstrRecord r;
+    const double u = rng_.uniform();
+    double acc = profile_.load_frac;
+    if (u < acc) {
+      r.kind = InstrRecord::Kind::kLoad;
+      data_address(r);
+    } else if (u < (acc += profile_.store_frac)) {
+      r.kind = InstrRecord::Kind::kStore;
+      data_address(r);
+    } else if (u < (acc += profile_.fp_frac)) {
+      r.kind = InstrRecord::Kind::kFp;
+    } else if (u < (acc += profile_.mul_frac)) {
+      r.kind = InstrRecord::Kind::kMul;
+    } else if (u < acc + 0.002) {
+      r.kind = InstrRecord::Kind::kDiv;
+    } else {
+      r.kind = InstrRecord::Kind::kAlu;
+    }
+    // Register assignment: rotating destinations. With probability
+    // `dep_chain` the first source is the previous destination (a serial
+    // chain); otherwise operands are frequently already available
+    // (constants, loop invariants, registers written long ago) — that
+    // sparsity is what exposes ILP and memory-level parallelism.
+    r.dst = static_cast<std::uint8_t>(1 + (last_dst_ % 31));
+    if (in_block_chain_ && rng_.chance(profile_.dep_chain)) {
+      r.src1 = last_dst_;  // serial chain within the current block
+    } else if (rng_.chance(0.2)) {
+      r.src1 = static_cast<std::uint8_t>(1 + rng_.below(31));
+    }
+    if (rng_.chance(0.15)) {
+      r.src2 = static_cast<std::uint8_t>(1 + rng_.below(31));
+    }
+    last_dst_ = r.dst;
+    ++last_dst_;
+    in_block_chain_ = true;
+    return r;
+  }
+
+  void data_address(InstrRecord& r) {
+    const std::uint64_t ws_bytes = std::uint64_t{profile_.working_set_kb} * 1024;
+    const std::uint64_t heap = 0x0000'7000'0000ULL;
+    if (rng_.chance(profile_.stream_frac)) {
+      stream_ptr_ = (stream_ptr_ + 8) % ws_bytes;  // unit-stride stream
+      r.mem_addr = heap + stream_ptr_;
+      r.streaming = true;
+      return;
+    }
+    // Non-streaming accesses are still locality-skewed: most land in a hot
+    // region (stack frames, hot nodes); the rest roam the full working set.
+    const std::uint64_t hot_bytes =
+        std::min<std::uint64_t>(ws_bytes, 512 * 1024);
+    const std::uint64_t span = rng_.chance(0.8) ? hot_bytes : ws_bytes;
+    r.mem_addr = heap + (rng_.below(span) & ~std::uint64_t{7});
+  }
+
+  WorkloadProfile profile_;
+  SyntheticWorkloadGenerator branches_;
+  util::Xoshiro256 rng_;
+  unsigned block_remaining_ = 0;
+  bool pending_branch_ = false;
+  bool in_block_chain_ = false;
+  bpu::BranchRecord branch_;
+  std::uint64_t stream_ptr_ = 0;
+  std::uint8_t last_dst_ = 1;
+};
+
+}  // namespace stbpu::trace

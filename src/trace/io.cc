@@ -1,0 +1,85 @@
+#include "trace/io.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace stbpu::trace {
+
+namespace {
+
+/// On-disk record layout (packed, little-endian host assumed for this
+/// research tool; 24 bytes per record).
+struct PackedRecord {
+  std::uint64_t ip;
+  std::uint64_t target;
+  std::uint8_t type;
+  std::uint8_t taken;
+  std::uint16_t pid;
+  std::uint8_t hart;
+  std::uint8_t kernel;
+  std::uint16_t pad;
+};
+static_assert(sizeof(PackedRecord) == 24);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& records) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  const std::uint32_t header[4] = {kTraceMagic, kTraceVersion,
+                                   static_cast<std::uint32_t>(records.size() & 0xFFFFFFFF),
+                                   static_cast<std::uint32_t>(records.size() >> 32)};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) return false;
+  for (const auto& r : records) {
+    const PackedRecord p{.ip = r.ip,
+                         .target = r.target,
+                         .type = static_cast<std::uint8_t>(r.type),
+                         .taken = r.taken ? std::uint8_t{1} : std::uint8_t{0},
+                         .pid = r.ctx.pid,
+                         .hart = r.ctx.hart,
+                         .kernel = r.ctx.kernel ? std::uint8_t{1} : std::uint8_t{0},
+                         .pad = 0};
+    if (std::fwrite(&p, sizeof(p), 1, f.get()) != 1) return false;
+  }
+  return true;
+}
+
+std::vector<bpu::BranchRecord> read_trace(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open trace: " + path);
+  std::uint32_t header[4];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 || header[0] != kTraceMagic) {
+    throw std::runtime_error("bad trace header: " + path);
+  }
+  if (header[1] != kTraceVersion) {
+    throw std::runtime_error("unsupported trace version in " + path);
+  }
+  const std::uint64_t count =
+      static_cast<std::uint64_t>(header[2]) | (static_cast<std::uint64_t>(header[3]) << 32);
+  std::vector<bpu::BranchRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedRecord p;
+    if (std::fread(&p, sizeof(p), 1, f.get()) != 1) {
+      throw std::runtime_error("truncated trace: " + path);
+    }
+    bpu::BranchRecord r;
+    r.ip = p.ip;
+    r.target = p.target;
+    r.type = static_cast<bpu::BranchType>(p.type);
+    r.taken = p.taken != 0;
+    r.ctx = {.pid = p.pid, .hart = p.hart, .kernel = p.kernel != 0};
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace stbpu::trace

@@ -1,0 +1,23 @@
+// Binary branch-trace serialization — lets expensive synthetic traces (or
+// user-supplied converted Intel PT traces) be cached on disk and replayed
+// byte-identically across models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bpu/types.h"
+
+namespace stbpu::trace {
+
+inline constexpr std::uint32_t kTraceMagic = 0x53'54'42'50;  // "STBP"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Write records to `path`. Returns false on I/O failure.
+bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& records);
+
+/// Read records from `path`. Throws std::runtime_error on malformed input.
+std::vector<bpu::BranchRecord> read_trace(const std::string& path);
+
+}  // namespace stbpu::trace

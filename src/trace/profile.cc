@@ -1,0 +1,366 @@
+#include "trace/profile.h"
+
+#include <functional>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stbpu::trace {
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  // Stable per-workload seed: FNV-1a over the name.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h | 1;
+}
+
+/// Compute-bound SPEC baseline: rare syscalls (I/O, page faults), timer
+/// interrupts, single process.
+WorkloadProfile spec_base(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.syscall_rate = 8e-4;   // library I/O, page-fault handling
+  p.context_switch_rate = 8e-5;  // timer-driven reschedules, daemons
+  p.interrupt_rate = 2e-5;
+  p.num_processes = 2;  // the workload + background system activity
+  p.primary_process_weight = 0.88;
+  p.seed = name_seed(p.name);
+  return p;
+}
+
+/// Highly regular FP/stencil workload: few hard branches, long loops.
+void make_regular_fp(WorkloadProfile& p, unsigned sites, unsigned ws_kb) {
+  p.static_branches = sites;
+  p.biased_frac = 0.68;
+  p.loop_frac = 0.22;
+  p.pattern_frac = 0.08;
+  p.hard_taken_prob = 0.85;  // the rare "hard" fp branches are mostly taken
+  p.max_trip_count = 32;
+  p.frac_call = 0.04;
+  p.frac_direct_jump = 0.03;
+  p.frac_indirect = 0.004;
+  p.branch_density = 0.08;
+  p.fp_frac = 0.45;
+  p.load_frac = 0.30;
+  p.working_set_kb = ws_kb;
+  p.stream_frac = 0.85;
+  p.dep_chain = 0.25;  // vectorizable independent iterations
+  p.site_skew = 2.2;
+}
+
+/// Control-heavy integer workload with data-dependent branches.
+void make_irregular_int(WorkloadProfile& p, unsigned sites, double hard_frac,
+                        unsigned ws_kb) {
+  p.static_branches = sites;
+  // hard fraction = 1 - biased - loop - pattern
+  p.biased_frac = 0.48 - hard_frac * 0.25;
+  p.loop_frac = 0.16;
+  p.pattern_frac = 1.0 - p.biased_frac - p.loop_frac - hard_frac;
+  p.hard_taken_prob = 0.52;
+  p.frac_call = 0.11;
+  p.frac_direct_jump = 0.06;
+  p.frac_indirect = 0.015;
+  p.branch_density = 0.21;
+  p.fp_frac = 0.01;
+  p.working_set_kb = ws_kb;
+  p.stream_frac = 0.35;
+  p.dep_chain = 0.45;
+  p.site_skew = 1.5;
+}
+
+std::vector<WorkloadProfile> spec_short_profiles() {
+  std::vector<WorkloadProfile> out;
+  auto add = [&out](const char* name,
+                    const std::function<void(WorkloadProfile&)>& tune) {
+    WorkloadProfile p = spec_base(name);
+    tune(p);
+    out.push_back(std::move(p));
+  };
+
+  add("perlbench", [](WorkloadProfile& p) {  // interpreter: calls + indirect
+    make_irregular_int(p, 14000, 0.02, 512);
+    p.frac_call = 0.16;
+    p.frac_indirect = 0.05;
+    p.indirect_targets = 12;
+    p.indirect_switch_prob = 0.3;
+    p.call_depth_bias = 14.0;
+  });
+  add("gcc", [](WorkloadProfile& p) {  // huge footprint compiler
+    make_irregular_int(p, 32000, 0.05, 2048);
+    p.frac_call = 0.13;
+    p.frac_indirect = 0.03;
+    p.indirect_targets = 8;
+    p.hot_ratio = 0.78;   // flat reuse — stresses BTB capacity
+    p.hot_divisor = 8;
+  });
+  add("bwaves", [](WorkloadProfile& p) { make_regular_fp(p, 900, 12288); });
+  add("mcf", [](WorkloadProfile& p) {  // pointer chasing, very hard branches
+    make_irregular_int(p, 1600, 0.16, 8192);
+    p.hard_taken_prob = 0.50;
+    p.stream_frac = 0.10;
+    p.dep_chain = 0.8;  // pointer chasing: load-to-load serial chains
+    p.branch_density = 0.24;
+  });
+  add("cactuBSSN", [](WorkloadProfile& p) { make_regular_fp(p, 2600, 4096); });
+  add("namd", [](WorkloadProfile& p) {
+    make_regular_fp(p, 1400, 1024);
+    p.biased_frac = 0.60;
+    p.pattern_frac = 0.16;
+  });
+  add("parest", [](WorkloadProfile& p) {
+    make_regular_fp(p, 5200, 2048);
+    p.frac_call = 0.09;
+    p.biased_frac = 0.50;
+  });
+  add("povray", [](WorkloadProfile& p) {  // ray tracer: calls + mixed branch
+    make_irregular_int(p, 7000, 0.03, 256);
+    p.fp_frac = 0.30;
+    p.frac_call = 0.14;
+    p.call_depth_bias = 18.0;  // deep recursion — RSB pressure
+  });
+  add("lbm", [](WorkloadProfile& p) {
+    make_regular_fp(p, 420, 6144);
+    p.branch_density = 0.04;
+  });
+  add("omnetpp", [](WorkloadProfile& p) {  // discrete events, virtual calls
+    make_irregular_int(p, 9000, 0.07, 4096);
+    p.frac_indirect = 0.05;
+    p.indirect_targets = 10;
+    p.stream_frac = 0.15;
+  });
+  add("wrf", [](WorkloadProfile& p) { make_regular_fp(p, 6400, 3072); });
+  add("xalancbmk", [](WorkloadProfile& p) {  // XSLT: virtual-call heavy
+    make_irregular_int(p, 12000, 0.03, 1024);
+    p.frac_indirect = 0.07;
+    p.indirect_targets = 14;
+    p.indirect_switch_prob = 0.35;
+  });
+  add("x264", [](WorkloadProfile& p) {  // video encode: regular + some hard
+    make_regular_fp(p, 3800, 1024);
+    p.biased_frac = 0.45;
+    p.loop_frac = 0.28;
+    p.pattern_frac = 0.17;
+    p.branch_density = 0.12;
+    p.fp_frac = 0.10;
+  });
+  add("blender", [](WorkloadProfile& p) {
+    make_irregular_int(p, 11000, 0.04, 512);
+    p.fp_frac = 0.25;
+  });
+  add("cam4", [](WorkloadProfile& p) { make_regular_fp(p, 7600, 2048); });
+  add("deepsjeng", [](WorkloadProfile& p) {  // alpha-beta search
+    make_irregular_int(p, 3200, 0.11, 512);
+    p.call_depth_bias = 24.0;  // deep recursion
+    p.hard_taken_prob = 0.47;
+  });
+  add("imagick", [](WorkloadProfile& p) {
+    make_regular_fp(p, 2400, 768);
+    p.biased_frac = 0.54;
+    p.loop_frac = 0.36;
+  });
+  add("leela", [](WorkloadProfile& p) {  // MCTS: hardest branches
+    make_irregular_int(p, 2600, 0.22, 256);
+    p.hard_taken_prob = 0.5;
+    p.frac_call = 0.13;
+  });
+  add("nab", [](WorkloadProfile& p) { make_regular_fp(p, 1800, 512); });
+  add("exchange2", [](WorkloadProfile& p) {  // branchy but regular puzzles
+    make_irregular_int(p, 2100, 0.015, 64);
+    p.biased_frac = 0.38;
+    p.loop_frac = 0.34;
+    p.pattern_frac = 0.25;
+    p.branch_density = 0.27;
+    p.call_depth_bias = 20.0;
+  });
+  add("fotonik3d", [](WorkloadProfile& p) { make_regular_fp(p, 1300, 8192); });
+  add("roms", [](WorkloadProfile& p) { make_regular_fp(p, 3400, 4096); });
+  add("xz", [](WorkloadProfile& p) {  // compression: data-dependent
+    make_irregular_int(p, 1900, 0.11, 2048);
+    p.pattern_frac = 0.22;
+    p.stream_frac = 0.45;
+  });
+  return out;
+}
+
+WorkloadProfile app_base(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.seed = name_seed(p.name);
+  return p;
+}
+
+std::vector<WorkloadProfile> app_profiles_impl() {
+  std::vector<WorkloadProfile> out;
+
+  // Apache2 prefork: N workers run identical code; heavy syscall traffic
+  // and scheduling churn grows with concurrency. Flushing designs lose the
+  // whole shared-history advantage on every switch — STBPU's share-group
+  // story (paper §IV-A).
+  const struct {
+    const char* name;
+    unsigned conns;
+  } apache[] = {{"apache2_prefork_c32", 32},
+                {"apache2_prefork_c64", 64},
+                {"apache2_prefork_c128", 128},
+                {"apache2_prefork_c256", 256},
+                {"apache2_prefork_c512", 512}};
+  for (const auto& a : apache) {
+    WorkloadProfile p = app_base(a.name);
+    p.static_branches = 9000;
+    p.kernel_branches = 2600;  // network stack + VFS
+    // Server request handling is bias/correlation heavy, not loop heavy —
+    // which is also what lets prefork workers share useful history.
+    p.biased_frac = 0.52;
+    p.loop_frac = 0.08;
+    p.pattern_frac = 0.22;
+    p.frac_call = 0.14;
+    p.frac_indirect = 0.03;
+    p.indirect_targets = 8;
+    p.syscall_rate = 0.012;  // accept/read/write per request
+    p.context_switch_rate = 8e-4 + 6e-4 * (a.conns / 128.0);
+    p.num_processes = 2 + a.conns / 64;  // active worker subset
+    p.processes_share_code = true;
+    p.working_set_kb = 512;
+    p.branch_density = 0.19;
+    out.push_back(std::move(p));
+  }
+
+  // Chrome: isolated renderer processes with distinct JITted code, heavy
+  // indirect branching, moderate kernel interaction.
+  const char* chrome[] = {"chrome-1je_1mo_1sp", "chrome-1jetstream",
+                          "chrome-1motionmark", "chrome-1speedometer"};
+  for (unsigned i = 0; i < 4; ++i) {
+    WorkloadProfile p = app_base(chrome[i]);
+    p.static_branches = 26000;
+    p.kernel_branches = 1800;
+    p.biased_frac = 0.40;
+    p.loop_frac = 0.18;
+    p.pattern_frac = 0.24;
+    p.frac_call = 0.15;
+    p.frac_indirect = 0.06;  // IC stubs, dispatch
+    p.indirect_targets = 16;
+    p.indirect_switch_prob = 0.3;
+    p.syscall_rate = 0.004;
+    p.context_switch_rate = i == 0 ? 2.4e-3 : 1e-3;  // 3 tabs vs 1 tab
+    p.num_processes = i == 0 ? 6 : 3;
+    p.processes_share_code = false;
+    p.working_set_kb = 4096;
+    p.hot_ratio = 0.82;  // JITted code spreads the footprint
+    out.push_back(std::move(p));
+  }
+
+  // MySQL: thread pool on shared code, lock-handoff context switches grow
+  // with connection count, syscall-heavy.
+  const struct {
+    const char* name;
+    unsigned conns;
+  } mysql[] = {{"mysql_32con_50s", 32},
+               {"mysql_64con_50s", 64},
+               {"mysql_128con_50s", 128},
+               {"mysql_256con_50s", 256}};
+  for (const auto& m : mysql) {
+    WorkloadProfile p = app_base(m.name);
+    p.static_branches = 15000;
+    p.kernel_branches = 2200;
+    p.biased_frac = 0.54;
+    p.loop_frac = 0.08;
+    p.pattern_frac = 0.21;
+    p.frac_call = 0.13;
+    p.frac_indirect = 0.035;
+    p.indirect_targets = 10;
+    p.syscall_rate = 0.009;
+    p.context_switch_rate = 6e-4 + 5e-4 * (m.conns / 128.0);
+    p.num_processes = 2 + m.conns / 48;
+    p.processes_share_code = true;
+    p.working_set_kb = 8192;
+    out.push_back(std::move(p));
+  }
+
+  // OBS Studio: capture/encode pipeline, fewer switches, FP-ish encode.
+  {
+    WorkloadProfile p = app_base("obsstudio_30s");
+    p.static_branches = 13000;
+    p.kernel_branches = 1500;
+    p.biased_frac = 0.46;
+    p.loop_frac = 0.24;
+    p.pattern_frac = 0.16;
+    p.frac_call = 0.12;
+    p.frac_indirect = 0.03;
+    p.syscall_rate = 0.003;
+    p.context_switch_rate = 6e-4;
+    p.num_processes = 3;
+    p.fp_frac = 0.2;
+    p.working_set_kb = 2048;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+const std::unordered_map<std::string, const char*>& fig3_numbering() {
+  static const std::unordered_map<std::string, const char*> kMap = {
+      {"perlbench", "500.perlbench"}, {"gcc", "502.gcc"},
+      {"bwaves", "503.bwaves"},       {"mcf", "505.mcf"},
+      {"cactuBSSN", "507.cactuBSSN"}, {"namd", "508.namd"},
+      {"parest", "510.parest"},       {"povray", "511.povray"},
+      {"lbm", "519.lbm"},             {"omnetpp", "520.omnetpp"},
+      {"wrf", "521.wrf"},             {"xalancbmk", "523.xalancbmk"},
+      {"x264", "525.x264"},           {"blender", "526.blender"},
+      {"cam4", "527.cam4"},           {"deepsjeng", "531.deepsjeng"},
+      {"imagick", "538.imagick"},     {"leela", "541.leela"},
+      {"nab", "544.nab"},             {"exchange2", "548.exchange2"},
+      {"fotonik3d", "549.fotonik3d"}, {"roms", "554.roms"},
+      {"xz", "557.xz"}};
+  return kMap;
+}
+
+}  // namespace
+
+std::vector<WorkloadProfile> spec2017_profiles() {
+  std::vector<WorkloadProfile> out = spec_short_profiles();
+  for (auto& p : out) {
+    const auto it = fig3_numbering().find(p.name);
+    if (it != fig3_numbering().end()) p.name = it->second;
+  }
+  return out;
+}
+
+std::vector<WorkloadProfile> application_profiles() { return app_profiles_impl(); }
+
+std::vector<WorkloadProfile> figure3_profiles() {
+  std::vector<WorkloadProfile> out = spec2017_profiles();
+  auto apps = application_profiles();
+  out.insert(out.end(), std::make_move_iterator(apps.begin()),
+             std::make_move_iterator(apps.end()));
+  return out;
+}
+
+std::vector<WorkloadProfile> figure4_profiles() {
+  // The 18 workloads of Figures 4/5, in the paper's axis order.
+  static const char* kNames[] = {"fotonik3d", "x264",   "exchange2", "deepsjeng",
+                                 "roms",      "mcf",    "nab",       "cam4",
+                                 "namd",      "xalancbmk", "parest", "bwaves",
+                                 "wrf",       "imagick", "leela",    "blender",
+                                 "xz",        "lbm"};
+  std::vector<WorkloadProfile> out;
+  for (const char* n : kNames) out.push_back(profile_by_name(n));
+  return out;
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  for (const auto& p : spec_short_profiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : spec2017_profiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : app_profiles_impl()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown workload profile: " + name);
+}
+
+}  // namespace stbpu::trace

@@ -1,0 +1,94 @@
+// Workload profiles — the statistical substitute for the paper's Intel PT
+// captures (DESIGN.md substitution #1). Each named profile parameterizes
+// the synthetic generator so the produced branch stream lands in the same
+// branch-behaviour regime the corresponding real workload exhibits:
+// footprint, type mix, bias structure, indirect fan-out, call depth, and
+// the system-interaction knobs (syscall rate, context-switch interval,
+// process count, shared code) that drive the flush-vs-remap comparison of
+// Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stbpu::trace {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // --- static code shape -------------------------------------------------
+  unsigned static_branches = 4096;  ///< distinct user branch sites
+  unsigned functions = 64;          ///< call graph size
+  unsigned kernel_branches = 512;   ///< kernel handler footprint
+
+  // --- branch type mix (fractions of emitted branches) --------------------
+  double frac_call = 0.10;          ///< calls (returns emitted to match)
+  double frac_direct_jump = 0.05;
+  double frac_indirect = 0.02;      ///< indirect jumps/calls
+
+  // --- conditional behaviour mix (of conditional sites) -------------------
+  double biased_frac = 0.45;   ///< ~99% one-direction branches
+  double loop_frac = 0.25;     ///< fixed trip-count loop exits (emitted as bursts)
+  double pattern_frac = 0.15;  ///< outcomes correlated with recent global history
+  // remainder: data-dependent branches with taken-prob `hard_taken_prob`
+  double hard_taken_prob = 0.55;
+  unsigned max_trip_count = 64;
+  /// While inside a loop burst, probability per step of interleaving some
+  /// other branch (models loop bodies containing further control flow).
+  double body_interleave = 0.45;
+
+  // --- indirect behaviour --------------------------------------------------
+  unsigned indirect_targets = 4;   ///< fan-out per indirect site
+  double indirect_switch_prob = 0.15;  ///< target-change probability
+
+  // --- locality ------------------------------------------------------------
+  /// Two-tier instruction working set: `hot_ratio` of picks land in the hot
+  /// head (|sites| / hot_divisor, skewed by site_skew inside), the rest in
+  /// the cold tail. Controls BTB pressure — gcc/chrome keep a low ratio.
+  double hot_ratio = 0.975;
+  unsigned hot_divisor = 16;
+  double site_skew = 1.3;  ///< >1: skew inside the hot head
+
+  // --- system interaction ----------------------------------------------
+  double syscall_rate = 0.0005;        ///< kernel excursions per user branch
+  double context_switch_rate = 2e-5;   ///< process switches per branch
+  double interrupt_rate = 5e-6;        ///< interrupt handler excursions
+  unsigned num_processes = 1;
+  /// Probability that the scheduler returns to process 0 after a switch
+  /// (compute-bound workload + background daemons); 0 = uniform rotation.
+  double primary_process_weight = 0.0;
+  bool processes_share_code = false;   ///< e.g. apache prefork workers
+  double call_depth_bias = 8.0;        ///< expected steady call-stack depth
+
+  // --- instruction-level shape (OoO simulator input) ---------------------
+  double branch_density = 0.18;   ///< branches per instruction
+  double load_frac = 0.25;        ///< of non-branch instructions
+  double store_frac = 0.11;
+  double fp_frac = 0.05;
+  double mul_frac = 0.03;
+  unsigned working_set_kb = 256;  ///< data working set (drives cache misses)
+  double stream_frac = 0.5;       ///< streaming (prefetch-friendly) accesses
+  double dep_chain = 0.35;        ///< P(src = immediately preceding dst)
+
+  std::uint64_t seed = 1;  ///< per-workload seed (name-hashed by registry)
+};
+
+/// The 23 SPEC CPU 2017 workloads the paper traces (Figure 3's left block)
+/// — parameter choices documented in profile.cc.
+[[nodiscard]] std::vector<WorkloadProfile> spec2017_profiles();
+
+/// The 14 user/server application traces (Figure 3's right block):
+/// apache2 prefork c32..c512, chrome variants, mysql variants, obsstudio.
+[[nodiscard]] std::vector<WorkloadProfile> application_profiles();
+
+/// All Figure 3 workloads in presentation order.
+[[nodiscard]] std::vector<WorkloadProfile> figure3_profiles();
+
+/// The 18 SPEC workloads used for gem5 single-workload runs (Figure 4).
+[[nodiscard]] std::vector<WorkloadProfile> figure4_profiles();
+
+/// Look a profile up by name (throws std::out_of_range if absent).
+[[nodiscard]] WorkloadProfile profile_by_name(const std::string& name);
+
+}  // namespace stbpu::trace

@@ -1,0 +1,78 @@
+// Branch-trace streaming interfaces. Traces can be generated on the fly
+// (SyntheticWorkloadGenerator), replayed from memory (VectorStream) or from
+// disk (trace/io.h) — the simulators only see this interface, mirroring how
+// the paper's in-house simulator consumes Intel PT branch streams.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bpu/types.h"
+
+namespace stbpu::trace {
+
+class BranchStream {
+ public:
+  virtual ~BranchStream() = default;
+  /// Produce the next dynamic branch; returns false at end of trace.
+  virtual bool next(bpu::BranchRecord& out) = 0;
+  /// Rewind to the beginning (same sequence again — streams are
+  /// deterministic so every model sees the identical trace).
+  virtual void reset() = 0;
+};
+
+/// Replays a materialized trace.
+class VectorStream final : public BranchStream {
+ public:
+  explicit VectorStream(std::vector<bpu::BranchRecord> records)
+      : records_(std::move(records)) {}
+
+  bool next(bpu::BranchRecord& out) override {
+    if (pos_ >= records_.size()) return false;
+    out = records_[pos_++];
+    return true;
+  }
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] const std::vector<bpu::BranchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<bpu::BranchRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Caps a stream at `limit` branches (warm-up / budget windows).
+class LimitStream final : public BranchStream {
+ public:
+  LimitStream(BranchStream* inner, std::uint64_t limit)
+      : inner_(inner), limit_(limit) {}
+  bool next(bpu::BranchRecord& out) override {
+    if (count_ >= limit_) return false;
+    if (!inner_->next(out)) return false;
+    ++count_;
+    return true;
+  }
+  void reset() override {
+    inner_->reset();
+    count_ = 0;
+  }
+
+ private:
+  BranchStream* inner_;
+  std::uint64_t limit_;
+  std::uint64_t count_ = 0;
+};
+
+/// Materialize up to `limit` records from a stream.
+inline std::vector<bpu::BranchRecord> collect(BranchStream& s, std::uint64_t limit) {
+  std::vector<bpu::BranchRecord> out;
+  out.reserve(limit);
+  bpu::BranchRecord r;
+  while (out.size() < limit && s.next(r)) out.push_back(r);
+  return out;
+}
+
+}  // namespace stbpu::trace

@@ -1,0 +1,67 @@
+// Bit-manipulation helpers shared by BPU structures, remapping functions and
+// the remap-circuit generator. All helpers are constexpr and branch-free
+// where possible since they sit on the simulator's hottest paths.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace stbpu::util {
+
+/// Extract `width` bits of `value` starting at bit `lo` (LSB = bit 0).
+constexpr std::uint64_t bits(std::uint64_t value, unsigned lo, unsigned width) noexcept {
+  if (width == 0) return 0;
+  if (width >= 64) return value >> lo;
+  return (value >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/// Mask with the low `width` bits set.
+constexpr std::uint64_t mask(unsigned width) noexcept {
+  return width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+}
+
+/// XOR-fold `value` down to `width` bits (classic hardware compressor).
+constexpr std::uint64_t fold_xor(std::uint64_t value, unsigned width) noexcept {
+  if (width == 0) return 0;
+  std::uint64_t out = 0;
+  while (value != 0) {
+    out ^= value & mask(width);
+    value >>= width;
+  }
+  return out;
+}
+
+constexpr std::uint64_t rotl64(std::uint64_t v, unsigned r) noexcept {
+  return std::rotl(v, static_cast<int>(r & 63u));
+}
+
+constexpr std::uint64_t rotr64(std::uint64_t v, unsigned r) noexcept {
+  return std::rotr(v, static_cast<int>(r & 63u));
+}
+
+/// Hamming distance between two words.
+constexpr unsigned hamming(std::uint64_t a, std::uint64_t b) noexcept {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+/// Sign-extend the low `width` bits of `v`.
+constexpr std::int64_t sign_extend(std::uint64_t v, unsigned width) noexcept {
+  const std::uint64_t m = std::uint64_t{1} << (width - 1);
+  const std::uint64_t x = v & mask(width);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+/// Next power of two >= v (v > 0).
+constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  return std::bit_ceil(v);
+}
+
+constexpr bool is_pow2(std::uint64_t v) noexcept { return std::has_single_bit(v); }
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+}  // namespace stbpu::util

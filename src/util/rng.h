@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for the whole simulator.
+//
+// The paper assumes STs are fetched "from low-latency in-chip pseudo-random
+// number generator" (RDRAND-class). For reproducible experiments every
+// random source in this repository is an explicitly seeded xoshiro256**
+// instance; nothing reads global entropy. This is the substitution noted in
+// DESIGN.md §1.3.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/bits.h"
+
+namespace stbpu::util {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, deterministic.
+/// Satisfies UniformRandomBitGenerator so it composes with <random> if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5742505553544250ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl64(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply keeps the distribution exactly uniform for the bound
+    // sizes used here (all < 2^48).
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(operator()()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace stbpu::util

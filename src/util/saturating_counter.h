@@ -1,0 +1,86 @@
+// N-bit saturating counters — the finite-state machines behind the PHT,
+// TAGE useful/confidence counters and the perceptron training threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace stbpu::util {
+
+/// Unsigned saturating counter with `Bits` bits.
+/// For a 2-bit counter the states are the classic strongly-not-taken (0),
+/// weakly-not-taken (1), weakly-taken (2), strongly-taken (3).
+template <unsigned Bits>
+class SaturatingCounter {
+  static_assert(Bits >= 1 && Bits <= 8, "counter width out of range");
+
+ public:
+  static constexpr std::uint8_t kMax = static_cast<std::uint8_t>(mask(Bits));
+  static constexpr std::uint8_t kWeaklyTaken = (kMax >> 1) + 1;
+
+  constexpr SaturatingCounter() noexcept = default;
+  explicit constexpr SaturatingCounter(std::uint8_t v) noexcept
+      : value_(v > kMax ? kMax : v) {}
+
+  constexpr void increment() noexcept {
+    if (value_ < kMax) ++value_;
+  }
+  constexpr void decrement() noexcept {
+    if (value_ > 0) --value_;
+  }
+  constexpr void update(bool taken) noexcept { taken ? increment() : decrement(); }
+
+  [[nodiscard]] constexpr bool taken() const noexcept { return value_ >= kWeaklyTaken; }
+  [[nodiscard]] constexpr bool is_saturated() const noexcept {
+    return value_ == 0 || value_ == kMax;
+  }
+  [[nodiscard]] constexpr std::uint8_t raw() const noexcept { return value_; }
+  constexpr void set_raw(std::uint8_t v) noexcept { value_ = v > kMax ? kMax : v; }
+  constexpr void reset(bool taken_bias) noexcept {
+    value_ = taken_bias ? kWeaklyTaken : kWeaklyTaken - 1;
+  }
+
+ private:
+  std::uint8_t value_ = kWeaklyTaken - 1;  // weakly not-taken reset state
+};
+
+/// Signed saturating counter in [-2^(Bits-1), 2^(Bits-1)-1]; used by TAGE
+/// prediction counters and the statistical corrector.
+template <unsigned Bits>
+class SignedSaturatingCounter {
+  static_assert(Bits >= 2 && Bits <= 16, "counter width out of range");
+
+ public:
+  static constexpr int kMax = (1 << (Bits - 1)) - 1;
+  static constexpr int kMin = -(1 << (Bits - 1));
+
+  constexpr SignedSaturatingCounter() noexcept = default;
+  explicit constexpr SignedSaturatingCounter(int v) noexcept { set(v); }
+
+  constexpr void update(bool taken) noexcept {
+    if (taken) {
+      if (value_ < kMax) ++value_;
+    } else {
+      if (value_ > kMin) --value_;
+    }
+  }
+
+  [[nodiscard]] constexpr bool taken() const noexcept { return value_ >= 0; }
+  [[nodiscard]] constexpr int value() const noexcept { return value_; }
+  [[nodiscard]] constexpr int magnitude() const noexcept {
+    return value_ >= 0 ? value_ : -value_;
+  }
+  /// Confidence: |2c+1| relative to the max, as used by TAGE-SC-L.
+  [[nodiscard]] constexpr bool high_confidence() const noexcept {
+    return value_ == kMax || value_ == kMin;
+  }
+  constexpr void set(int v) noexcept {
+    value_ = static_cast<std::int16_t>(v > kMax ? kMax : (v < kMin ? kMin : v));
+  }
+
+ private:
+  std::int16_t value_ = 0;
+};
+
+}  // namespace stbpu::util

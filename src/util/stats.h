@@ -1,0 +1,88 @@
+// Small statistics helpers used by validation (remapgen C2/C3 metrics) and
+// by the benches (normalized accuracy/IPC aggregation, harmonic means for
+// SMT throughput per Michaud's recommendation cited in the paper).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stbpu::util {
+
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+inline double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+/// Coefficient of variation — the paper's uniformity metric for the
+/// balls-and-bins analysis (C2) and avalanche dispersion (C3).
+inline double coefficient_of_variation(std::span<const double> xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+/// Harmonic mean — used for SMT throughput (paper §VII-B2, [49]).
+inline double harmonic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    s += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / s;
+}
+
+/// Convenience overloads for vectors.
+inline double mean(const std::vector<double>& xs) { return mean(std::span{xs}); }
+inline double stddev(const std::vector<double>& xs) { return stddev(std::span{xs}); }
+inline double coefficient_of_variation(const std::vector<double>& xs) {
+  return coefficient_of_variation(std::span{xs});
+}
+inline double harmonic_mean(const std::vector<double>& xs) {
+  return harmonic_mean(std::span{xs});
+}
+
+/// Online mean/min/max accumulator for streaming measurements.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double cv() const { return mean_ == 0.0 ? 0.0 : stddev() / mean_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace stbpu::util

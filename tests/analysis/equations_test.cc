@@ -1,0 +1,108 @@
+// The §VI-A5 arithmetic must reproduce the paper's printed constants.
+#include "analysis/equations.h"
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+
+namespace stbpu::analysis {
+namespace {
+
+TEST(Equations, BtbReuseMatchesPaperConstants) {
+  const auto c = btb_reuse_cost(BtbGeometry{});
+  // n = I·T·O/2 = 512·256·32/2 = 2^21.
+  EXPECT_DOUBLE_EQ(c.set_size_n, 2097152.0);
+  // M ≈ 6.9×10^8 (paper §VI-A5).
+  EXPECT_NEAR(c.mispredictions_m, 6.9e8, 0.05e9);
+  // E ≈ 2^21 (minus the I·W capacity term).
+  EXPECT_NEAR(c.evictions_e, 2097152.0 - 4096.0, 1.0);
+}
+
+TEST(Equations, PhtReuseMatchesPaperConstant) {
+  const auto c = pht_reuse_cost(PhtGeometry{});
+  EXPECT_NEAR(c.mispredictions_m, 8.38e5, 0.02e5);  // paper: ≈ 8.38×10^5
+  EXPECT_EQ(c.evictions_e, 0.0) << "PHT entries are not evicted";
+}
+
+TEST(Equations, GemEvictionMatchesPaperConstant) {
+  // E at P = 0.5 ≈ 5.3×10^5 (paper §VI-A5).
+  EXPECT_NEAR(gem_eviction_cost(BtbGeometry{}, 0.5), 5.3e5, 0.02e5);
+}
+
+TEST(Equations, InjectionIsHalfTheTargetSpace) {
+  EXPECT_DOUBLE_EQ(injection_attempts(), 2147483648.0);  // 2^31
+}
+
+TEST(Equations, NaiveEvictionGuessIsHopeless) {
+  // Eq. (3): (1/512)^7 — why the attacker needs GEM at all.
+  const double p = naive_eviction_set_probability(BtbGeometry{});
+  EXPECT_LT(p, 1e-18);
+  EXPECT_GT(p, 0.0);
+}
+
+TEST(Equations, GemCostGrowsWithSuccessRate) {
+  const BtbGeometry g{};
+  EXPECT_LT(gem_eviction_cost(g, 0.25), gem_eviction_cost(g, 0.5));
+  EXPECT_LT(gem_eviction_cost(g, 0.5), gem_eviction_cost(g, 1.0));
+}
+
+TEST(Equations, Section65TableHasAllFourRows) {
+  const auto rows = section_vi5_table();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NE(rows[0].attack.find("BTB reuse"), std::string::npos);
+  EXPECT_NE(rows[1].attack.find("BranchScope"), std::string::npos);
+  EXPECT_NE(rows[2].attack.find("eviction"), std::string::npos);
+  EXPECT_NE(rows[3].attack.find("Spectre"), std::string::npos);
+}
+
+TEST(Equations, BindingComplexityIsTheMinimum) {
+  const auto c = binding_complexity();
+  // PHT reuse binds mispredictions; GEM binds evictions.
+  EXPECT_NEAR(c.mispredictions_c, 8.38e5, 0.02e5);
+  EXPECT_NEAR(c.evictions_c, 5.3e5, 0.02e5);
+  const auto rows = section_vi5_table();
+  for (const auto& row : rows) {
+    if (row.mispredictions > 0) EXPECT_GE(row.mispredictions, c.mispredictions_c * 0.99);
+    if (row.evictions > 0) EXPECT_GE(row.evictions, c.evictions_c * 0.99);
+  }
+}
+
+TEST(Equations, ThresholdDerivationMatchesPaperExamples) {
+  // §VII-A: r = 0.1 → 8.3×10^4 / 5.3×10^4; r = 0.05 → 4.15×10^4 / 2.65×10^4.
+  const auto t01 = derive_thresholds(0.1);
+  EXPECT_NEAR(static_cast<double>(t01.mispredictions), 8.3e4, 0.1e4);
+  EXPECT_NEAR(static_cast<double>(t01.evictions), 5.3e4, 0.1e4);
+  const auto t005 = derive_thresholds(0.05);
+  EXPECT_NEAR(static_cast<double>(t005.mispredictions), 4.15e4, 0.1e4);
+  EXPECT_NEAR(static_cast<double>(t005.evictions), 2.65e4, 0.1e4);
+}
+
+TEST(Equations, MonitorDefaultsAgreeWithAnalysis) {
+  // The hardware MSR defaults (core::MonitorConfig) must be the r=0.05
+  // derivation of this module — one source of truth, two implementations.
+  const auto t = derive_thresholds(0.05);
+  const auto cfg = core::MonitorConfig::from_difficulty(0.05, false);
+  EXPECT_NEAR(static_cast<double>(cfg.misprediction_threshold),
+              static_cast<double>(t.mispredictions), 100.0);
+  EXPECT_NEAR(static_cast<double>(cfg.eviction_threshold),
+              static_cast<double>(t.evictions), 100.0);
+}
+
+TEST(Equations, ThresholdsScaleLinearlyInR) {
+  const auto a = derive_thresholds(0.1);
+  const auto b = derive_thresholds(0.05);
+  EXPECT_NEAR(static_cast<double>(a.mispredictions) /
+                  static_cast<double>(b.mispredictions),
+              2.0, 0.01);
+}
+
+TEST(Equations, ReuseCostMonotoneInGeometry) {
+  BtbGeometry small{};
+  BtbGeometry big{};
+  big.sets *= 2;
+  EXPECT_LT(btb_reuse_cost(small).mispredictions_m,
+            btb_reuse_cost(big).mispredictions_m);
+}
+
+}  // namespace
+}  // namespace stbpu::analysis

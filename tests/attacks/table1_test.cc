@@ -1,0 +1,210 @@
+// The Table I security matrix, executed: every collision-based attack must
+// work against the unprotected baseline and be defeated by STBPU. The
+// distinguishing case is the same-address-space trojan, which flushing
+// designs (ucode) cannot stop but full-width remapping does — the paper's
+// §IV-B argument for 48-bit R-function inputs.
+#include "attacks/table1.h"
+#include "attacks/brute.h"
+
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+
+namespace stbpu::attacks {
+namespace {
+
+constexpr std::uint64_t kGadget = 0x0000'1122'3344ULL;
+constexpr unsigned kTrials = 96;
+
+std::unique_ptr<models::BpuModel> make(models::ModelKind kind) {
+  return models::BpuModel::create({.model = kind});
+}
+
+// ------------------------------------------------- baseline is broken ----
+
+TEST(Table1Baseline, BtbReuseHomeLeaks) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = btb_reuse_home(*m, kTrials, 1);
+  EXPECT_TRUE(r.success) << r.success_rate;
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, PhtReuseHomeLeaksBranchScope) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = pht_reuse_home(*m, kTrials, 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.85);
+}
+
+TEST(Table1Baseline, RsbReuseHomeLeaksCallSite) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = rsb_reuse_home(*m, kTrials, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, PhtReuseAwaySteersVictim) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = pht_reuse_away(*m, kTrials, 4);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.85);
+}
+
+TEST(Table1Baseline, SpectreV2InjectsGadget) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = btb_injection_away(*m, kTrials, 5, kGadget);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, SpectreRsbInjectsGadget) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = rsb_injection_away(*m, kTrials, 6, kGadget);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, SameAddressSpaceTrojanWorks) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = same_address_space_trojan(*m, kTrials, 7, kGadget);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, BtbEvictionHomeDetectsVictim) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = btb_eviction_home(*m, kTrials, 8);
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.success_rate, 0.9);
+}
+
+TEST(Table1Baseline, BtbEvictionAwayForcesStatic) {
+  auto m = make(models::ModelKind::kUnprotected);
+  const auto r = btb_eviction_away(*m, kTrials, 9);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Table1Baseline, RsbEvictionChannelsWork) {
+  auto m = make(models::ModelKind::kUnprotected);
+  EXPECT_TRUE(rsb_eviction_home(*m, kTrials, 10).success);
+  auto m2 = make(models::ModelKind::kUnprotected);
+  EXPECT_TRUE(rsb_eviction_away(*m2, kTrials, 11).success);
+}
+
+// --------------------------------------------------- STBPU defends -------
+
+TEST(Table1Stbpu, BtbReuseHomeBlindedToGuessRate) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = btb_reuse_home(*m, kTrials, 1);
+  EXPECT_FALSE(r.success);
+  EXPECT_NEAR(r.success_rate, 0.5, 0.2);
+}
+
+TEST(Table1Stbpu, PhtReuseHomeBlinded) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = pht_reuse_home(*m, kTrials, 2);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Table1Stbpu, RsbReuseHomeBlindedByEncryption) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = rsb_reuse_home(*m, kTrials, 3);
+  EXPECT_FALSE(r.success)
+      << "φ-encrypted payload decodes to garbage under the attacker's ST";
+}
+
+TEST(Table1Stbpu, PhtReuseAwayCannotSteer) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = pht_reuse_away(*m, kTrials, 4);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.success_rate, 0.2);
+}
+
+TEST(Table1Stbpu, SpectreV2Defeated) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = btb_injection_away(*m, kTrials, 5, kGadget);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.success_rate, 0.05)
+      << "collision probability bounded by 1/(I·T·O), decode by 2^-32";
+}
+
+TEST(Table1Stbpu, SpectreRsbDefeated) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = rsb_injection_away(*m, kTrials, 6, kGadget);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.success_rate, 0.05);
+}
+
+TEST(Table1Stbpu, SameAddressSpaceTrojanDefeated) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = same_address_space_trojan(*m, kTrials, 7, kGadget);
+  EXPECT_FALSE(r.success)
+      << "R-functions consume all 48 address bits — the 2^30 alias is gone";
+  EXPECT_LT(r.success_rate, 0.05);
+}
+
+TEST(Table1Stbpu, BtbEvictionHomeBlinded) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = btb_eviction_home(*m, kTrials, 8);
+  EXPECT_FALSE(r.success)
+      << "the attacker's 'same-set' family scatters across the ST mapping";
+}
+
+TEST(Table1Stbpu, BtbEvictionAwayBlinded) {
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = btb_eviction_away(*m, kTrials, 9);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.success_rate, 0.2);
+}
+
+TEST(Table1Stbpu, RsbOccupancyChannelRemainsButLeaksNoAddresses) {
+  // Documented residual channel (§VI-A6 flavour): eviction/overflow of the
+  // shared RSB reveals call *counts* — STBPU bounds, not eliminates, it.
+  auto m = make(models::ModelKind::kStbpu);
+  const auto r = rsb_eviction_home(*m, kTrials, 10);
+  EXPECT_TRUE(r.success) << "occupancy detection is content-independent";
+  // But the reuse (address-leak) variant stays dead:
+  auto m2 = make(models::ModelKind::kStbpu);
+  EXPECT_FALSE(rsb_reuse_home(*m2, kTrials, 3).success);
+}
+
+// --------------------------------- flushing vs same-address-space --------
+
+TEST(Table1Ucode, FlushingStopsCrossProcessInjection) {
+  auto m = make(models::ModelKind::kUcode1);
+  const auto r = btb_injection_away(*m, kTrials, 5, kGadget);
+  EXPECT_FALSE(r.success) << "IBPB flush between A and V kills the training";
+}
+
+TEST(Table1Ucode, FlushingDoesNotStopSameAddressSpaceTrojan) {
+  // The paper's key point (§II-A): enforcing security only at context/mode
+  // switches is incomplete — the trojan and victim share one context.
+  auto m = make(models::ModelKind::kUcode1);
+  const auto r = same_address_space_trojan(*m, kTrials, 7, kGadget);
+  EXPECT_TRUE(r.success) << "no switch separates trojan from victim";
+}
+
+TEST(Table1Conservative, FullTagsStopSameAddressSpaceTrojan) {
+  auto m = make(models::ModelKind::kConservative);
+  const auto r = same_address_space_trojan(*m, kTrials, 7, kGadget);
+  EXPECT_FALSE(r.success) << "48-bit tags leave no truncation alias";
+}
+
+// ------------------------------------------ monitor throttles attacks ----
+
+TEST(Table1Stbpu, SustainedAttackTriggersRerandomization) {
+  // A true brute-force search (fresh branches, constant misses/evictions)
+  // must drain the MSRs and rotate the ST long before it gets anywhere.
+  models::ModelSpec spec{.model = models::ModelKind::kStbpu};
+  spec.rerand_difficulty_r = 1e-3;  // thresholds ≈ 838 misp / 530 evictions
+  auto m = models::BpuModel::create(spec);
+  ReuseSearchConfig cfg;
+  cfg.max_set_size = 3000;
+  cfg.internal_collision_checks = false;  // pure probing volume
+  (void)reuse_collision_search(*m, cfg);
+  EXPECT_GT(m->tokens()->rerandomizations(), 0u)
+      << "attacker events must drain the MSR and rotate the ST";
+}
+
+}  // namespace
+}  // namespace stbpu::attacks

@@ -1,0 +1,153 @@
+#include "bpu/btb.h"
+
+#include <gtest/gtest.h>
+
+namespace stbpu::bpu {
+namespace {
+
+BtbIndex idx(std::uint32_t set, std::uint64_t tag, std::uint32_t off = 0) {
+  return BtbIndex{.set = set, .tag = tag, .offset = off};
+}
+
+TEST(Btb, MissOnEmpty) {
+  BranchTargetBuffer btb;
+  EXPECT_FALSE(btb.lookup(idx(3, 7), 0).hit);
+}
+
+TEST(Btb, InsertThenHit) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(3, 7), 0xABCD, 0);
+  const auto r = btb.lookup(idx(3, 7), 0);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.payload, 0xABCDu);
+}
+
+TEST(Btb, TagAndOffsetBothMatch) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(3, 7, 1), 0xABCD, 0);
+  EXPECT_FALSE(btb.lookup(idx(3, 7, 2), 0).hit);   // offset mismatch
+  EXPECT_FALSE(btb.lookup(idx(3, 8, 1), 0).hit);   // tag mismatch
+  EXPECT_TRUE(btb.lookup(idx(3, 7, 1), 0).hit);
+}
+
+TEST(Btb, OverwriteSameKeyIsNotEviction) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(3, 7), 1, 0);
+  const auto r = btb.insert(idx(3, 7), 2, 0);
+  EXPECT_TRUE(r.hit);
+  EXPECT_FALSE(r.evicted);
+  EXPECT_EQ(btb.lookup(idx(3, 7), 0).payload, 2u);
+}
+
+TEST(Btb, EvictsLruWhenSetFull) {
+  BranchTargetBuffer btb({.sets = 4, .ways = 2});
+  btb.insert(idx(1, 10), 10, 0);
+  btb.insert(idx(1, 11), 11, 0);
+  // Touch tag 10 so 11 is LRU.
+  EXPECT_TRUE(btb.lookup(idx(1, 10), 0).hit);
+  const auto r = btb.insert(idx(1, 12), 12, 0);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(btb.lookup(idx(1, 10), 0).hit);   // survivor
+  EXPECT_FALSE(btb.lookup(idx(1, 11), 0).hit);  // LRU victim
+  EXPECT_TRUE(btb.lookup(idx(1, 12), 0).hit);
+}
+
+TEST(Btb, InvalidWaysPreferredOverEviction) {
+  BranchTargetBuffer btb({.sets = 4, .ways = 4});
+  for (unsigned i = 0; i < 4; ++i) {
+    const auto r = btb.insert(idx(2, i), i, 0);
+    EXPECT_FALSE(r.evicted) << "way " << i;
+  }
+  EXPECT_TRUE(btb.insert(idx(2, 99), 99, 0).evicted);
+}
+
+TEST(Btb, SetsAreIndependent) {
+  BranchTargetBuffer btb({.sets = 4, .ways = 1});
+  btb.insert(idx(0, 5), 50, 0);
+  btb.insert(idx(1, 5), 51, 0);
+  EXPECT_EQ(btb.lookup(idx(0, 5), 0).payload, 50u);
+  EXPECT_EQ(btb.lookup(idx(1, 5), 0).payload, 51u);
+}
+
+TEST(Btb, FlushInvalidatesEverything) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(3, 7), 1, 0);
+  btb.insert(idx(4, 8), 2, 0);
+  EXPECT_EQ(btb.valid_entries(), 2u);
+  btb.flush();
+  EXPECT_EQ(btb.valid_entries(), 0u);
+  EXPECT_FALSE(btb.lookup(idx(3, 7), 0).hit);
+}
+
+TEST(Btb, FlushIndirectKeepsDirectEntries) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(1, 1), 1, 0, /*indirect=*/false);
+  btb.insert(idx(2, 2), 2, 0, /*indirect=*/true);
+  btb.flush_indirect();
+  EXPECT_TRUE(btb.lookup(idx(1, 1), 0).hit);
+  EXPECT_FALSE(btb.lookup(idx(2, 2), 0).hit);
+}
+
+TEST(Btb, InvalidateSpecificEntry) {
+  BranchTargetBuffer btb;
+  btb.insert(idx(3, 7), 1, 0);
+  EXPECT_TRUE(btb.invalidate(idx(3, 7), 0));
+  EXPECT_FALSE(btb.lookup(idx(3, 7), 0).hit);
+  EXPECT_FALSE(btb.invalidate(idx(3, 7), 0));  // already gone
+}
+
+TEST(Btb, HartPartitioningSeparatesThreads) {
+  BranchTargetBuffer shared({.sets = 8, .ways = 1, .partition_by_hart = false});
+  shared.insert(idx(3, 7), 1, /*hart=*/0);
+  EXPECT_TRUE(shared.lookup(idx(3, 7), /*hart=*/1).hit) << "shared BTB must alias";
+
+  BranchTargetBuffer stibp({.sets = 8, .ways = 1, .partition_by_hart = true});
+  stibp.insert(idx(3, 7), 1, /*hart=*/0);
+  EXPECT_FALSE(stibp.lookup(idx(3, 7), /*hart=*/1).hit)
+      << "STIBP partition must isolate SMT siblings";
+  EXPECT_TRUE(stibp.lookup(idx(3, 7), /*hart=*/0).hit);
+}
+
+TEST(Btb, PartitionHalvesCapacityPerHart) {
+  BranchTargetBuffer stibp({.sets = 8, .ways = 1, .partition_by_hart = true});
+  // Sets 0..7 from hart 0 land in the lower half (4 effective sets).
+  for (unsigned s = 0; s < 8; ++s) {
+    stibp.insert(idx(s, 100 + s), s, 0);
+  }
+  EXPECT_LE(stibp.valid_entries(), 4u);
+}
+
+TEST(Btb, SetIndexWrapsModuloSets) {
+  BranchTargetBuffer btb({.sets = 4, .ways = 1});
+  btb.insert(idx(5, 7), 1, 0);  // 5 mod 4 == 1
+  EXPECT_TRUE(btb.lookup(idx(1, 7), 0).hit);
+}
+
+class BtbGeometry : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(BtbGeometry, FillToCapacityWithoutEviction) {
+  const auto [sets, ways] = GetParam();
+  BranchTargetBuffer btb({.sets = sets, .ways = ways});
+  unsigned evictions = 0;
+  for (unsigned s = 0; s < sets; ++s) {
+    for (unsigned w = 0; w < ways; ++w) {
+      evictions += btb.insert(idx(s, w), s * ways + w, 0).evicted ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(evictions, 0u);
+  EXPECT_EQ(btb.valid_entries(), std::size_t{sets} * ways);
+  // One more insert per set must evict.
+  evictions = 0;
+  for (unsigned s = 0; s < sets; ++s) {
+    evictions += btb.insert(idx(s, 9999), 0, 0).evicted ? 1 : 0;
+  }
+  EXPECT_EQ(evictions, sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, BtbGeometry,
+                         ::testing::Values(std::pair{4u, 2u}, std::pair{16u, 4u},
+                                           std::pair{64u, 8u}, std::pair{512u, 8u},
+                                           std::pair{256u, 8u}));
+
+}  // namespace
+}  // namespace stbpu::bpu

@@ -1,0 +1,175 @@
+// PHT, RSB, GHR and BHB unit tests.
+#include <gtest/gtest.h>
+
+#include "bpu/history.h"
+#include "bpu/pht.h"
+#include "bpu/rsb.h"
+
+namespace stbpu::bpu {
+namespace {
+
+// ---------------------------------------------------------------- PHT ----
+
+TEST(Pht, DefaultPredictsNotTaken) {
+  PatternHistoryTable pht(16);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_FALSE(pht.predict(i));
+}
+
+TEST(Pht, LearnsTakenAfterTwoUpdates) {
+  PatternHistoryTable pht(16);
+  pht.update(3, true);
+  EXPECT_TRUE(pht.predict(3));  // weakly-NT + 1 = weakly-T
+}
+
+TEST(Pht, HysteresisSurvivesOneFlip) {
+  PatternHistoryTable pht(16);
+  pht.update(3, true);
+  pht.update(3, true);  // strongly taken
+  pht.update(3, false);
+  EXPECT_TRUE(pht.predict(3));  // still taken (hysteresis)
+  pht.update(3, false);
+  EXPECT_FALSE(pht.predict(3));
+}
+
+TEST(Pht, IndexWrapsToTableSize) {
+  PatternHistoryTable pht(16);
+  pht.update(3, true);
+  EXPECT_TRUE(pht.predict(3 + 16));  // aliasing by construction
+}
+
+TEST(Pht, FlushResets) {
+  PatternHistoryTable pht(16);
+  pht.update(3, true);
+  pht.update(3, true);
+  pht.flush();
+  EXPECT_FALSE(pht.predict(3));
+  EXPECT_EQ(pht.raw(3), 1);  // weakly not-taken reset state
+}
+
+TEST(Pht, EntriesIndependent) {
+  PatternHistoryTable pht(16);
+  pht.update(3, true);
+  EXPECT_FALSE(pht.predict(4));
+}
+
+// ---------------------------------------------------------------- RSB ----
+
+TEST(Rsb, PopEmptyUnderflows) {
+  ReturnStackBuffer rsb;
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(Rsb, LifoOrder) {
+  ReturnStackBuffer rsb;
+  rsb.push(1);
+  rsb.push(2);
+  rsb.push(3);
+  EXPECT_EQ(rsb.pop(), 3u);
+  EXPECT_EQ(rsb.pop(), 2u);
+  EXPECT_EQ(rsb.pop(), 1u);
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(Rsb, OverflowWrapsAndLosesOldest) {
+  ReturnStackBuffer rsb;
+  for (std::uint64_t i = 0; i < ReturnStackBuffer::kEntries + 4; ++i) rsb.push(i);
+  EXPECT_EQ(rsb.depth(), ReturnStackBuffer::kEntries);
+  // The 16 newest survive: 4..19, popped newest-first.
+  for (std::uint64_t i = ReturnStackBuffer::kEntries + 3;; --i) {
+    const auto v = rsb.pop();
+    if (!v.has_value()) break;
+    EXPECT_EQ(*v, i);
+    if (i == 4) {
+      EXPECT_FALSE(rsb.pop().has_value());
+      break;
+    }
+  }
+}
+
+TEST(Rsb, PeekDoesNotPop) {
+  ReturnStackBuffer rsb;
+  rsb.push(7);
+  EXPECT_EQ(rsb.peek(), 7u);
+  EXPECT_EQ(rsb.depth(), 1u);
+  EXPECT_EQ(rsb.pop(), 7u);
+}
+
+TEST(Rsb, PokeTopOverwrites) {
+  ReturnStackBuffer rsb;
+  rsb.push(7);
+  rsb.poke_top(9);
+  EXPECT_EQ(rsb.pop(), 9u);
+}
+
+TEST(Rsb, FlushEmpties) {
+  ReturnStackBuffer rsb;
+  rsb.push(1);
+  rsb.flush();
+  EXPECT_EQ(rsb.depth(), 0u);
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+// ---------------------------------------------------------------- GHR ----
+
+TEST(Ghr, ShiftsInOutcomes) {
+  GlobalHistoryRegister ghr(4);
+  ghr.push(true);
+  ghr.push(false);
+  ghr.push(true);
+  EXPECT_EQ(ghr.value(), 0b101u);
+}
+
+TEST(Ghr, MasksToWidth) {
+  GlobalHistoryRegister ghr(3);
+  for (int i = 0; i < 10; ++i) ghr.push(true);
+  EXPECT_EQ(ghr.value(), 0b111u);
+}
+
+TEST(Ghr, ClearAndSet) {
+  GlobalHistoryRegister ghr(8);
+  ghr.set(0xFFFF);  // masked to 8 bits
+  EXPECT_EQ(ghr.value(), 0xFFu);
+  ghr.clear();
+  EXPECT_EQ(ghr.value(), 0u);
+}
+
+// ---------------------------------------------------------------- BHB ----
+
+TEST(Bhb, AccumulatesContext) {
+  BranchHistoryBuffer bhb;
+  bhb.push(0x1000, 0x2000);
+  const auto v1 = bhb.value();
+  EXPECT_NE(v1, 0u);
+  bhb.push(0x3000, 0x4000);
+  EXPECT_NE(bhb.value(), v1);
+}
+
+TEST(Bhb, SameSequenceSameValue) {
+  BranchHistoryBuffer a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push(0x1000 + i * 64, 0x2000 + i * 32);
+    b.push(0x1000 + i * 64, 0x2000 + i * 32);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Bhb, OldHistoryAges) {
+  // After enough pushes, the initial state no longer matters (58-bit
+  // register, 2-bit shift per branch → 29-branch context window).
+  BranchHistoryBuffer a, b;
+  a.push(0xAAAA, 0xBBBB);  // divergent prefix
+  for (int i = 0; i < 40; ++i) {
+    a.push(0x1000 + i * 64, 0x2000);
+    b.push(0x1000 + i * 64, 0x2000);
+  }
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(Bhb, StaysWithin58Bits) {
+  BranchHistoryBuffer bhb;
+  for (int i = 0; i < 200; ++i) bhb.push(~0ULL, ~0ULL);
+  EXPECT_LE(bhb.value(), util::mask(BranchHistoryBuffer::kBits));
+}
+
+}  // namespace
+}  // namespace stbpu::bpu

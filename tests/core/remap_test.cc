@@ -1,0 +1,174 @@
+// Keyed remapping functions R1..R4/Rt/Rp: determinism, output geometry
+// (Table II), uniformity (C2) and avalanche (C3) — the same criteria the
+// §V generator enforces — plus the security-critical properties: ψ
+// sensitivity and full-48-bit address consumption.
+#include "core/remap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace stbpu::core {
+namespace {
+
+TEST(Remap, Deterministic) {
+  for (std::uint64_t ip : {0x0ULL, 0x1234'5678'9ABCULL, 0xFFFF'FFFF'FFFFULL}) {
+    EXPECT_EQ(Remapper::r1(0xABC, ip), Remapper::r1(0xABC, ip));
+    EXPECT_EQ(Remapper::r3(0xABC, ip), Remapper::r3(0xABC, ip));
+    EXPECT_EQ(Remapper::r4(0xABC, ip, 0x55), Remapper::r4(0xABC, ip, 0x55));
+    EXPECT_EQ(Remapper::rp(0xABC, ip, 10), Remapper::rp(0xABC, ip, 10));
+  }
+}
+
+TEST(Remap, OutputGeometryMatchesTable2) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+    const std::uint32_t psi = static_cast<std::uint32_t>(rng());
+    const auto r1 = Remapper::r1(psi, ip);
+    EXPECT_LT(r1.set, 1u << 9);
+    EXPECT_LT(r1.tag, 1u << 8);
+    EXPECT_LT(r1.offset, 1u << 5);
+    EXPECT_LT(Remapper::r2(psi, rng()), 1u << 8);
+    EXPECT_LT(Remapper::r3(psi, ip), 1u << 14);
+    EXPECT_LT(Remapper::r4(psi, ip, rng()), 1u << 14);
+    EXPECT_LT(Remapper::rt_index(psi, ip, rng(), 3, 13), 1u << 13);
+    EXPECT_LT(Remapper::rt_tag(psi, ip, rng(), 3, 12), 1u << 12);
+    EXPECT_LT(Remapper::rp(psi, ip, 10), 1u << 10);
+  }
+}
+
+TEST(Remap, PsiChangesMapping) {
+  // Re-randomizing ψ must relocate essentially every branch.
+  util::Xoshiro256 rng(2);
+  unsigned same = 0;
+  const unsigned n = 2000;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+    if (Remapper::r3(0x1111'1111, ip) == Remapper::r3(0x2222'2222, ip)) ++same;
+  }
+  // Chance collision rate is 2^-14.
+  EXPECT_LT(same, 5u);
+}
+
+TEST(Remap, ConsumesFull48BitAddress) {
+  // Same-address-space aliases (+2^30) must NOT collide — this is the
+  // property that defeats transient trojans [78] (§IV-B).
+  util::Xoshiro256 rng(3);
+  unsigned collide_r1 = 0, collide_r3 = 0;
+  const unsigned n = 2000;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t ip = rng() & (bpu::kVirtualAddressMask >> 1);
+    const std::uint64_t alias = ip + (1ULL << 30);
+    if (Remapper::r1(0xABC, ip) == Remapper::r1(0xABC, alias)) ++collide_r1;
+    if (Remapper::r3(0xABC, ip) == Remapper::r3(0xABC, alias)) ++collide_r3;
+  }
+  EXPECT_LT(collide_r1, 3u);
+  EXPECT_LT(collide_r3, 5u);
+}
+
+TEST(Remap, FunctionsAreMutuallyIndependent) {
+  // R3 and Rp (both 80→k) must not be correlated projections of one
+  // another: equal low bits should occur at chance rate only.
+  util::Xoshiro256 rng(4);
+  unsigned matches = 0;
+  const unsigned n = 4000;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+    matches += (Remapper::r3(0x77, ip) & 0x3FF) == Remapper::rp(0x77, ip, 10);
+  }
+  EXPECT_NEAR(static_cast<double>(matches) / n, 1.0 / 1024, 0.01);
+}
+
+TEST(Remap, UniformityOverContiguousCode) {
+  // C2 on the *hard* input distribution: contiguous stride-16 branch
+  // addresses (the regression that motivated the sigma diffusion layers).
+  constexpr unsigned kSites = 8192;
+  std::vector<double> bins(1u << 9, 0.0);
+  for (unsigned i = 0; i < kSites; ++i) {
+    bins[Remapper::r1(0xDEADBEEF, 0x0000'1000'0000ULL + i * 16).set] += 1.0;
+  }
+  const double ideal_cv = 1.0 / std::sqrt(static_cast<double>(kSites) / bins.size());
+  EXPECT_LT(util::coefficient_of_variation(bins), 1.35 * ideal_cv);
+}
+
+TEST(Remap, UniformityOverRandomInputs) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> bins(1u << 10, 0.0);
+  constexpr unsigned kSamples = 1u << 17;
+  for (unsigned i = 0; i < kSamples; ++i) {
+    bins[Remapper::r3(0x1357'9BDF, rng() & bpu::kVirtualAddressMask) & 0x3FF] += 1.0;
+  }
+  const double ideal_cv = 1.0 / std::sqrt(static_cast<double>(kSamples) / bins.size());
+  EXPECT_LT(util::coefficient_of_variation(bins), 1.25 * ideal_cv);
+}
+
+TEST(Remap, AvalancheOnAddressBits) {
+  // C3: flipping any single address bit flips ~50% of R3's output bits.
+  util::Xoshiro256 rng(6);
+  constexpr unsigned kLambdas = 400;
+  std::vector<double> rates;
+  for (unsigned bit = 0; bit < 48; ++bit) {
+    double flips = 0;
+    for (unsigned i = 0; i < kLambdas; ++i) {
+      const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+      const auto a = Remapper::r3(0x2468'ACE0, ip);
+      const auto b = Remapper::r3(0x2468'ACE0, ip ^ (1ULL << bit));
+      flips += util::hamming(a, b);
+    }
+    rates.push_back(flips / kLambdas / 14.0);
+  }
+  for (unsigned bit = 0; bit < 48; ++bit) {
+    EXPECT_GT(rates[bit], 0.35) << "input bit " << bit << " barely diffuses";
+    EXPECT_LT(rates[bit], 0.65) << "input bit " << bit;
+  }
+  EXPECT_NEAR(util::mean(rates), 0.5, 0.03);
+}
+
+TEST(Remap, AvalancheOnKeyBits) {
+  // Flipping any ψ bit must also avalanche (attacker cannot learn ψ
+  // bit-by-bit from output deltas).
+  util::Xoshiro256 rng(7);
+  for (unsigned bit = 0; bit < 32; ++bit) {
+    double flips = 0;
+    constexpr unsigned kLambdas = 300;
+    for (unsigned i = 0; i < kLambdas; ++i) {
+      const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+      const std::uint32_t psi = static_cast<std::uint32_t>(rng());
+      flips += util::hamming(Remapper::r3(psi, ip),
+                             Remapper::r3(psi ^ (1u << bit), ip));
+    }
+    EXPECT_NEAR(flips / kLambdas / 14.0, 0.5, 0.15) << "key bit " << bit;
+  }
+}
+
+TEST(Remap, ScaledVariantHonoursGeometry) {
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const auto idx =
+        Remapper::r1_scaled(static_cast<std::uint32_t>(rng()), rng(), 4, 3, 1);
+    EXPECT_LT(idx.set, 16u);
+    EXPECT_LT(idx.tag, 8u);
+    EXPECT_LT(idx.offset, 2u);
+  }
+}
+
+TEST(Remap, TageTablesDecorrelated) {
+  // Rt for different table ids must produce independent indices.
+  util::Xoshiro256 rng(9);
+  unsigned same = 0;
+  const unsigned n = 4000;
+  for (unsigned i = 0; i < n; ++i) {
+    const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+    same += Remapper::rt_index(0x99, ip, 0x1234, 0, 10) ==
+            Remapper::rt_index(0x99, ip, 0x1234, 1, 10);
+  }
+  EXPECT_NEAR(static_cast<double>(same) / n, 1.0 / 1024, 0.01);
+}
+
+}  // namespace
+}  // namespace stbpu::core

@@ -1,0 +1,163 @@
+// STManager (secret tokens) and EventMonitor (re-randomization MSRs).
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/secret_token.h"
+
+namespace stbpu::core {
+namespace {
+
+const bpu::ExecContext kUserA{.pid = 1, .hart = 0, .kernel = false};
+const bpu::ExecContext kUserB{.pid = 2, .hart = 0, .kernel = false};
+const bpu::ExecContext kKernel{.pid = 1, .hart = 0, .kernel = true};
+
+TEST(STManager, TokensAreStablePerEntity) {
+  STManager stm(1);
+  const SecretToken t1 = stm.token(kUserA);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(stm.token(kUserA), t1);
+}
+
+TEST(STManager, DistinctEntitiesGetDistinctTokens) {
+  STManager stm(1);
+  EXPECT_NE(stm.token(kUserA), stm.token(kUserB));
+  EXPECT_NE(stm.token(kUserA), stm.token(kKernel));
+}
+
+TEST(STManager, KernelIsOneEntityAcrossProcesses) {
+  STManager stm(1);
+  bpu::ExecContext k2 = kKernel;
+  k2.pid = 42;  // kernel running on behalf of another process
+  EXPECT_EQ(stm.token(kKernel), stm.token(k2))
+      << "the kernel is a single software entity with one ST";
+}
+
+TEST(STManager, RerandomizeChangesOnlyThatEntity) {
+  STManager stm(1);
+  const SecretToken a0 = stm.token(kUserA);
+  const SecretToken b0 = stm.token(kUserB);
+  const SecretToken k0 = stm.token(kKernel);
+  stm.rerandomize(kUserA);
+  EXPECT_NE(stm.token(kUserA), a0) << "re-randomized";
+  EXPECT_EQ(stm.token(kUserB), b0) << "other entities keep their history";
+  EXPECT_EQ(stm.token(kKernel), k0);
+  EXPECT_EQ(stm.rerandomizations(), 1u);
+}
+
+TEST(STManager, RerandomizeKernel) {
+  STManager stm(1);
+  const SecretToken k0 = stm.token(kKernel);
+  const SecretToken a0 = stm.token(kUserA);
+  stm.rerandomize(kKernel);
+  EXPECT_NE(stm.token(kKernel), k0);
+  EXPECT_EQ(stm.token(kUserA), a0);
+}
+
+TEST(STManager, ShareGroupsUseOneToken) {
+  STManager stm(1);
+  stm.share(/*pid=*/5, /*leader=*/1);
+  bpu::ExecContext worker{.pid = 5, .hart = 0, .kernel = false};
+  EXPECT_EQ(stm.token(kUserA), stm.token(worker))
+      << "OS-granted selective history sharing (paper §IV-A)";
+  // Re-randomizing the leader rotates the whole group.
+  const SecretToken before = stm.token(worker);
+  stm.rerandomize(kUserA);
+  EXPECT_NE(stm.token(worker), before);
+  EXPECT_EQ(stm.token(worker), stm.token(kUserA));
+}
+
+TEST(STManager, SetTokenIsPrivilegedOverride) {
+  STManager stm(1);
+  stm.set_token(kUserA, {0x11, 0x22});
+  EXPECT_EQ(stm.token(kUserA).psi, 0x11u);
+  EXPECT_EQ(stm.token(kUserA).phi, 0x22u);
+}
+
+TEST(STManager, SeedsAreReproducible) {
+  STManager a(77), b(77);
+  EXPECT_EQ(a.token(kUserA), b.token(kUserA));
+  EXPECT_EQ(a.token(kKernel), b.token(kKernel));
+}
+
+// ------------------------------------------------------------- monitor ----
+
+TEST(EventMonitor, FiresAtMispredictionThreshold) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 5, .eviction_threshold = 100});
+  const SecretToken before = stm.token(kUserA);
+  for (int i = 0; i < 4; ++i) mon.on_misprediction(kUserA, false);
+  EXPECT_EQ(stm.token(kUserA), before) << "below threshold";
+  mon.on_misprediction(kUserA, false);
+  EXPECT_NE(stm.token(kUserA), before) << "threshold reached — ST rotated";
+  EXPECT_EQ(mon.rerandomizations(), 1u);
+}
+
+TEST(EventMonitor, FiresAtEvictionThreshold) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 100, .eviction_threshold = 3});
+  const SecretToken before = stm.token(kUserA);
+  mon.on_btb_eviction(kUserA);
+  mon.on_btb_eviction(kUserA);
+  EXPECT_EQ(stm.token(kUserA), before);
+  mon.on_btb_eviction(kUserA);
+  EXPECT_NE(stm.token(kUserA), before);
+}
+
+TEST(EventMonitor, CountersReloadAfterFire) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 3, .eviction_threshold = 100});
+  for (int fire = 0; fire < 4; ++fire) {
+    for (int i = 0; i < 3; ++i) mon.on_misprediction(kUserA, false);
+  }
+  EXPECT_EQ(mon.rerandomizations(), 4u);
+}
+
+TEST(EventMonitor, CountersArePerEntity) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 3, .eviction_threshold = 100});
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserB, false);  // separate budget
+  EXPECT_EQ(mon.rerandomizations(), 0u);
+  EXPECT_EQ(mon.remaining(kUserA).misp, 1u);
+  EXPECT_EQ(mon.remaining(kUserB).misp, 2u);
+}
+
+TEST(EventMonitor, SeparateTaggedCounterWhenConfigured) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 3, .eviction_threshold = 100,
+                          .tagged_misprediction_threshold = 5});
+  // Tagged mispredictions drain their own register (ST_TAGE designs).
+  for (int i = 0; i < 4; ++i) mon.on_misprediction(kUserA, true);
+  EXPECT_EQ(mon.rerandomizations(), 0u);
+  EXPECT_EQ(mon.remaining(kUserA).misp, 3u) << "base counter untouched";
+  mon.on_misprediction(kUserA, true);
+  EXPECT_EQ(mon.rerandomizations(), 1u);
+}
+
+TEST(EventMonitor, TaggedFoldsIntoBaseWithoutSeparateRegister) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 3, .eviction_threshold = 100,
+                          .tagged_misprediction_threshold = 0});
+  // ST_SKLCond behaviour: every misprediction hits the single register —
+  // which is why it re-randomizes more under SMT (paper §VII-B2).
+  mon.on_misprediction(kUserA, true);
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserA, true);
+  EXPECT_EQ(mon.rerandomizations(), 1u);
+}
+
+TEST(EventMonitor, FromDifficultyScalesThresholds) {
+  const auto cfg1 = MonitorConfig::from_difficulty(0.1, false);
+  EXPECT_EQ(cfg1.misprediction_threshold, 83'800u);
+  EXPECT_EQ(cfg1.eviction_threshold, 53'000u);
+  const auto cfg2 = MonitorConfig::from_difficulty(0.05, true);
+  EXPECT_EQ(cfg2.misprediction_threshold, 41'900u);
+  EXPECT_EQ(cfg2.eviction_threshold, 26'500u);
+  EXPECT_EQ(cfg2.tagged_misprediction_threshold, cfg2.misprediction_threshold);
+  // Even absurdly small r never reaches zero thresholds.
+  const auto cfg3 = MonitorConfig::from_difficulty(1e-12, false);
+  EXPECT_GE(cfg3.misprediction_threshold, 1u);
+}
+
+}  // namespace
+}  // namespace stbpu::core

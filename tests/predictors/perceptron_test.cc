@@ -1,0 +1,135 @@
+#include "perceptron/perceptron.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bpu/mapping.h"
+#include "tage/tage.h"
+#include "util/rng.h"
+
+namespace stbpu::perceptron {
+namespace {
+
+const bpu::ExecContext kCtx{.pid = 1, .hart = 0, .kernel = false};
+
+class PerceptronTest : public ::testing::Test {
+ protected:
+  PerceptronTest() : pred_(&map_) {}
+
+  double accuracy(const std::function<bool(std::uint64_t)>& oracle,
+                  std::uint64_t ip, unsigned iters, unsigned warmup) {
+    unsigned correct = 0;
+    for (std::uint64_t i = 0; i < iters + warmup; ++i) {
+      const bool taken = oracle(i);
+      const auto p = pred_.predict(ip, kCtx);
+      if (i >= warmup && p.taken == taken) ++correct;
+      pred_.update(ip, kCtx, taken, p);
+    }
+    return static_cast<double>(correct) / iters;
+  }
+
+  bpu::BaselineMapping map_;
+  PerceptronPredictor pred_;
+};
+
+TEST_F(PerceptronTest, ThetaFollowsJimenezLin) {
+  // θ = ⌊1.93h + 14⌋ for h = 32.
+  EXPECT_EQ(pred_.theta(), static_cast<int>(1.93 * 32 + 14));
+}
+
+TEST_F(PerceptronTest, LearnsBias) {
+  EXPECT_GT(accuracy([](std::uint64_t) { return true; }, 0x1000, 400, 32), 0.99);
+}
+
+TEST_F(PerceptronTest, LearnsAlternation) {
+  EXPECT_GT(accuracy([](std::uint64_t i) { return i % 2 == 0; }, 0x2000, 600, 128),
+            0.97);
+}
+
+TEST_F(PerceptronTest, LearnsLinearHistoryFunction) {
+  // outcome = history[3] — exactly representable by one weight.
+  std::uint64_t hist = 0;
+  unsigned correct = 0, total = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const bool taken = (hist >> 3) & 1;
+    const auto p = pred_.predict(0x3000, kCtx);
+    if (i > 400) {
+      ++total;
+      correct += p.taken == taken;
+    }
+    pred_.update(0x3000, kCtx, taken, p);
+    hist = (hist << 1) | static_cast<std::uint64_t>(taken);
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.97);
+}
+
+TEST_F(PerceptronTest, XorOfHistoryBitsIsHard) {
+  // Classic demonstration: branches A and B have independent random
+  // outcomes; branch C's outcome is A^B. C appears right after A and B in
+  // the global history, so a history-pattern predictor (TAGE) learns it but
+  // a linear perceptron cannot (XOR is not linearly separable).
+  util::Xoshiro256 rng(11);
+  tage::TagePredictor tage(tage::TageConfig::kb64(), &map_);
+  unsigned p_correct = 0, t_correct = 0, total = 0;
+  for (std::uint64_t i = 0; i < 6000; ++i) {
+    const bool a = rng.chance(0.5);
+    const bool b = rng.chance(0.5);
+    const bool c = a != b;
+    for (const auto& [ip, taken] : {std::pair<std::uint64_t, bool>{0x4000, a},
+                                    {0x4040, b}}) {
+      const auto pp = pred_.predict(ip, kCtx);
+      pred_.update(ip, kCtx, taken, pp);
+      const auto tp = tage.predict(ip, kCtx);
+      tage.update(ip, kCtx, taken, tp);
+    }
+    const auto pp = pred_.predict(0x4080, kCtx);
+    const auto tp = tage.predict(0x4080, kCtx);
+    if (i > 2000) {
+      ++total;
+      p_correct += pp.taken == c;
+      t_correct += tp.taken == c;
+    }
+    pred_.update(0x4080, kCtx, c, pp);
+    tage.update(0x4080, kCtx, c, tp);
+  }
+  EXPECT_LT(static_cast<double>(p_correct) / total, 0.75)
+      << "perceptron must NOT learn XOR";
+  EXPECT_GT(static_cast<double>(t_correct) / total, 0.9)
+      << "TAGE pattern tables learn XOR easily";
+}
+
+TEST_F(PerceptronTest, WeightsSaturate) {
+  // A very long bias run must not overflow weights (they clamp).
+  EXPECT_GT(accuracy([](std::uint64_t) { return true; }, 0x5000, 20000, 0), 0.99);
+}
+
+TEST_F(PerceptronTest, FlushForgets) {
+  accuracy([](std::uint64_t) { return true; }, 0x6000, 500, 0);
+  pred_.flush();
+  // After a flush the dot product is 0 → predicts taken (>=0); train it
+  // not-taken and verify it adapts fresh.
+  EXPECT_GT(accuracy([](std::uint64_t) { return false; }, 0x6000, 400, 64), 0.98);
+}
+
+TEST_F(PerceptronTest, HartsSeparateHistories) {
+  bpu::ExecContext h1 = kCtx;
+  h1.hart = 1;
+  util::Xoshiro256 rng(3);
+  unsigned correct = 0, total = 0;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    const bool taken = i % 2 == 0;
+    const auto p = pred_.predict(0x7000, kCtx);
+    if (i > 600) {
+      ++total;
+      correct += p.taken == taken;
+    }
+    pred_.update(0x7000, kCtx, taken, p);
+    const auto q = pred_.predict(0x8880, h1);
+    pred_.update(0x8880, h1, rng.chance(0.5), q);
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.93);
+}
+
+}  // namespace
+}  // namespace stbpu::perceptron

@@ -1,0 +1,219 @@
+// Remap-circuit generator: primitive/layer cost model, circuit evaluation
+// semantics, constraint enforcement, C2/C3 validation, and the Table II
+// search pipeline (Figure 2 reproduction).
+#include <gtest/gtest.h>
+
+#include "remapgen/generator.h"
+#include "remapgen/search.h"
+#include "remapgen/validate.h"
+
+namespace stbpu::remapgen {
+namespace {
+
+// ------------------------------------------------------------- layers ----
+
+Layer substitution(unsigned width, std::uint8_t box = 0) {
+  Layer l;
+  l.kind = LayerKind::kSubstitution;
+  l.in_width = l.out_width = width;
+  for (unsigned c = 0; c < (width + 3) / 4; ++c) l.sbox_choice.push_back(box);
+  return l;
+}
+
+Layer identity_perm(unsigned width) {
+  Layer l;
+  l.kind = LayerKind::kPermutation;
+  l.in_width = l.out_width = width;
+  for (unsigned i = 0; i < width; ++i) l.perm.push_back(static_cast<std::uint16_t>(i));
+  return l;
+}
+
+Layer compression(unsigned in, unsigned out) {
+  Layer l;
+  l.kind = LayerKind::kCompression;
+  l.in_width = in;
+  l.out_width = out;
+  return l;
+}
+
+TEST(Layer, SubstitutionCostModel) {
+  const Layer l = substitution(16);
+  EXPECT_EQ(l.transistors(), 4 * CostModel::kSbox4Transistors);
+  EXPECT_EQ(l.critical_path(), CostModel::kSbox4Depth);
+}
+
+TEST(Layer, PermutationIsFreeOfTransistors) {
+  const Layer l = identity_perm(32);
+  EXPECT_EQ(l.transistors(), 0u);
+  EXPECT_EQ(l.critical_path(), 0u);
+  EXPECT_EQ(l.crossovers(), 0u) << "identity has no wire crossings";
+}
+
+TEST(Layer, ReversalMaximizesCrossovers) {
+  Layer l = identity_perm(8);
+  std::reverse(l.perm.begin(), l.perm.end());
+  EXPECT_EQ(l.crossovers(), 8u * 7u / 2u);
+}
+
+TEST(Layer, CompressionXorTreeCost) {
+  const Layer l = compression(32, 16);  // fan-in 2: one XOR2 per output
+  EXPECT_EQ(l.transistors(), 16 * CostModel::kXor2Transistors);
+  EXPECT_EQ(l.critical_path(), CostModel::kXor2Depth);
+  const Layer l4 = compression(64, 16);  // fan-in 4: 3 XOR2, 2 levels
+  EXPECT_EQ(l4.transistors(), 16 * 3 * CostModel::kXor2Transistors);
+  EXPECT_EQ(l4.critical_path(), 2 * CostModel::kXor2Depth);
+}
+
+// ------------------------------------------------------------ circuit ----
+
+TEST(Circuit, SubstitutionAppliesSbox) {
+  Circuit c(8, 8);
+  c.push(substitution(8, 0));  // PRESENT: S(0x0)=0xC, S(0xF)=0x2
+  EXPECT_EQ(c.evaluate64(0x00, 0), 0xCCu);
+  EXPECT_EQ(c.evaluate64(0xF0, 0), (0x2u << 4) | 0xCu);
+}
+
+TEST(Circuit, PermutationMovesBits) {
+  Circuit c(4, 4);
+  Layer l = identity_perm(4);
+  l.perm = {1, 0, 3, 2};  // swap pairs
+  c.push(std::move(l));
+  EXPECT_EQ(c.evaluate64(0b0001, 0), 0b0010u);
+  EXPECT_EQ(c.evaluate64(0b0100, 0), 0b1000u);
+}
+
+TEST(Circuit, CompressionXorsChunks) {
+  Circuit c(8, 4);
+  c.push(compression(8, 4));
+  EXPECT_EQ(c.evaluate64(0xA5, 0), 0xAu ^ 0x5u);
+}
+
+TEST(Circuit, CostsAggregateAcrossLayers) {
+  Circuit c(16, 8);
+  c.push(substitution(16));
+  c.push(identity_perm(16));
+  c.push(compression(16, 8));
+  EXPECT_EQ(c.total_transistors(),
+            4 * CostModel::kSbox4Transistors + 8 * CostModel::kXor2Transistors);
+  EXPECT_EQ(c.critical_path_transistors(),
+            CostModel::kSbox4Depth + CostModel::kXor2Depth);
+  EXPECT_TRUE(c.complete());
+}
+
+TEST(Circuit, ConstraintChecking) {
+  HwConstraints hw;
+  hw.max_critical_path_transistors = 15;
+  Circuit c(16, 16);
+  c.push(substitution(16));  // depth 10 — fits
+  EXPECT_TRUE(c.satisfies(hw));
+  c.push(substitution(16));  // depth 20 — violates
+  EXPECT_FALSE(c.satisfies(hw));
+}
+
+TEST(Circuit, EvaluateHandlesWideInputs) {
+  Circuit c(96, 48);
+  c.push(substitution(96));
+  c.push(compression(96, 48));
+  const auto out = c.evaluate(BitVec(0x0123456789ABCDEFULL, 0xFEDCBA98ULL, 96));
+  EXPECT_EQ(out.size(), 48u);
+}
+
+// ---------------------------------------------------------- generator ----
+
+TEST(Generator, ProducesConstraintSatisfyingCircuits) {
+  Generator gen({}, 42);
+  for (unsigned i = 0; i < 5; ++i) {
+    const auto c = gen.generate(80, 22);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(c->complete());
+    EXPECT_TRUE(c->satisfies(HwConstraints{}));
+    EXPECT_LE(c->critical_path_transistors(), 45u)
+        << "C1: single-cycle transistor budget";
+    EXPECT_GE(c->layers().size(), 3u);
+  }
+}
+
+TEST(Generator, HandlesEveryTable2Shape) {
+  Generator gen({}, 7);
+  for (const auto& spec : table2_specs()) {
+    const auto c = gen.generate(spec.input_bits, spec.output_bits);
+    ASSERT_TRUE(c.has_value()) << spec.name;
+    EXPECT_EQ(c->input_bits(), spec.input_bits);
+    EXPECT_EQ(c->output_bits(), spec.output_bits);
+  }
+}
+
+TEST(Generator, TightConstraintsForceDiscards) {
+  GeneratorConfig cfg;
+  cfg.hw.max_critical_path_transistors = 20;  // barely two S-layers
+  Generator gen(cfg, 9);
+  (void)gen.generate(80, 22);
+  EXPECT_GT(gen.discarded(), 0u) << "scenario (ii) must occur under pressure";
+}
+
+// ---------------------------------------------------------- validation ----
+
+TEST(Validate, GoodCircuitPasses) {
+  Generator gen({}, 11);
+  ValidationConfig vcfg;
+  vcfg.uniformity_samples = 1 << 14;
+  vcfg.avalanche_samples = 200;
+  // Generated circuits are random; find one that validates within a few
+  // attempts (that is exactly what search() automates).
+  bool found = false;
+  for (int i = 0; i < 12 && !found; ++i) {
+    const auto c = gen.generate(80, 14);
+    if (!c) continue;
+    const auto rep = validate(*c, vcfg);
+    if (rep.pass) {
+      found = true;
+      EXPECT_NEAR(rep.mean_avalanche, 0.5, 0.05);
+      EXPECT_LT(rep.bin_cv, 1.5 * rep.ideal_bin_cv + 1e-9);
+      EXPECT_GE(rep.score, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, TrivialCircuitFailsAvalanche) {
+  // A bare compression (no S-boxes) is linear and per-bit local — it must
+  // fail C3 badly.
+  Circuit c(80, 14);
+  c.push(compression(80, 40));
+  c.push(compression(40, 14));
+  ValidationConfig vcfg;
+  vcfg.uniformity_samples = 1 << 12;
+  vcfg.avalanche_samples = 100;
+  const auto rep = validate(c, vcfg);
+  EXPECT_FALSE(rep.pass);
+  EXPECT_LT(rep.mean_avalanche, 0.2) << "one flipped input bit moves one output bit";
+}
+
+// -------------------------------------------------------------- search ----
+
+TEST(Search, Table2SpecsAreThePaperSix) {
+  const auto specs = table2_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "R1");
+  EXPECT_EQ(specs[0].input_bits, 80u);
+  EXPECT_EQ(specs[0].output_bits, 22u);
+  EXPECT_EQ(specs[1].input_bits, 90u);   // R2: ψ + 58-bit BHB
+  EXPECT_EQ(specs[3].input_bits, 96u);   // R4: ψ + GHR + address
+  EXPECT_EQ(specs[4].output_bits, 25u);  // Rt: 13 index + 12 tag
+}
+
+TEST(Search, FindsValidatedCircuitForR1) {
+  SearchConfig cfg;
+  cfg.candidates = 10;
+  cfg.validation.uniformity_samples = 1 << 13;
+  cfg.validation.avalanche_samples = 128;
+  const auto r = search(table2_specs()[0], cfg);
+  ASSERT_TRUE(r.best.has_value()) << "no circuit passed validation";
+  EXPECT_GT(r.passed, 0u);
+  EXPECT_TRUE(r.best_report.pass);
+  EXPECT_LE(r.best->critical_path_transistors(), 45u);
+  EXPECT_FALSE(r.best->describe().empty());
+}
+
+}  // namespace
+}  // namespace stbpu::remapgen

@@ -1,0 +1,88 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace stbpu::util {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+  EXPECT_EQ(bits(0xFF00, 8, 8), 0xFFu);
+  EXPECT_EQ(bits(0xABCD, 0, 4), 0xDu);
+  EXPECT_EQ(bits(0xABCD, 4, 4), 0xCu);
+  EXPECT_EQ(bits(0xABCD, 12, 4), 0xAu);
+}
+
+TEST(Bits, ExtractZeroWidth) { EXPECT_EQ(bits(0xFFFF, 3, 0), 0u); }
+
+TEST(Bits, ExtractFullWidth) {
+  EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+  EXPECT_EQ(bits(~0ULL, 1, 64), ~0ULL >> 1);
+}
+
+TEST(Bits, MaskWidths) {
+  EXPECT_EQ(mask(0), 0u);
+  EXPECT_EQ(mask(1), 1u);
+  EXPECT_EQ(mask(8), 0xFFu);
+  EXPECT_EQ(mask(48), 0xFFFF'FFFF'FFFFULL);
+  EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(Bits, FoldXorReducesWidth) {
+  for (unsigned w : {4u, 8u, 14u, 22u}) {
+    const std::uint64_t v = 0x0123'4567'89AB'CDEFULL;
+    EXPECT_LE(fold_xor(v, w), mask(w)) << "width " << w;
+  }
+}
+
+TEST(Bits, FoldXorIsXorOfChunks) {
+  // 16-bit value folded to 8: high byte XOR low byte.
+  EXPECT_EQ(fold_xor(0xAB12, 8), 0xABu ^ 0x12u);
+  // Three chunks.
+  EXPECT_EQ(fold_xor(0x01'02'03, 8), 0x01u ^ 0x02u ^ 0x03u);
+}
+
+TEST(Bits, FoldXorZero) { EXPECT_EQ(fold_xor(0, 8), 0u); }
+
+TEST(Bits, FoldXorLinearity) {
+  // fold(a ^ b) == fold(a) ^ fold(b) — the linearity attackers exploit to
+  // construct legacy-mapping collisions.
+  const std::uint64_t a = 0xDEAD'BEEF'1234ULL;
+  const std::uint64_t b = 0x1111'2222'3333ULL;
+  EXPECT_EQ(fold_xor(a ^ b, 14), fold_xor(a, 14) ^ fold_xor(b, 14));
+}
+
+TEST(Bits, Rotations) {
+  EXPECT_EQ(rotl64(1, 1), 2u);
+  EXPECT_EQ(rotl64(1ULL << 63, 1), 1u);
+  EXPECT_EQ(rotr64(1, 1), 1ULL << 63);
+  const std::uint64_t v = 0x0123'4567'89AB'CDEFULL;
+  for (unsigned r : {0u, 7u, 32u, 63u}) {
+    EXPECT_EQ(rotr64(rotl64(v, r), r), v) << "rot " << r;
+  }
+}
+
+TEST(Bits, Hamming) {
+  EXPECT_EQ(hamming(0, 0), 0u);
+  EXPECT_EQ(hamming(0, ~0ULL), 64u);
+  EXPECT_EQ(hamming(0b1010, 0b0101), 4u);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x0, 8), 0);
+  EXPECT_EQ(sign_extend(0b111, 3), -1);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(8), 8u);
+  EXPECT_EQ(log2_pow2(4096), 12u);
+}
+
+}  // namespace
+}  // namespace stbpu::util

@@ -1,0 +1,95 @@
+#include "util/saturating_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace stbpu::util {
+namespace {
+
+TEST(SaturatingCounter, ClassicTwoBitFsm) {
+  SaturatingCounter<2> c;  // starts weakly not-taken (1)
+  EXPECT_FALSE(c.taken());
+  c.update(true);  // -> 2 weakly taken
+  EXPECT_TRUE(c.taken());
+  c.update(true);  // -> 3 strongly taken
+  EXPECT_TRUE(c.is_saturated());
+  c.update(false);  // -> 2, still predicts taken (hysteresis)
+  EXPECT_TRUE(c.taken());
+  c.update(false);  // -> 1
+  EXPECT_FALSE(c.taken());
+}
+
+TEST(SaturatingCounter, SaturatesAtBounds) {
+  SaturatingCounter<2> c;
+  for (int i = 0; i < 10; ++i) c.increment();
+  EXPECT_EQ(c.raw(), 3);
+  for (int i = 0; i < 10; ++i) c.decrement();
+  EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SaturatingCounter, ResetBias) {
+  SaturatingCounter<2> c;
+  c.reset(true);
+  EXPECT_TRUE(c.taken());
+  EXPECT_FALSE(c.is_saturated());
+  c.reset(false);
+  EXPECT_FALSE(c.taken());
+  EXPECT_FALSE(c.is_saturated());
+}
+
+TEST(SaturatingCounter, ConstructorClampsToMax) {
+  SaturatingCounter<2> c(250);
+  EXPECT_EQ(c.raw(), 3);
+}
+
+template <unsigned Bits>
+void exercise_width() {
+  SaturatingCounter<Bits> c;
+  const unsigned max = SaturatingCounter<Bits>::kMax;
+  for (unsigned i = 0; i < 2 * max; ++i) c.increment();
+  EXPECT_EQ(c.raw(), max);
+  EXPECT_TRUE(c.taken());
+  for (unsigned i = 0; i < 2 * max; ++i) c.decrement();
+  EXPECT_EQ(c.raw(), 0u);
+  EXPECT_FALSE(c.taken());
+}
+
+TEST(SaturatingCounter, AllSupportedWidths) {
+  exercise_width<1>();
+  exercise_width<2>();
+  exercise_width<3>();
+  exercise_width<4>();
+  exercise_width<8>();
+}
+
+TEST(SignedSaturatingCounter, UpdatesAndSaturates) {
+  SignedSaturatingCounter<3> c;  // range [-4, 3]
+  EXPECT_TRUE(c.taken());        // 0 predicts taken
+  for (int i = 0; i < 10; ++i) c.update(true);
+  EXPECT_EQ(c.value(), 3);
+  EXPECT_TRUE(c.high_confidence());
+  for (int i = 0; i < 20; ++i) c.update(false);
+  EXPECT_EQ(c.value(), -4);
+  EXPECT_TRUE(c.high_confidence());
+  EXPECT_FALSE(c.taken());
+  EXPECT_EQ(c.magnitude(), 4);
+}
+
+TEST(SignedSaturatingCounter, SetClamps) {
+  SignedSaturatingCounter<3> c;
+  c.set(100);
+  EXPECT_EQ(c.value(), 3);
+  c.set(-100);
+  EXPECT_EQ(c.value(), -4);
+}
+
+TEST(SignedSaturatingCounter, WeakStates) {
+  SignedSaturatingCounter<3> c;
+  c.set(0);
+  EXPECT_TRUE(c.taken());
+  c.set(-1);
+  EXPECT_FALSE(c.taken());
+  EXPECT_FALSE(c.high_confidence());
+}
+
+}  // namespace
+}  // namespace stbpu::util

@@ -1,0 +1,84 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stbpu::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  unsigned same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2u);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBound) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(7);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    lo_seen |= v == 3;
+    hi_seen |= v == 6;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Xoshiro256 rng(7);
+  for (const double p : {0.1, 0.5, 0.9}) {
+    unsigned hits = 0;
+    for (int i = 0; i < 20000; ++i) hits += rng.chance(p) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(9);
+  std::vector<unsigned> hist(16, 0);
+  for (int i = 0; i < 64000; ++i) ++hist[rng.below(16)];
+  for (unsigned h : hist) EXPECT_NEAR(h, 4000.0, 400.0);
+}
+
+TEST(Rng, SplitMixExpandsDistinctly) {
+  std::uint64_t s = 1;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace stbpu::util

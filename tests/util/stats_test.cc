@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace stbpu::util {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, EmptyInputsAreSafe) {
+  const std::vector<double> xs;
+  EXPECT_EQ(mean(xs), 0.0);
+  EXPECT_EQ(stddev(xs), 0.0);
+  EXPECT_EQ(harmonic_mean(xs), 0.0);
+  EXPECT_EQ(coefficient_of_variation(xs), 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> uniform = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(uniform), 0.0);
+  const std::vector<double> spread = {0, 10};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(spread), 1.0);
+}
+
+TEST(Stats, HarmonicMean) {
+  const std::vector<double> xs = {1.0, 2.0};                // hmean = 4/3
+  EXPECT_NEAR(harmonic_mean(xs), 4.0 / 3.0, 1e-12);
+  const std::vector<double> equal = {2.5, 2.5};
+  EXPECT_DOUBLE_EQ(harmonic_mean(equal), 2.5);
+  // Harmonic mean penalizes imbalance — the SMT-throughput property.
+  const std::vector<double> imbalanced = {0.5, 4.5};
+  EXPECT_LT(harmonic_mean(imbalanced), mean(imbalanced));
+}
+
+TEST(Stats, HarmonicMeanGuardsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_EQ(harmonic_mean(xs), 0.0);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  RunningStats rs;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_EQ(rs.min(), 2);
+  EXPECT_EQ(rs.max(), 9);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 3.5);
+  EXPECT_EQ(rs.max(), 3.5);
+}
+
+}  // namespace
+}  // namespace stbpu::util
