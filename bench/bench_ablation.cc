@@ -9,8 +9,11 @@
 //   * no monitor: brute-force collision search eventually succeeds — the
 //     keyed mapping is non-cryptographic by construction (§V) and relies
 //     on re-randomization to stay ahead of reverse engineering.
+#include <array>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "attacks/brute.h"
 #include "attacks/table1.h"
@@ -123,27 +126,55 @@ Variant make_variant(int which) {
 int main(int argc, char** argv) {
   const auto scale = stbpu::bench::Scale::parse(argc, argv);
   scale.banner("Ablation: which STBPU mechanism stops which attack");
+  stbpu::bench::BenchJson json("ablation", scale);
   const unsigned trials = scale.paper ? 512 : 128;
   constexpr std::uint64_t kGadget = 0x0000'1122'3344ULL;
+
+  // One pool job per (variant, attack) cell; each job wires its own
+  // predictor so the attacks never share mutable state.
+  struct Row {
+    const char* name = "";
+    stbpu::attacks::AttackResult rsb{}, pht{};
+    std::uint64_t rerands = 0;
+  };
+  std::array<Row, 4> rows;
+  std::vector<std::function<void()>> jobs;
+  for (int which = 0; which < 4; ++which) {
+    jobs.emplace_back([&, which] {
+      auto v = make_variant(which);
+      rows[which].name = v.name;
+      rows[which].rsb = stbpu::attacks::rsb_injection_away(*v.bpu, trials, 6, kGadget);
+    });
+    jobs.emplace_back([&, which] {
+      auto v = make_variant(which);
+      rows[which].pht = stbpu::attacks::pht_reuse_home(*v.bpu, trials, 2);
+    });
+    jobs.emplace_back([&, which] {
+      auto v = make_variant(which);
+      stbpu::attacks::ReuseSearchConfig cfg;
+      cfg.max_set_size = scale.paper ? 400'000 : 60'000;
+      cfg.internal_collision_checks = false;
+      (void)stbpu::attacks::reuse_collision_search(*v.bpu, cfg);
+      rows[which].rerands = v.stm->rerandomizations();
+    });
+  }
+  stbpu::bench::Stopwatch sweep;
+  stbpu::bench::run_parallel(jobs, scale.jobs);
 
   std::printf("%-24s | %12s %12s %12s\n", "variant", "SpectreRSB", "BranchScope",
               "rotations*");
   stbpu::bench::rule();
-  for (int which = 0; which < 4; ++which) {
-    auto v1 = make_variant(which);
-    const auto rsb = stbpu::attacks::rsb_injection_away(*v1.bpu, trials, 6, kGadget);
-    auto v2 = make_variant(which);
-    const auto pht = stbpu::attacks::pht_reuse_home(*v2.bpu, trials, 2);
-    auto v3 = make_variant(which);
-    stbpu::attacks::ReuseSearchConfig cfg;
-    cfg.max_set_size = scale.paper ? 400'000 : 60'000;
-    cfg.internal_collision_checks = false;
-    (void)stbpu::attacks::reuse_collision_search(*v3.bpu, cfg);
-    const auto rerands = v3.stm->rerandomizations();
-    std::printf("%-24s | %9.3f %c  %9.3f %c  %12llu\n", v1.name, rsb.success_rate,
-                rsb.success ? '!' : '.', pht.success_rate, pht.success ? '!' : '.',
-                static_cast<unsigned long long>(rerands));
+  for (const auto& row : rows) {
+    std::printf("%-24s | %9.3f %c  %9.3f %c  %12llu\n", row.name, row.rsb.success_rate,
+                row.rsb.success ? '!' : '.', row.pht.success_rate,
+                row.pht.success ? '!' : '.', static_cast<unsigned long long>(row.rerands));
+    json.row(row.name)
+        .set("spectre_rsb_success_rate", row.rsb.success_rate)
+        .set("branchscope_success_rate", row.pht.success_rate)
+        .set("rotations", row.rerands);
   }
+  json.meta("sweep_seconds", sweep.seconds()).meta("trials", std::uint64_t{trials});
+  json.write();
   std::printf("\n* ST rotations while a brute-force collision search probes the BTB\n"
               "(fresh branches, constant evictions). Each mechanism is necessary:\n"
               "dropping phi re-opens SpectreRSB (the RSB is a stack — remapping\n"

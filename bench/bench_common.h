@@ -1,13 +1,22 @@
-// Shared bench-harness plumbing: --scale=quick|paper budget selection and
-// table printing helpers. Every bench prints the paper-style rows for its
-// table/figure; `quick` (default) finishes in seconds-to-minutes, `paper`
-// uses budgets comparable to the paper's 110M-instruction runs.
+// Shared bench-harness plumbing: --scale=quick|paper budget selection,
+// table printing helpers, a thread-pool experiment runner for sweep
+// benches, wall-clock timing, and the BENCH_*.json perf-trajectory writer
+// every bench emits for machine consumption (CI artifacts, regression
+// tracking).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <functional>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace stbpu::bench {
 
@@ -17,6 +26,7 @@ struct Scale {
   std::uint64_t trace_warmup = 50'000;
   std::uint64_t ooo_instructions = 300'000;
   std::uint64_t ooo_warmup = 30'000;
+  unsigned jobs = 0;  ///< worker threads for sweep benches (0 = hardware)
 
   static Scale parse(int argc, char** argv) {
     Scale s;
@@ -31,6 +41,8 @@ struct Scale {
         // defaults
       } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
         std::fprintf(stderr, "unknown scale '%s' (use quick|paper)\n", argv[i]);
+      } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+        s.jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
       }
     }
     return s;
@@ -51,5 +63,180 @@ inline void rule(char c = '-', int n = 100) {
   for (int i = 0; i < n; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+// ---------------------------------------------------------------------------
+// Timing
+// ---------------------------------------------------------------------------
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-pool experiment runner
+// ---------------------------------------------------------------------------
+
+/// Worker count for sweep benches: `requested` if nonzero, else the
+/// hardware concurrency (at least 1).
+inline unsigned worker_count(unsigned requested, std::size_t jobs) {
+  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (jobs != 0 && n > jobs) n = static_cast<unsigned>(jobs);
+  return n;
+}
+
+/// Run every job, `workers` at a time (atomic work-stealing index). Each
+/// job owns its configuration point and writes results into its own
+/// pre-allocated slot, so sweeps stay deterministic regardless of
+/// scheduling; callers print/serialize after the pool drains.
+inline void run_parallel(const std::vector<std::function<void()>>& jobs,
+                         unsigned workers = 0) {
+  const unsigned n = worker_count(workers, jobs.size());
+  if (n <= 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+        jobs[i]();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_*.json writer
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Accumulates labelled rows of numeric/string fields and writes them as
+/// `BENCH_<name>.json` in the working directory:
+///   {"bench": "...", "scale": "...", "meta": {...}, "rows": [{...}, ...]}
+/// Populate rows after run_parallel drains (single-threaded), in sweep
+/// order, so files are reproducible.
+class BenchJson {
+ public:
+  class Row {
+   public:
+    explicit Row(std::string label) { set("label", std::move(label)); }
+    Row& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, json_quote(value));
+      return *this;
+    }
+    Row& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    Row& set(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.10g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& set(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& set(const std::string& key, int value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  BenchJson(std::string name, const Scale& scale) : name_(std::move(name)) {
+    meta("scale", scale.paper ? "paper" : "quick");
+  }
+
+  BenchJson& meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, json_quote(value));
+    return *this;
+  }
+  BenchJson& meta(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    meta_.emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& meta(const std::string& key, std::uint64_t value) {
+    meta_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  /// rows_ is a deque so the returned reference stays valid across later
+  /// row() calls (callers hold a Row& while chaining set()s).
+  Row& row(const std::string& label) { return rows_.emplace_back(label); }
+
+  /// Write BENCH_<name>.json; prints the path so operators can find it.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n", json_quote(name_).c_str());
+    for (const auto& [k, v] : meta_) {
+      std::fprintf(f, "  %s: %s,\n", json_quote(k).c_str(), v.c_str());
+    }
+    std::fprintf(f, "  \"rows\": [");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {", i == 0 ? "" : ",");
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s%s: %s", j == 0 ? "" : ", ", json_quote(fields[j].first).c_str(),
+                     fields[j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace stbpu::bench

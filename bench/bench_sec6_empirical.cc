@@ -5,6 +5,7 @@
 // same geometry. Attack cost grows with I·T·O, so the full-size numbers of
 // §VI-A5 (10^5..10^8 events) are validated by extrapolation.
 #include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "analysis/equations.h"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   using attacks::ScaledGeometry;
   const auto scale = bench::Scale::parse(argc, argv);
   scale.banner("Section VI: empirical equation validation on scaled structures");
+  bench::BenchJson json("sec6_empirical", scale);
   const unsigned reps = scale.paper ? 15 : 7;
 
   std::printf("-- Eq. (2): brute-force reuse-collision search against ST mapping --\n");
@@ -30,17 +32,39 @@ int main(int argc, char** argv) {
       {.set_bits = 4, .tag_bits = 4, .offset_bits = 1, .ways = 8},
       {.set_bits = 5, .tag_bits = 4, .offset_bits = 2, .ways = 8},
   };
-  for (const auto& g : geoms) {
-    std::vector<std::uint64_t> misp, sizes;
+  constexpr std::size_t kNumGeoms = sizeof(geoms) / sizeof(geoms[0]);
+  // One pool job per (geometry, repetition): each builds an independent
+  // scaled target and searcher, writing into its own slot.
+  struct Run {
+    bool found = false;
+    std::uint64_t misp = 0, size = 0;
+  };
+  std::vector<std::vector<Run>> runs(kNumGeoms, std::vector<Run>(reps));
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t gi = 0; gi < kNumGeoms; ++gi) {
     for (unsigned rep = 0; rep < reps; ++rep) {
-      auto target = attacks::make_scaled_target(g, /*stbpu=*/true, 1000 + rep);
-      attacks::ReuseSearchConfig cfg;
-      cfg.seed = 77 + rep;
-      cfg.max_set_size = 64 * g.ito();
-      const auto r = attacks::reuse_collision_search(*target.predictor, cfg);
+      jobs.emplace_back([&, gi, rep] {
+        const auto& g = geoms[gi];
+        auto target = attacks::make_scaled_target(g, /*stbpu=*/true, 1000 + rep);
+        attacks::ReuseSearchConfig cfg;
+        cfg.seed = 77 + rep;
+        cfg.max_set_size = 64 * g.ito();
+        const auto r = attacks::reuse_collision_search(*target.predictor, cfg);
+        runs[gi][rep] = {.found = r.found, .misp = r.mispredictions, .size = r.set_size};
+      });
+    }
+  }
+  bench::Stopwatch sweep;
+  bench::run_parallel(jobs, scale.jobs);
+  json.meta("sweep_seconds", sweep.seconds());
+
+  for (std::size_t gi = 0; gi < kNumGeoms; ++gi) {
+    const auto& g = geoms[gi];
+    std::vector<std::uint64_t> misp, sizes;
+    for (const auto& r : runs[gi]) {
       if (r.found) {
-        misp.push_back(r.mispredictions);
-        sizes.push_back(r.set_size);
+        misp.push_back(r.misp);
+        sizes.push_back(r.size);
       }
     }
     std::sort(misp.begin(), misp.end());
@@ -60,6 +84,17 @@ int main(int argc, char** argv) {
                 predicted.mispredictions_m,
                 static_cast<unsigned long long>(sizes.empty() ? 0 : sizes[sizes.size() / 2]),
                 predicted.set_size_n);
+    char label[96];
+    std::snprintf(label, sizeof label, "reuse_I%llu_T%llu_O%llu_W%u",
+                  static_cast<unsigned long long>(g.sets()),
+                  static_cast<unsigned long long>(g.tag_space()),
+                  static_cast<unsigned long long>(g.offset_space()), g.ways);
+    json.row(label)
+        .set("ito", std::uint64_t{g.ito()})
+        .set("measured_mispredictions", misp.empty() ? std::uint64_t{0} : misp[misp.size() / 2])
+        .set("equation_mispredictions", predicted.mispredictions_m)
+        .set("measured_set_size", sizes.empty() ? std::uint64_t{0} : sizes[sizes.size() / 2])
+        .set("equation_set_size", predicted.set_size_n);
     std::fflush(stdout);
   }
   std::printf("(median over %u runs. Eq. (2) uses birthday-scale factors per pair and\n"
@@ -113,6 +148,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(target.stm->rerandomizations()));
     std::printf("every rotation invalidates the partially-built eviction set —\n"
                 "the attacker restarts from scratch (paper §IV-A).\n");
+    json.row("monitor_race")
+        .set("evictions", std::uint64_t{r.evictions})
+        .set("rotations", std::uint64_t{target.stm->rerandomizations()});
   }
+  json.write();
   return 0;
 }

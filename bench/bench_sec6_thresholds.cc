@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace stbpu;
   const auto scale = bench::Scale::parse(argc, argv);
   scale.banner("Section VI-A5: attack complexities and re-randomization thresholds");
+  bench::BenchJson json("sec6_thresholds", scale);
 
   std::printf("structure parameters (Table III, Skylake-like baseline):\n");
   const analysis::BtbGeometry btb{};
@@ -25,6 +26,9 @@ int main(int argc, char** argv) {
   for (const auto& row : analysis::section_vi5_table()) {
     std::printf("%-48s %16.4g %16.4g\n", row.attack.c_str(), row.mispredictions,
                 row.evictions);
+    json.row(row.attack)
+        .set("mispredictions", row.mispredictions)
+        .set("evictions", row.evictions);
   }
   std::printf("\npaper constants: 6.9e8 / 2^21 (BTB reuse), 8.38e5 (PHT reuse),\n"
               "5.3e5 (BTB eviction at P=0.5), 2^31 (target injection)\n\n");
@@ -47,6 +51,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(t.mispredictions),
                 static_cast<unsigned long long>(t.evictions),
                 r == 0.05 ? "   <- paper's deployment choice" : "");
+    char label[32];
+    std::snprintf(label, sizeof label, "thresholds_r=%g", r);
+    json.row(label)
+        .set("difficulty_r", r)
+        .set("misprediction_threshold", std::uint64_t{t.mispredictions})
+        .set("eviction_threshold", std::uint64_t{t.evictions});
   }
+  json.write();
   return 0;
 }

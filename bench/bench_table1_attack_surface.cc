@@ -4,6 +4,7 @@
 // per-trial success rate (blind-guess baselines: 0.5 for 1-bit leaks, 0 for
 // injection/steering) plus the attacker's event bill.
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "attacks/table1.h"
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace stbpu;
   const auto scale = bench::Scale::parse(argc, argv);
   scale.banner("Table I: collision-based attack surface, executed");
+  bench::BenchJson json("table1_attack_surface", scale);
   const unsigned trials = scale.paper ? 512 : 128;
   constexpr std::uint64_t kGadget = 0x0000'1122'3344ULL;
 
@@ -48,24 +50,42 @@ int main(int argc, char** argv) {
   bench::rule(' ', 0);
   bench::rule();
 
-  for (const auto& cell : cells) {
+  // One pool job per (attack, model) cell.
+  struct Cells {
     std::string name;
-    double rates[4];
-    bool success[4];
+    double rates[4] = {};
+    bool success[4] = {};
+  };
+  std::vector<Cells> results(cells.size());
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
     for (unsigned k = 0; k < 4; ++k) {
-      auto model = models::BpuModel::create({.model = kinds[k]});
-      const auto r = cell.run(*model);
-      rates[k] = r.success_rate;
-      success[k] = r.success;
-      name = r.name;
+      jobs.emplace_back([&, c, k] {
+        auto model = models::BpuModel::create({.model = kinds[k]});
+        const auto r = cells[c].run(*model);
+        results[c].rates[k] = r.success_rate;
+        results[c].success[k] = r.success;
+        if (k == 0) results[c].name = r.name;
+      });
     }
-    std::printf("%-11s %-46s", cell.cls, name.c_str());
+  }
+  bench::Stopwatch sweep;
+  bench::run_parallel(jobs, scale.jobs);
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::printf("%-11s %-46s", cells[c].cls, results[c].name.c_str());
+    auto& row = json.row(results[c].name).set("class", cells[c].cls);
     for (unsigned k = 0; k < 4; ++k) {
-      std::printf("  %6.3f %c", rates[k], success[k] ? '!' : '.');
+      std::printf("  %6.3f %c", results[c].rates[k], results[c].success[k] ? '!' : '.');
+      row.set(std::string(knames[k]) + "_success_rate", results[c].rates[k]);
+      row.set(std::string(knames[k]) + "_succeeds",
+              results[c].success[k] ? "true" : "false");
     }
     std::printf("\n");
     std::fflush(stdout);
   }
+  json.meta("sweep_seconds", sweep.seconds()).meta("trials", std::uint64_t{trials});
+  json.write();
 
   std::printf("\nlegend: '!' attack succeeds, '.' attack defeated (rate at blind-guess level)\n");
   std::printf("expected: every row '!' on baseline; STBPU '.' everywhere except the\n"

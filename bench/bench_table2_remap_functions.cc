@@ -6,8 +6,10 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "bpu/mapping.h"
 #include "core/remap.h"
+#include "core/remap_cache.h"
 #include "core/secret_token.h"
 #include "core/stbpu_mapping.h"
 
@@ -99,6 +101,33 @@ void BM_Stbpu_Rp(benchmark::State& state) {
 }
 BENCHMARK(BM_Stbpu_Rp);
 
+void BM_CachedR1_Hit(benchmark::State& state) {
+  // The devirtualized engine's hot path: R1 through the memo-cache with a
+  // resident working set (site-keyed lookups hit ~always in traces).
+  core::STManager stm(1);
+  core::CachedStbpuMapping map(&stm);
+  std::uint64_t ip = 0x0000'2345'6780ULL;
+  unsigned i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.btb_mode1(ip + 16 * (i & 255), kCtx));
+    ++i;
+  }
+}
+BENCHMARK(BM_CachedR1_Hit);
+
+void BM_CachedR4_Churn(benchmark::State& state) {
+  // History-keyed worst case: every (ip, GHR) pair fresh — the memo-cache
+  // pays the probe AND the mix, bounding its overhead over the direct call.
+  core::STManager stm(1);
+  core::CachedStbpuMapping map(&stm);
+  std::uint64_t ip = 0x0000'2345'6780ULL, ghr = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.pht_index_2level(ip, ghr, kCtx));
+    ghr = ghr * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+BENCHMARK(BM_CachedR4_Churn);
+
 void BM_TargetCodecRoundtrip(benchmark::State& state) {
   core::STManager stm(1);
   core::StbpuMapping map(&stm);
@@ -115,9 +144,37 @@ BENCHMARK(BM_TargetCodecRoundtrip);
 
 int main(int argc, char** argv) {
   print_table2();
+  const auto scale = bench::Scale::parse(argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf("\nnote: in hardware each R-function is a <=45-transistor-deep circuit\n"
               "(single cycle); these numbers measure the simulator's software stand-in.\n");
+
+  // Machine-readable per-call costs (Stopwatch-timed, pool-independent):
+  // the direct R functions vs the memo-cached hit path.
+  bench::BenchJson json("table2_remap_functions", scale);
+  const auto time_ns = [](auto&& fn) {
+    constexpr int kIters = 2'000'000;
+    bench::Stopwatch sw;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < kIters; ++i) acc += fn(static_cast<std::uint64_t>(i));
+    benchmark::DoNotOptimize(acc);
+    return sw.seconds() / kIters * 1e9;
+  };
+  json.row("R1_direct").set("ns_per_call", time_ns([](std::uint64_t i) {
+    return core::Remapper::r1(0xDEADBEEF, 0x2345'6780ULL + 16 * i).set;
+  }));
+  json.row("R4_direct").set("ns_per_call", time_ns([](std::uint64_t i) {
+    return core::Remapper::r4(0xDEADBEEF, 0x2345'6780ULL, i & 0xFFFF);
+  }));
+  core::STManager stm(1);
+  core::CachedStbpuMapping map(&stm);
+  json.row("R1_cached_hit").set("ns_per_call", time_ns([&](std::uint64_t i) {
+    return map.btb_mode1(0x2345'6780ULL + 16 * (i & 255), kCtx).set;
+  }));
+  json.row("R4_cached_churn").set("ns_per_call", time_ns([&](std::uint64_t i) {
+    return map.pht_index_2level(0x2345'6780ULL, i, kCtx);
+  }));
+  json.write();
   return 0;
 }

@@ -4,8 +4,19 @@
 // Skylake-like 4096-entry / 8-way table; the conservative secure model uses
 // the same class with 48-bit tags and reduced capacity; STIBP-style logical
 // partitioning is supported by constraining the set index per hart.
+//
+// Storage is structure-of-arrays: the match keys of one set (valid bit,
+// offset, tag packed into one word per way) occupy a single cache line, so
+// the 8-way scan every lookup/insert performs touches one line instead of
+// walking interleaved 32-byte entries — the simulator's hottest non-mapping
+// loop. Payloads and LRU stamps live in parallel arrays touched only on
+// hit/victim selection. Match semantics are identical to an exact
+// (valid, tag, offset) comparison for tags up to 36 bits and offsets up to
+// 21 bits — every mapping provider in the tree satisfies this (widest: the
+// conservative model's 35-bit full-address tag; offsets are 5-bit).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -35,17 +46,20 @@ class BranchTargetBuffer {
   };
 
   explicit BranchTargetBuffer(const BtbConfig& cfg = {})
-      : cfg_(cfg), entries_(std::size_t{cfg.sets} * cfg.ways) {}
+      : cfg_(cfg),
+        keys_(std::size_t{cfg.sets} * cfg.ways, 0),
+        payloads_(std::size_t{cfg.sets} * cfg.ways, 0),
+        lru_(std::size_t{cfg.sets} * cfg.ways, 0) {}
 
   [[nodiscard]] const BtbConfig& config() const noexcept { return cfg_; }
 
   LookupResult lookup(const BtbIndex& idx, std::uint8_t hart) noexcept {
     const std::size_t base = set_base(idx.set, hart);
+    const std::uint64_t want = match_key(idx);
     for (std::size_t w = 0; w < cfg_.ways; ++w) {
-      Entry& e = entries_[base + w];
-      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
-        e.lru = ++clock_;
-        return {.hit = true, .payload = e.payload};
+      if (((keys_[base + w] ^ want) & kMatchMask) == 0) {
+        lru_[base + w] = ++clock_;
+        return {.hit = true, .payload = payloads_[base + w]};
       }
     }
     return {};
@@ -54,31 +68,32 @@ class BranchTargetBuffer {
   InsertResult insert(const BtbIndex& idx, std::uint64_t payload, std::uint8_t hart,
                       bool indirect = false) noexcept {
     const std::size_t base = set_base(idx.set, hart);
+    const std::uint64_t want = match_key(idx);
     std::size_t victim = base;
     std::uint64_t oldest = ~std::uint64_t{0};
     for (std::size_t w = 0; w < cfg_.ways; ++w) {
-      Entry& e = entries_[base + w];
-      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
-        e.payload = payload;
-        e.indirect = indirect;
-        e.lru = ++clock_;
+      const std::uint64_t k = keys_[base + w];
+      if (((k ^ want) & kMatchMask) == 0) {
+        payloads_[base + w] = payload;
+        keys_[base + w] = want | (indirect ? kIndirectBit : 0);
+        lru_[base + w] = ++clock_;
         return {.hit = true, .evicted = false};
       }
-      if (!e.valid) {
+      if ((k & kValidBit) == 0) {
         // Prefer an invalid way; mark it "oldest possible".
         if (oldest != 0) {
           oldest = 0;
           victim = base + w;
         }
-      } else if (e.lru < oldest) {
-        oldest = e.lru;
+      } else if (lru_[base + w] < oldest) {
+        oldest = lru_[base + w];
         victim = base + w;
       }
     }
-    Entry& v = entries_[victim];
-    const bool evicted = v.valid;
-    v = Entry{.valid = true, .indirect = indirect, .offset = idx.offset,
-              .tag = idx.tag, .payload = payload, .lru = ++clock_};
+    const bool evicted = (keys_[victim] & kValidBit) != 0;
+    keys_[victim] = want | (indirect ? kIndirectBit : 0);
+    payloads_[victim] = payload;
+    lru_[victim] = ++clock_;
     return {.hit = false, .evicted = evicted};
   }
 
@@ -86,18 +101,18 @@ class BranchTargetBuffer {
   /// (mode-2 targets); direct-branch targets are not speculation-controlled
   /// by lower-privilege software and survive.
   void flush_indirect() noexcept {
-    for (auto& e : entries_) {
-      if (e.indirect) e.valid = false;
+    for (auto& k : keys_) {
+      if ((k & kIndirectBit) != 0) k &= ~kValidBit;
     }
   }
 
   /// Invalidate a matching entry if present (used by flush-style probes).
   bool invalidate(const BtbIndex& idx, std::uint8_t hart) noexcept {
     const std::size_t base = set_base(idx.set, hart);
+    const std::uint64_t want = match_key(idx);
     for (std::size_t w = 0; w < cfg_.ways; ++w) {
-      Entry& e = entries_[base + w];
-      if (e.valid && e.tag == idx.tag && e.offset == idx.offset) {
-        e.valid = false;
+      if (((keys_[base + w] ^ want) & kMatchMask) == 0) {
+        keys_[base + w] &= ~kValidBit;
         return true;
       }
     }
@@ -105,26 +120,32 @@ class BranchTargetBuffer {
   }
 
   void flush() noexcept {
-    for (auto& e : entries_) e.valid = false;
+    for (auto& k : keys_) k &= ~kValidBit;
   }
 
   [[nodiscard]] std::size_t valid_entries() const noexcept {
     std::size_t n = 0;
-    for (const auto& e : entries_) n += e.valid ? 1 : 0;
+    for (const auto& k : keys_) n += (k & kValidBit) != 0 ? 1 : 0;
     return n;
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
 
  private:
-  struct Entry {
-    bool valid = false;
-    bool indirect = false;  ///< stored via mode-2 (indirect predictor) path
-    std::uint32_t offset = 0;
-    std::uint64_t tag = 0;
-    std::uint64_t payload = 0;
-    std::uint64_t lru = 0;
-  };
+  // Packed match key: [63] valid, [62] indirect (excluded from matching),
+  // [57..36] offset (22 bits), [35..0] tag (36 bits).
+  static constexpr unsigned kTagBits = 36;
+  static constexpr unsigned kOffsetBits = 22;
+  static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+  static constexpr std::uint64_t kIndirectBit = std::uint64_t{1} << 62;
+  static constexpr std::uint64_t kMatchMask = ~kIndirectBit;
+
+  [[nodiscard]] static std::uint64_t match_key(const BtbIndex& idx) noexcept {
+    assert(idx.tag < (std::uint64_t{1} << kTagBits) && "BTB tag exceeds 36 bits");
+    assert(idx.offset < (std::uint32_t{1} << kOffsetBits) && "BTB offset exceeds 22 bits");
+    return kValidBit | (std::uint64_t{idx.offset} << kTagBits) |
+           (idx.tag & util::mask(kTagBits));
+  }
 
   [[nodiscard]] std::size_t set_base(std::uint32_t set, std::uint8_t hart) const noexcept {
     std::uint32_t s = set & (cfg_.sets - 1);
@@ -136,7 +157,9 @@ class BranchTargetBuffer {
   }
 
   BtbConfig cfg_;
-  std::vector<Entry> entries_;
+  std::vector<std::uint64_t> keys_;      ///< one packed match word per way
+  std::vector<std::uint64_t> payloads_;
+  std::vector<std::uint64_t> lru_;
   std::uint64_t clock_ = 0;
 };
 

@@ -45,18 +45,31 @@ class IDirectionPredictor {
 ///  * a per-branch choice table steering between the modes.
 /// Both modes share one physical 16K counter array (paper: "two distinct
 /// modes of addressing" of a single table), so cross-mode aliasing exists.
-class SklCondPredictor final : public IDirectionPredictor {
+///
+/// Template over the mapping type: with a concrete final mapping class the
+/// four index computations per branch inline into predict()/update().
+template <class Mapping = MappingProvider>
+class SklCondPredictorT final : public IDirectionPredictor {
  public:
   static constexpr unsigned kChoiceBits = 12;  // 4K-entry choice table
   static constexpr unsigned kGhrBits = 18;
 
-  explicit SklCondPredictor(const MappingProvider* mapping)
+  explicit SklCondPredictorT(const Mapping* mapping)
       : mapping_(mapping), pht_(1u << 14), choice_(1u << kChoiceBits) {
     for (auto& g : ghr_) g = GlobalHistoryRegister{kGhrBits};
   }
 
   [[nodiscard]] DirPrediction predict(std::uint64_t ip, const ExecContext& ctx) override {
     const auto [i1, i2, ci] = indexes(ip, ctx);
+    if constexpr (RemapAwareMapping<Mapping>) {
+      // Stash the indexes for the paired update() of the same branch: ψ is
+      // stable until the access ends, so the R3/R4 values cannot change
+      // between the two phases (TAGE relies on the same pairing contract).
+      scratch_ = {i1, i2, ci};
+      scratch_ip_ = ip;
+      scratch_hart_ = ctx.hart;
+      scratch_valid_ = true;
+    }
     const bool use_2level = choice_[ci].taken();
     const bool taken = pht_.predict(use_2level ? i2 : i1);
     return {.taken = taken, .from_tagged = false};
@@ -64,7 +77,7 @@ class SklCondPredictor final : public IDirectionPredictor {
 
   void update(std::uint64_t ip, const ExecContext& ctx, bool taken,
               const DirPrediction&) override {
-    const auto [i1, i2, ci] = indexes(ip, ctx);
+    const auto [i1, i2, ci] = update_indexes(ip, ctx);
     const bool p1 = pht_.predict(i1);
     const bool p2 = pht_.predict(i2);
     // Train the chosen entry always; reinforce the unchosen entry only when
@@ -107,20 +120,49 @@ class SklCondPredictor final : public IDirectionPredictor {
   struct Indexes {
     std::uint32_t i1, i2, ci;
   };
+
+  /// update()'s view of the indexes: reuse predict()'s stash when the
+  /// mapping is remap-aware and this is the paired call (same branch, same
+  /// hart, GHR untouched in between); recompute otherwise — identical
+  /// values either way, R functions being pure between re-keys.
+  [[nodiscard]] Indexes update_indexes(std::uint64_t ip, const ExecContext& ctx) {
+    if constexpr (RemapAwareMapping<Mapping>) {
+      if (scratch_valid_ && scratch_ip_ == ip && scratch_hart_ == ctx.hart) {
+        scratch_valid_ = false;
+        return scratch_;
+      }
+    }
+    return indexes(ip, ctx);
+  }
   [[nodiscard]] Indexes indexes(std::uint64_t ip, const ExecContext& ctx) const {
-    const std::uint32_t i1 = mapping_->pht_index_1level(ip, ctx);
-    const std::uint32_t i2 =
-        mapping_->pht_index_2level(ip, ghr_[ctx.hart & 1].value(), ctx);
+    std::uint32_t i1, i2;
+    if constexpr (requires(const Mapping& m) { m.pht_indexes(ip, 0ULL, ctx); }) {
+      // Remap-aware mappings expose a fused R3+R4 probe (identical values,
+      // one lookup) — only reachable through the devirtualized engine.
+      const auto pair = mapping_->pht_indexes(ip, ghr_[ctx.hart & 1].value(), ctx);
+      i1 = pair.i1;
+      i2 = pair.i2;
+    } else {
+      i1 = mapping_->pht_index_1level(ip, ctx);
+      i2 = mapping_->pht_index_2level(ip, ghr_[ctx.hart & 1].value(), ctx);
+    }
     // Choice is addressed through the (remapped) 1-level index so STBPU
     // randomizes it too.
     const std::uint32_t ci = i1 & ((1u << kChoiceBits) - 1);
     return {i1, i2, ci};
   }
 
-  const MappingProvider* mapping_;
+  const Mapping* mapping_;
   PatternHistoryTable pht_;
   std::vector<util::SaturatingCounter<2>> choice_;
   GlobalHistoryRegister ghr_[2];
+  Indexes scratch_{};  ///< predict→update index stash (remap-aware only)
+  std::uint64_t scratch_ip_ = 0;
+  std::uint8_t scratch_hart_ = 0;
+  bool scratch_valid_ = false;
 };
+
+/// Legacy dynamic-dispatch instantiation.
+using SklCondPredictor = SklCondPredictorT<>;
 
 }  // namespace stbpu::bpu

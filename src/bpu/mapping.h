@@ -8,6 +8,14 @@
 // collision-friendly, which is exactly what the Table I attacks exploit.
 // The STBPU provider (src/core/stbpu_mapping.h) swaps in the keyed
 // R-functions and the XOR target codec without touching the predictors.
+//
+// Two parallel renderings of each mapping exist:
+//   * a non-virtual "logic" class (BaselineMappingLogic here, the STBPU
+//     equivalents in src/core/) consumed by the templated predictors — the
+//     devirtualized hot path the simulation engine is built on;
+//   * a thin MappingProvider adapter that delegates to the logic class —
+//     the stable virtual seam kept for tests, attacks and ad-hoc model
+//     variants where dispatch cost does not matter.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +25,30 @@
 
 namespace stbpu::bpu {
 
+/// Detects mapping types that declare `kRemapAware = true` — memoized
+/// mappings whose outputs are pure between re-keys, letting templated
+/// predictors reuse values across the phases of a single access.
+template <class Mapping>
+concept RemapAwareMapping = requires { requires Mapping::kRemapAware; };
+
 /// Output of function 1 / R1: where a branch lives in the BTB.
+///
+/// `tag` is 64-bit because the conservative model stores the complete
+/// remaining 48-bit address as its tag; narrow providers (baseline 8-bit
+/// fold, STBPU R1) must produce already-masked values in the same field —
+/// never a narrowed-then-rewidened cast.
 struct BtbIndex {
   std::uint32_t set = 0;     ///< 9 bits baseline
   std::uint64_t tag = 0;     ///< 8 bits baseline (full address, conservative model)
   std::uint32_t offset = 0;  ///< 5 bits baseline
   friend constexpr bool operator==(const BtbIndex&, const BtbIndex&) = default;
 };
+
+/// Architectural width of the mode-2 (BHB-derived) tag component. Every
+/// provider's btb_mode2_tag must fit in this many bits; the predictor masks
+/// with it before XOR-combining into BtbIndex::tag so a misbehaving
+/// provider cannot corrupt high tag bits (conservative tags are 35 bits).
+inline constexpr unsigned kBtbMode2TagBits = 8;
 
 class MappingProvider {
  public:
@@ -68,7 +93,7 @@ class MappingProvider {
                                                      const ExecContext& ctx) const = 0;
 };
 
-/// Legacy (insecure) mapping reproducing the baseline model of §II-A:
+/// Legacy (insecure) mapping logic reproducing the baseline model of §II-A:
 ///  * only the low 30 bits of the 48-bit virtual address are consumed, so
 ///    addresses equal modulo 2^30 collide fully (same-address-space attacks,
 ///    transient trojans [78]);
@@ -76,7 +101,10 @@ class MappingProvider {
 ///    collide within one address space too (Jump-over-ASLR [19]);
 ///  * stored targets are truncated to 32 bits and re-extended with the upper
 ///    16 bits of the *predicting* branch's address (function 5).
-class BaselineMapping : public MappingProvider {
+///
+/// Non-virtual: the templated engine calls these directly so every mapping
+/// call inlines into the predictor loops.
+class BaselineMappingLogic {
  public:
   static constexpr unsigned kUsedAddressBits = 30;
   static constexpr unsigned kBtbSetBits = 9;     // 512 sets
@@ -85,24 +113,21 @@ class BaselineMapping : public MappingProvider {
   static constexpr unsigned kPhtIndexBits = 14;  // 16K entries
   static constexpr unsigned kGhrBits = 18;
 
-  [[nodiscard]] BtbIndex btb_mode1(std::uint64_t ip, const ExecContext&) const override {
+  [[nodiscard]] BtbIndex btb_mode1(std::uint64_t ip, const ExecContext&) const {
     BtbIndex out;
     out.offset = static_cast<std::uint32_t>(util::bits(ip, 0, kBtbOffsetBits));
     out.set = static_cast<std::uint32_t>(util::bits(ip, kBtbOffsetBits, kBtbSetBits));
-    out.tag = static_cast<std::uint32_t>(
-        util::fold_xor(util::bits(ip, kBtbOffsetBits + kBtbSetBits,
-                                  kUsedAddressBits - kBtbOffsetBits - kBtbSetBits),
-                       kBtbTagBits));
+    out.tag = util::fold_xor(util::bits(ip, kBtbOffsetBits + kBtbSetBits,
+                                        kUsedAddressBits - kBtbOffsetBits - kBtbSetBits),
+                             kBtbTagBits);
     return out;
   }
 
-  [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb,
-                                            const ExecContext&) const override {
-    return static_cast<std::uint32_t>(util::fold_xor(bhb, kBtbTagBits));
+  [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb, const ExecContext&) const {
+    return static_cast<std::uint32_t>(util::fold_xor(bhb, kBtbMode2TagBits));
   }
 
-  [[nodiscard]] std::uint32_t pht_index_1level(std::uint64_t ip,
-                                               const ExecContext&) const override {
+  [[nodiscard]] std::uint32_t pht_index_1level(std::uint64_t ip, const ExecContext&) const {
     // XOR-fold of the 30 utilized address bits — deterministic and linear,
     // so an attacker can solve for colliding addresses (BranchScope), but
     // without the naive bits-0..13 systematic aliasing.
@@ -111,26 +136,25 @@ class BaselineMapping : public MappingProvider {
   }
 
   [[nodiscard]] std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t ghr,
-                                               const ExecContext& ctx) const override {
+                                               const ExecContext& ctx) const {
     // gshare-style: folded address XOR folded 18-bit global history.
     const std::uint64_t hist = util::fold_xor(util::bits(ghr, 0, kGhrBits), kPhtIndexBits);
     return pht_index_1level(ip, ctx) ^ static_cast<std::uint32_t>(hist);
   }
 
-  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
-                                            const ExecContext&) const override {
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target, const ExecContext&) const {
     return util::bits(target, 0, 32);
   }
 
   [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
-                                            const ExecContext&) const override {
+                                            const ExecContext&) const {
     // Function 5: 16 upper bits from the branch IP + 32 stored bits.
     return (branch_ip & 0xFFFF'0000'0000ULL) | (stored & 0xFFFF'FFFFULL);
   }
 
   [[nodiscard]] std::uint32_t tage_index(std::uint64_t ip, std::uint64_t folded_hist,
                                          unsigned table, unsigned index_bits,
-                                         const ExecContext&) const override {
+                                         const ExecContext&) const {
     // TAGE index hash (Seznec-quality mix). Unlike the BTB/PHT truncations
     // above, shipping TAGE designs use strong index hashes; modelling them
     // as weak would flatter STBPU in Figures 4/5. Not security-relevant:
@@ -145,7 +169,7 @@ class BaselineMapping : public MappingProvider {
 
   [[nodiscard]] std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t folded_hist,
                                        unsigned table, unsigned tag_bits,
-                                       const ExecContext&) const override {
+                                       const ExecContext&) const {
     std::uint64_t x = (ip * 0xC2B2AE3D27D4EB4FULL) ^ (folded_hist << 1) ^
                       (folded_hist >> 2) ^ (std::uint64_t{table} * 0x9E55ULL);
     x ^= x >> 27;
@@ -155,11 +179,75 @@ class BaselineMapping : public MappingProvider {
   }
 
   [[nodiscard]] std::uint32_t perceptron_row(std::uint64_t ip, unsigned row_bits,
-                                             const ExecContext&) const override {
+                                             const ExecContext&) const {
     std::uint64_t x = (ip >> 2) * 0x9E3779B97F4A7C15ULL;
     x ^= x >> 33;
     return static_cast<std::uint32_t>(util::bits(x, 0, row_bits));
   }
+};
+
+/// Virtual adapter over any non-virtual mapping-logic class: forwards the
+/// complete MappingProvider interface to an owned Logic instance. The three
+/// concrete adapters (baseline / conservative / STBPU) are one-liners over
+/// this template instead of three hand-maintained forwarding blocks.
+template <class Logic>
+class MappingAdapterT : public MappingProvider {
+ public:
+  MappingAdapterT() = default;
+  explicit MappingAdapterT(Logic logic) : logic_(std::move(logic)) {}
+
+  [[nodiscard]] BtbIndex btb_mode1(std::uint64_t ip, const ExecContext& ctx) const override {
+    return logic_.btb_mode1(ip, ctx);
+  }
+  [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb,
+                                            const ExecContext& ctx) const override {
+    return logic_.btb_mode2_tag(bhb, ctx);
+  }
+  [[nodiscard]] std::uint32_t pht_index_1level(std::uint64_t ip,
+                                               const ExecContext& ctx) const override {
+    return logic_.pht_index_1level(ip, ctx);
+  }
+  [[nodiscard]] std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t ghr,
+                                               const ExecContext& ctx) const override {
+    return logic_.pht_index_2level(ip, ghr, ctx);
+  }
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
+                                            const ExecContext& ctx) const override {
+    return logic_.encode_target(target, ctx);
+  }
+  [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
+                                            const ExecContext& ctx) const override {
+    return logic_.decode_target(branch_ip, stored, ctx);
+  }
+  [[nodiscard]] std::uint32_t tage_index(std::uint64_t ip, std::uint64_t folded_hist,
+                                         unsigned table, unsigned index_bits,
+                                         const ExecContext& ctx) const override {
+    return logic_.tage_index(ip, folded_hist, table, index_bits, ctx);
+  }
+  [[nodiscard]] std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t folded_hist,
+                                       unsigned table, unsigned tag_bits,
+                                       const ExecContext& ctx) const override {
+    return logic_.tage_tag(ip, folded_hist, table, tag_bits, ctx);
+  }
+  [[nodiscard]] std::uint32_t perceptron_row(std::uint64_t ip, unsigned row_bits,
+                                             const ExecContext& ctx) const override {
+    return logic_.perceptron_row(ip, row_bits, ctx);
+  }
+
+ protected:
+  Logic logic_;
+};
+
+/// Virtual adapter over BaselineMappingLogic (API edge; derived classes in
+/// the attack/ablation code override individual functions).
+class BaselineMapping : public MappingAdapterT<BaselineMappingLogic> {
+ public:
+  static constexpr unsigned kUsedAddressBits = BaselineMappingLogic::kUsedAddressBits;
+  static constexpr unsigned kBtbSetBits = BaselineMappingLogic::kBtbSetBits;
+  static constexpr unsigned kBtbTagBits = BaselineMappingLogic::kBtbTagBits;
+  static constexpr unsigned kBtbOffsetBits = BaselineMappingLogic::kBtbOffsetBits;
+  static constexpr unsigned kPhtIndexBits = BaselineMappingLogic::kPhtIndexBits;
+  static constexpr unsigned kGhrBits = BaselineMappingLogic::kGhrBits;
 };
 
 }  // namespace stbpu::bpu

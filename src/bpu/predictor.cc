@@ -2,189 +2,9 @@
 
 namespace stbpu::bpu {
 
-CorePredictor::CorePredictor(const CorePredictorConfig& cfg,
-                             const MappingProvider* mapping,
-                             std::unique_ptr<IDirectionPredictor> direction,
-                             IEventSink* sink)
-    : cfg_(cfg),
-      mapping_(mapping),
-      direction_(std::move(direction)),
-      sink_(sink ? sink : &null_sink_),
-      btb_(cfg.btb) {}
-
-BtbIndex CorePredictor::mode2_index(std::uint64_t ip, const ExecContext& ctx) const {
-  // Mode 2: the set comes from the address as in mode 1, but the tag also
-  // mixes the BHB so one indirect branch can hold several context-dependent
-  // targets (paper §II-A).
-  BtbIndex idx = mapping_->btb_mode1(ip, ctx);
-  idx.tag ^= mapping_->btb_mode2_tag(bhb_[ctx.hart & 1].value(), ctx);
-  return idx;
-}
-
-CorePredictor::TargetPrediction CorePredictor::predict_target(const BranchRecord& rec,
-                                                              bool pop_rsb) {
-  const ExecContext& ctx = rec.ctx;
-  TargetPrediction out;
-  switch (rec.type) {
-    case BranchType::kReturn: {
-      auto& rsb = rsb_[cfg_.rsb_per_hart ? (ctx.hart & 1) : 0];
-      const auto popped = pop_rsb ? rsb.pop() : rsb.peek();
-      if (popped) {
-        out.valid = true;
-        out.target = mapping_->decode_target(rec.ip, *popped, ctx);
-        return out;
-      }
-      out.rsb_underflow = true;
-      // Fall back to the indirect predictor (BTB mode 2), as real parts do.
-      [[fallthrough]];
-    }
-    case BranchType::kIndirectJump:
-    case BranchType::kIndirectCall: {
-      const auto m2 = btb_.lookup(mode2_index(rec.ip, ctx), ctx.hart);
-      if (m2.hit) {
-        out.valid = true;
-        out.target = mapping_->decode_target(rec.ip, m2.payload, ctx);
-        return out;
-      }
-      const auto m1 = btb_.lookup(mapping_->btb_mode1(rec.ip, ctx), ctx.hart);
-      if (m1.hit) {
-        out.valid = true;
-        out.target = mapping_->decode_target(rec.ip, m1.payload, ctx);
-      }
-      return out;
-    }
-    case BranchType::kConditional:
-    case BranchType::kDirectJump:
-    case BranchType::kDirectCall: {
-      const auto m1 = btb_.lookup(mapping_->btb_mode1(rec.ip, ctx), ctx.hart);
-      if (m1.hit) {
-        out.valid = true;
-        out.target = mapping_->decode_target(rec.ip, m1.payload, ctx);
-      }
-      return out;
-    }
-  }
-  return out;
-}
-
-Prediction CorePredictor::predict_only(const BranchRecord& rec) const {
-  // Const prediction path for front-end modelling: replicates access()'s
-  // prediction without mutating structures (RSB peek instead of pop).
-  Prediction pred;
-  auto* self = const_cast<CorePredictor*>(this);
-  if (rec.type == BranchType::kConditional) {
-    const DirPrediction d = self->direction_->predict(rec.ip, rec.ctx);
-    pred.taken = d.taken;
-    pred.from_tagged = d.from_tagged;
-  } else {
-    pred.taken = true;
-  }
-  const TargetPrediction t = self->predict_target(rec, /*pop_rsb=*/false);
-  pred.target_valid = t.valid;
-  pred.target = t.target;
-  return pred;
-}
-
-void CorePredictor::train_target(const BranchRecord& rec, AccessResult& res) {
-  const ExecContext& ctx = rec.ctx;
-  // BTB allocates on taken control transfers only; a not-taken conditional
-  // needs no target.
-  if (!rec.taken) return;
-
-  const std::uint64_t payload = mapping_->encode_target(rec.target, ctx);
-  BtbIndex idx;
-  bool indirect = false;
-  switch (rec.type) {
-    case BranchType::kReturn:
-      // Returns are repaired through the RSB; BTB mode-2 training only
-      // happens for them when they were predicted via the fallback path
-      // (modelled by always refreshing the mode-2 entry on underflow).
-      if (!res.rsb_underflow) return;
-      idx = mode2_index(rec.ip, ctx);
-      indirect = true;
-      break;
-    case BranchType::kIndirectJump:
-    case BranchType::kIndirectCall:
-      idx = mode2_index(rec.ip, ctx);
-      indirect = true;
-      break;
-    default:
-      idx = mapping_->btb_mode1(rec.ip, ctx);
-      break;
-  }
-  const auto ins = btb_.insert(idx, payload, ctx.hart, indirect);
-  res.btb_eviction = ins.evicted;
-}
-
-AccessResult CorePredictor::access(const BranchRecord& rec) {
-  const ExecContext& ctx = rec.ctx;
-  AccessResult res;
-
-  // --- predict ---------------------------------------------------------
-  Prediction pred;
-  if (rec.type == BranchType::kConditional) {
-    const DirPrediction d = direction_->predict(rec.ip, ctx);
-    pred.taken = d.taken;
-    pred.from_tagged = d.from_tagged;
-    res.from_tagged = d.from_tagged;
-  } else {
-    pred.taken = true;
-  }
-  const TargetPrediction tgt = predict_target(rec, /*pop_rsb=*/true);
-  pred.target_valid = tgt.valid;
-  pred.target = tgt.target;
-  res.rsb_underflow = tgt.rsb_underflow;
-  res.pred = pred;
-
-  // --- resolve ---------------------------------------------------------
-  res.direction_correct =
-      rec.type != BranchType::kConditional || pred.taken == rec.taken;
-  const bool needs_target = rec.taken && pred.taken;
-  res.target_correct = !needs_target || (tgt.valid && tgt.target == rec.target);
-  res.overall_correct = res.direction_correct && (!rec.taken || res.target_correct);
-  res.direction_mispredicted = !res.direction_correct;
-  res.target_mispredicted = needs_target && !res.target_correct;
-
-  // --- train -----------------------------------------------------------
-  if (rec.type == BranchType::kConditional) {
-    direction_->update(rec.ip, ctx, rec.taken,
-                       DirPrediction{pred.taken, pred.from_tagged});
-  } else {
-    direction_->track(rec);
-  }
-  if (is_call(rec.type)) {
-    auto& rsb = rsb_[cfg_.rsb_per_hart ? (ctx.hart & 1) : 0];
-    rsb.push(mapping_->encode_target(rec.ip + kBranchInstrLen, ctx));
-  }
-  train_target(rec, res);
-  if (rec.taken) bhb_[ctx.hart & 1].push(rec.ip, rec.target);
-
-  // --- events ----------------------------------------------------------
-  if (!res.overall_correct) sink_->on_misprediction(ctx, res.from_tagged);
-  if (res.btb_eviction) sink_->on_btb_eviction(ctx);
-  return res;
-}
-
-void CorePredictor::flush() {
-  btb_.flush();
-  direction_->flush();
-  for (auto& r : rsb_) r.flush();
-  for (auto& b : bhb_) b.clear();
-}
-
-void CorePredictor::flush_targets() {
-  // IBRS semantics: indirect prediction must not consume lower-privilege
-  // state — mode-2 BTB entries, the RSB and the BHB context go; direct
-  // targets stay.
-  btb_.flush_indirect();
-  for (auto& r : rsb_) r.flush();
-  for (auto& b : bhb_) b.clear();
-}
-
-void CorePredictor::flush_hart(std::uint8_t hart) {
-  direction_->flush_hart(hart);
-  rsb_[hart & 1].flush();
-  bhb_[hart & 1].clear();
-}
+// Legacy dynamic-dispatch engine (MappingProvider + IDirectionPredictor),
+// compiled once here; the devirtualized combinations are instantiated in
+// src/models/engine.cc.
+template class CorePredictorT<>;
 
 }  // namespace stbpu::bpu

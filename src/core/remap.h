@@ -122,9 +122,12 @@ class Remapper {
   [[nodiscard]] static bpu::BtbIndex r1(std::uint32_t psi, std::uint64_t ip) noexcept {
     const std::uint64_t m =
         detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0xB7E151628AED2A6AULL);
+    // Tag stays in the full 64-bit BtbIndex field (already masked to
+    // kBtbTagBits by util::bits) — same width handling as r1_scaled, no
+    // narrow-then-rewiden cast.
     return bpu::BtbIndex{
         .set = static_cast<std::uint32_t>(util::bits(m, 0, kBtbSetBits)),
-        .tag = static_cast<std::uint32_t>(util::bits(m, kBtbSetBits, kBtbTagBits)),
+        .tag = util::bits(m, kBtbSetBits, kBtbTagBits),
         .offset = static_cast<std::uint32_t>(
             util::bits(m, kBtbSetBits + kBtbTagBits, kBtbOffsetBits)),
     };

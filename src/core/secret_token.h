@@ -45,6 +45,7 @@ class STManager {
   /// untouched; this is the key difference from flushing (paper §IV-A).
   void rerandomize(const bpu::ExecContext& ctx) {
     ++rerandomizations_;
+    ++mutations_;
     if (ctx.kernel) {
       kernel_ = fresh();
     } else {
@@ -55,6 +56,7 @@ class STManager {
   /// OS policy: make `pid` share `leader`'s ST group (selective history
   /// sharing for processes running the same program).
   void share(std::uint16_t pid, std::uint16_t leader) {
+    ++mutations_;
     groups_.resize(std::max<std::size_t>(groups_.size(),
                                          std::max(pid, leader) + std::size_t{1}),
                    kNoGroup);
@@ -63,6 +65,7 @@ class STManager {
 
   /// OS privileged write of an explicit token (tests / reproducibility).
   void set_token(const bpu::ExecContext& ctx, SecretToken t) {
+    ++mutations_;
     if (ctx.kernel) {
       kernel_ = t;
     } else {
@@ -73,6 +76,11 @@ class STManager {
   [[nodiscard]] std::uint64_t rerandomizations() const noexcept {
     return rerandomizations_;
   }
+
+  /// Bumped on every externally visible token change (re-randomization,
+  /// explicit write, share-group edit) — the remap memo-cache watches this
+  /// to know when memoized ψ-derived values may have gone stale.
+  [[nodiscard]] std::uint64_t mutations() const noexcept { return mutations_; }
 
  private:
   static constexpr std::uint16_t kNoGroup = 0xFFFF;
@@ -113,6 +121,7 @@ class STManager {
   std::vector<Slot> slots_;
   std::vector<std::uint16_t> groups_;
   std::uint64_t rerandomizations_ = 0;
+  std::uint64_t mutations_ = 0;
 };
 
 }  // namespace stbpu::core

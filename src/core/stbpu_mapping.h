@@ -4,6 +4,11 @@
 // this provider in place of BaselineMapping is the *entire* integration
 // surface with the predictors, matching the paper's claim that STBPU does
 // not interfere with the prediction mechanisms themselves.
+//
+// StbpuMappingLogic is the non-virtual rendering consumed by the templated
+// engine (and wrapped by the memo-caching CachedStbpuMapping in
+// core/remap_cache.h); StbpuMapping is the thin MappingProvider adapter
+// kept at the API edge.
 #pragma once
 
 #include "bpu/mapping.h"
@@ -13,38 +18,38 @@
 
 namespace stbpu::core {
 
-class StbpuMapping final : public bpu::MappingProvider {
+class StbpuMappingLogic {
  public:
-  explicit StbpuMapping(STManager* stm) : stm_(stm) {}
+  explicit StbpuMappingLogic(STManager* stm) : stm_(stm) {}
 
   [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
-                                        const bpu::ExecContext& ctx) const override {
+                                        const bpu::ExecContext& ctx) const {
     return Remapper::r1(stm_->token(ctx).psi, ip);
   }
 
   [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb,
-                                            const bpu::ExecContext& ctx) const override {
+                                            const bpu::ExecContext& ctx) const {
     return Remapper::r2(stm_->token(ctx).psi, bhb);
   }
 
   [[nodiscard]] std::uint32_t pht_index_1level(std::uint64_t ip,
-                                               const bpu::ExecContext& ctx) const override {
+                                               const bpu::ExecContext& ctx) const {
     return Remapper::r3(stm_->token(ctx).psi, ip);
   }
 
   [[nodiscard]] std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t ghr,
-                                               const bpu::ExecContext& ctx) const override {
+                                               const bpu::ExecContext& ctx) const {
     return Remapper::r4(stm_->token(ctx).psi, ip, ghr);
   }
 
   [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
-                                            const bpu::ExecContext& ctx) const override {
+                                            const bpu::ExecContext& ctx) const {
     // Store 32 bits XOR-encrypted with the entity's φ (paper §IV-B).
     return util::bits(target, 0, 32) ^ stm_->token(ctx).phi;
   }
 
   [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
-                                            const bpu::ExecContext& ctx) const override {
+                                            const bpu::ExecContext& ctx) const {
     // Modified function 5: decrypt with the *current* entity's φ, then
     // re-extend with the upper IP bits. A payload written under another φ
     // decodes to a uniformly random 32-bit offset — malicious speculative
@@ -55,18 +60,18 @@ class StbpuMapping final : public bpu::MappingProvider {
 
   [[nodiscard]] std::uint32_t tage_index(std::uint64_t ip, std::uint64_t folded_hist,
                                          unsigned table, unsigned index_bits,
-                                         const bpu::ExecContext& ctx) const override {
+                                         const bpu::ExecContext& ctx) const {
     return Remapper::rt_index(stm_->token(ctx).psi, ip, folded_hist, table, index_bits);
   }
 
   [[nodiscard]] std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t folded_hist,
                                        unsigned table, unsigned tag_bits,
-                                       const bpu::ExecContext& ctx) const override {
+                                       const bpu::ExecContext& ctx) const {
     return Remapper::rt_tag(stm_->token(ctx).psi, ip, folded_hist, table, tag_bits);
   }
 
   [[nodiscard]] std::uint32_t perceptron_row(std::uint64_t ip, unsigned row_bits,
-                                             const bpu::ExecContext& ctx) const override {
+                                             const bpu::ExecContext& ctx) const {
     return Remapper::rp(stm_->token(ctx).psi, ip, row_bits);
   }
 
@@ -74,6 +79,14 @@ class StbpuMapping final : public bpu::MappingProvider {
 
  private:
   STManager* stm_;
+};
+
+/// Virtual adapter over StbpuMappingLogic (API edge).
+class StbpuMapping final : public bpu::MappingAdapterT<StbpuMappingLogic> {
+ public:
+  explicit StbpuMapping(STManager* stm) : MappingAdapterT(StbpuMappingLogic(stm)) {}
+
+  [[nodiscard]] STManager& tokens() const noexcept { return logic_.tokens(); }
 };
 
 }  // namespace stbpu::core

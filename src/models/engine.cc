@@ -1,0 +1,136 @@
+#include "models/engine.h"
+
+#include "bpu/direction.h"
+#include "bpu/mapping.h"
+#include "core/stbpu_mapping.h"
+#include "perceptron/perceptron.h"
+#include "tage/tage.h"
+
+namespace stbpu::models {
+
+namespace {
+
+/// Instantiate the engine for one mapping type across the four direction
+/// predictors of §VII-B2.
+template <class Mapping>
+std::unique_ptr<bpu::IPredictor> with_direction(
+    const ModelSpec& spec, const bpu::CorePredictorConfig& cfg,
+    std::unique_ptr<core::STManager> stm, std::unique_ptr<core::EventMonitor> monitor,
+    Mapping mapping) {
+  switch (spec.direction) {
+    case DirectionKind::kSklCond: {
+      using Dir = bpu::SklCondPredictorT<Mapping>;
+      return std::make_unique<EngineT<Mapping, Dir>>(
+          spec, cfg, std::move(stm), std::move(monitor), std::move(mapping),
+          [](const Mapping* m) { return std::make_unique<Dir>(m); });
+    }
+    case DirectionKind::kTage8: {
+      using Dir = tage::TagePredictorT<Mapping>;
+      return std::make_unique<EngineT<Mapping, Dir>>(
+          spec, cfg, std::move(stm), std::move(monitor), std::move(mapping),
+          [&spec](const Mapping* m) {
+            return std::make_unique<Dir>(tage::TageConfig::kb8(), m, spec.seed);
+          });
+    }
+    case DirectionKind::kTage64: {
+      using Dir = tage::TagePredictorT<Mapping>;
+      return std::make_unique<EngineT<Mapping, Dir>>(
+          spec, cfg, std::move(stm), std::move(monitor), std::move(mapping),
+          [&spec](const Mapping* m) {
+            return std::make_unique<Dir>(tage::TageConfig::kb64(), m, spec.seed);
+          });
+    }
+    case DirectionKind::kPerceptron: {
+      using Dir = perceptron::PerceptronPredictorT<Mapping>;
+      return std::make_unique<EngineT<Mapping, Dir>>(
+          spec, cfg, std::move(stm), std::move(monitor), std::move(mapping),
+          [](const Mapping* m) { return std::make_unique<Dir>(m); });
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec) {
+  // Mirrors BpuModel::create — same configs, same seeding order — so the
+  // devirtualized and legacy engines are statistically indistinguishable.
+  bpu::CorePredictorConfig cfg;
+  switch (spec.model) {
+    case ModelKind::kUnprotected:
+    case ModelKind::kUcode1:
+      return with_direction(spec, cfg, nullptr, nullptr, bpu::BaselineMappingLogic{});
+    case ModelKind::kUcode2:
+      cfg.btb.partition_by_hart = true;  // STIBP logical segmentation
+      return with_direction(spec, cfg, nullptr, nullptr, bpu::BaselineMappingLogic{});
+    case ModelKind::kConservative:
+      cfg.btb.sets = ConservativeMappingLogic::kSets;
+      cfg.btb.partition_by_hart = true;
+      return with_direction(spec, cfg, nullptr, nullptr, ConservativeMappingLogic{});
+    case ModelKind::kStbpu: {
+      auto stm = std::make_unique<core::STManager>(spec.seed);
+      const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
+                                   spec.direction == DirectionKind::kTage64;
+      auto monitor = std::make_unique<core::EventMonitor>(
+          stm.get(), core::MonitorConfig::from_difficulty(spec.rerand_difficulty_r,
+                                                          separate_tagged));
+      core::CachedStbpuMapping mapping(stm.get());
+      return with_direction(spec, cfg, std::move(stm), std::move(monitor),
+                            std::move(mapping));
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Visit `engine` as its concrete EngineT type (one dynamic_cast per combo,
+/// all combos enumerated in exactly one place). `fn` receives the typed
+/// engine reference; returns false when `engine` is a foreign predictor.
+template <class Mapping, class Fn>
+bool visit_engine_mapping(bpu::IPredictor& engine, Fn&& fn) {
+  const auto try_one = [&](auto* typed) {
+    if (typed == nullptr) return false;
+    fn(*typed);
+    return true;
+  };
+  return try_one(dynamic_cast<EngineT<Mapping, bpu::SklCondPredictorT<Mapping>>*>(&engine)) ||
+         try_one(dynamic_cast<EngineT<Mapping, tage::TagePredictorT<Mapping>>*>(&engine)) ||
+         try_one(
+             dynamic_cast<EngineT<Mapping, perceptron::PerceptronPredictorT<Mapping>>*>(
+                 &engine));
+}
+
+template <class Fn>
+bool visit_engine(bpu::IPredictor& engine, Fn&& fn) {
+  return visit_engine_mapping<core::CachedStbpuMapping>(engine, fn) ||
+         visit_engine_mapping<bpu::BaselineMappingLogic>(engine, fn) ||
+         visit_engine_mapping<ConservativeMappingLogic>(engine, fn);
+}
+
+}  // namespace
+
+core::RemapCacheStats engine_remap_cache_stats(const bpu::IPredictor& engine) {
+  core::RemapCacheStats stats;
+  visit_engine(const_cast<bpu::IPredictor&>(engine), [&](auto& e) {
+    if constexpr (requires { e.mapping().stats(); }) stats = e.mapping().stats();
+  });
+  return stats;
+}
+
+core::EventMonitor* engine_monitor(bpu::IPredictor& engine) {
+  core::EventMonitor* monitor = nullptr;
+  visit_engine(engine, [&](auto& e) { monitor = e.monitor(); });
+  return monitor;
+}
+
+sim::BranchStats replay_engine(bpu::IPredictor& engine, trace::BranchStream& stream,
+                               const sim::BpuSimOptions& opt) {
+  sim::BranchStats stats;
+  if (visit_engine(engine, [&](auto& e) { stats = sim::replay(e, stream, opt); })) {
+    return stats;
+  }
+  return sim::replay(engine, stream, opt);
+}
+
+}  // namespace stbpu::models

@@ -1,0 +1,110 @@
+// Devirtualized simulation engine: the same five secure-BPU designs as
+// models::BpuModel, but assembled from concrete final types so every
+// mapping and direction-predictor call resolves at compile time and
+// inlines into CorePredictorT's access loop. The only virtual dispatch
+// left on a branch's path is the single IPredictor::access() call at the
+// simulator boundary.
+//
+// STBPU engines additionally route every R-function through the remap
+// memo-cache (core/remap_cache.h), exploiting that R outputs are constant
+// between ψ re-keys.
+//
+// make_engine(spec) mirrors BpuModel::create(spec) exactly — same token
+// manager seeding, monitor wiring and switch policy — so both produce
+// bit-identical prediction statistics on identical traces
+// (tests/integration/engine_equivalence_test.cc asserts this).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bpu/predictor.h"
+#include "core/monitor.h"
+#include "core/remap_cache.h"
+#include "core/secret_token.h"
+#include "models/models.h"
+#include "sim/bpu_sim.h"
+
+namespace stbpu::models {
+
+template <class Mapping, class Direction>
+class EngineT final : public bpu::IPredictor {
+ public:
+  /// `make_direction` is invoked with the address of the engine-owned
+  /// mapping — the mapping must be addressed *after* it is moved into
+  /// place, which is why a factory callback is taken instead of a
+  /// ready-made direction predictor.
+  template <class DirFactory>
+  EngineT(const ModelSpec& spec, const bpu::CorePredictorConfig& cfg,
+          std::unique_ptr<core::STManager> stm,
+          std::unique_ptr<core::EventMonitor> monitor, Mapping mapping,
+          DirFactory&& make_direction)
+      : spec_(spec),
+        stm_(std::move(stm)),
+        monitor_(std::move(monitor)),
+        mapping_(std::move(mapping)),
+        core_(cfg, &mapping_, make_direction(&mapping_), monitor_.get()),
+        name_(to_string(spec.model) + "/" + to_string(spec.direction)) {
+    core_.set_name(name_);
+  }
+
+  bpu::AccessResult access(const bpu::BranchRecord& rec) override {
+    return core_.access(rec);
+  }
+
+  void on_switch(const bpu::ExecContext& from, const bpu::ExecContext& to) override {
+    // The software memo-cache is emptied on context switches (its entries
+    // are ψ-tagged, so this is belt-and-braces, not a correctness
+    // requirement); the flush policy itself is the shared
+    // apply_switch_policy so the engine can never drift from BpuModel.
+    if constexpr (requires(const Mapping& m) { m.invalidate_all(); }) {
+      if (spec_.model == ModelKind::kStbpu && from.pid != to.pid) {
+        mapping_.invalidate_all();
+      }
+    }
+    if (apply_switch_policy(spec_.model, from, to, core_)) ++flushes_;
+  }
+
+  void flush() override { core_.flush(); }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] const ModelSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] bpu::CorePredictorT<Mapping, Direction>& core() noexcept { return core_; }
+  [[nodiscard]] Mapping& mapping() noexcept { return mapping_; }
+  [[nodiscard]] core::STManager* tokens() noexcept { return stm_.get(); }
+  [[nodiscard]] core::EventMonitor* monitor() noexcept { return monitor_.get(); }
+  [[nodiscard]] std::uint64_t policy_flushes() const noexcept { return flushes_; }
+
+ private:
+  ModelSpec spec_;
+  std::unique_ptr<core::STManager> stm_;
+  std::unique_ptr<core::EventMonitor> monitor_;
+  Mapping mapping_;
+  bpu::CorePredictorT<Mapping, Direction> core_;
+  std::string name_;
+  std::uint64_t flushes_ = 0;
+};
+
+/// Build the devirtualized engine for `spec`. Drop-in IPredictor
+/// replacement for BpuModel::create(spec) with identical statistics.
+[[nodiscard]] std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec);
+
+/// Remap-cache statistics of an STBPU engine built by make_engine
+/// (zeros for non-STBPU engines or foreign predictors).
+[[nodiscard]] core::RemapCacheStats engine_remap_cache_stats(const bpu::IPredictor& engine);
+
+/// Event monitor of an STBPU engine built by make_engine (nullptr for
+/// non-STBPU engines or foreign predictors).
+[[nodiscard]] core::EventMonitor* engine_monitor(bpu::IPredictor& engine);
+
+/// Batched trace replay with the engine's concrete type recovered (one
+/// dynamic_cast per run, not per branch): the per-branch access() then
+/// devirtualizes and inlines into the replay loop — zero virtual dispatch
+/// on the branch path. Falls back to the interface-typed loop for foreign
+/// predictors (e.g. legacy BpuModel), where it behaves exactly like
+/// sim::replay.
+[[nodiscard]] sim::BranchStats replay_engine(bpu::IPredictor& engine,
+                                             trace::BranchStream& stream,
+                                             const sim::BpuSimOptions& opt = {});
+
+}  // namespace stbpu::models

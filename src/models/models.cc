@@ -93,27 +93,7 @@ std::unique_ptr<BpuModel> BpuModel::create(const ModelSpec& spec) {
 }
 
 void BpuModel::on_switch(const bpu::ExecContext& from, const bpu::ExecContext& to) {
-  switch (spec_.model) {
-    case ModelKind::kUnprotected:
-    case ModelKind::kStbpu:
-      // STBPU retains history across switches: the OS reloads the ST
-      // register, modelled implicitly by the per-entity token lookup.
-      return;
-    case ModelKind::kUcode1:
-    case ModelKind::kUcode2:
-    case ModelKind::kConservative:
-      if (from.pid != to.pid) {
-        // IBPB: full barrier on context switch.
-        core_->flush();
-        ++flushes_;
-      } else if (to.kernel && !from.kernel) {
-        // IBRS: entering a more privileged mode must not speculate on
-        // lower-privileged BPU contents — flush target structures.
-        core_->flush_targets();
-        ++flushes_;
-      }
-      return;
-  }
+  if (apply_switch_policy(spec_.model, from, to, *core_)) ++flushes_;
 }
 
 }  // namespace stbpu::models

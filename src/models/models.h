@@ -44,11 +44,13 @@ enum class DirectionKind : std::uint8_t {
 [[nodiscard]] std::string to_string(ModelKind m);
 [[nodiscard]] std::string to_string(DirectionKind d);
 
-/// Conservative mapping: the BTB keeps the complete 48-bit branch address
-/// (set bits excluded) as its tag and the complete target — no compression,
-/// no truncation, hence no aliasing. Budget-neutral capacity reduction is
-/// applied by the factory (2048 entries vs 4096; see DESIGN.md).
-class ConservativeMapping final : public bpu::BaselineMapping {
+/// Conservative mapping logic: the BTB keeps the complete 48-bit branch
+/// address (set bits excluded) as its tag and the complete target — no
+/// compression, no truncation, hence no aliasing. Budget-neutral capacity
+/// reduction is applied by the factory (2048 entries vs 4096; see
+/// DESIGN.md). Non-virtual (shadows the baseline methods it changes) for
+/// the devirtualized engine.
+class ConservativeMappingLogic : public bpu::BaselineMappingLogic {
  public:
   // Budget-neutral entry count: a baseline entry is ~45 bits (8 tag + 5
   // offset + 32 target); a conservative entry holds the full remaining
@@ -56,8 +58,7 @@ class ConservativeMapping final : public bpu::BaselineMapping {
   // 4096-entry budget therefore shrinks to ~1024 entries.
   static constexpr unsigned kSets = 128;
 
-  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
-                                        const bpu::ExecContext&) const override {
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip, const bpu::ExecContext&) const {
     return bpu::BtbIndex{
         .set = static_cast<std::uint32_t>(util::bits(ip, 5, 8)),
         .tag = (ip & bpu::kVirtualAddressMask) >> 13,  // full remaining address
@@ -65,13 +66,35 @@ class ConservativeMapping final : public bpu::BaselineMapping {
     };
   }
   [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
-                                            const bpu::ExecContext&) const override {
+                                            const bpu::ExecContext&) const {
     return target & bpu::kVirtualAddressMask;
   }
   [[nodiscard]] std::uint64_t decode_target(std::uint64_t, std::uint64_t stored,
-                                            const bpu::ExecContext&) const override {
+                                            const bpu::ExecContext&) const {
     return stored;
   }
+};
+
+/// Virtual adapter over ConservativeMappingLogic (API edge).
+class ConservativeMapping final : public bpu::BaselineMapping {
+ public:
+  static constexpr unsigned kSets = ConservativeMappingLogic::kSets;
+
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
+                                        const bpu::ExecContext& ctx) const override {
+    return logic_.btb_mode1(ip, ctx);
+  }
+  [[nodiscard]] std::uint64_t encode_target(std::uint64_t target,
+                                            const bpu::ExecContext& ctx) const override {
+    return logic_.encode_target(target, ctx);
+  }
+  [[nodiscard]] std::uint64_t decode_target(std::uint64_t branch_ip, std::uint64_t stored,
+                                            const bpu::ExecContext& ctx) const override {
+    return logic_.decode_target(branch_ip, stored, ctx);
+  }
+
+ private:
+  ConservativeMappingLogic logic_;
 };
 
 struct ModelSpec {
@@ -81,6 +104,38 @@ struct ModelSpec {
   double rerand_difficulty_r = 0.05;
   std::uint64_t seed = 0x57B9;
 };
+
+/// The context/mode-switch flush policy of §VII-B1, shared verbatim by the
+/// legacy BpuModel and the devirtualized engine so the two can never drift
+/// apart (their statistics must stay bit-identical). Returns true when the
+/// policy flushed something.
+template <class Core>
+bool apply_switch_policy(ModelKind kind, const bpu::ExecContext& from,
+                         const bpu::ExecContext& to, Core& core) {
+  switch (kind) {
+    case ModelKind::kUnprotected:
+    case ModelKind::kStbpu:
+      // STBPU retains history across switches: the OS reloads the ST
+      // register, modelled implicitly by the per-entity token lookup.
+      return false;
+    case ModelKind::kUcode1:
+    case ModelKind::kUcode2:
+    case ModelKind::kConservative:
+      if (from.pid != to.pid) {
+        // IBPB: full barrier on context switch.
+        core.flush();
+        return true;
+      }
+      if (to.kernel && !from.kernel) {
+        // IBRS: entering a more privileged mode must not speculate on
+        // lower-privileged BPU contents — flush target structures.
+        core.flush_targets();
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
 
 /// A fully assembled BPU model: owns the mapping provider, token manager,
 /// monitor, and predictor, and applies the model's switch policy.

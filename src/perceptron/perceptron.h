@@ -20,10 +20,13 @@ struct PerceptronConfig {
   int weight_max = 127;         ///< 8-bit weights
 };
 
-class PerceptronPredictor final : public bpu::IDirectionPredictor {
+/// Template over the mapping type so the Rp row selection inlines in the
+/// devirtualized engine; `PerceptronPredictor` below is the legacy alias.
+template <class Mapping = bpu::MappingProvider>
+class PerceptronPredictorT final : public bpu::IDirectionPredictor {
  public:
-  explicit PerceptronPredictor(const bpu::MappingProvider* mapping,
-                               const PerceptronConfig& cfg = {})
+  explicit PerceptronPredictorT(const Mapping* mapping,
+                                const PerceptronConfig& cfg = {})
       : cfg_(cfg),
         mapping_(mapping),
         // Training threshold θ = ⌊1.93h + 14⌋ (Jimenez & Lin).
@@ -73,26 +76,33 @@ class PerceptronPredictor final : public bpu::IDirectionPredictor {
   [[nodiscard]] int dot(std::uint32_t row, std::uint64_t ghr) const {
     const auto& w = weights_[row];
     int sum = w[0];
+    // Branchless sign-select (w ^ m) - m keeps the loop vectorizable; the
+    // result is bit-identical to the ternary form.
     for (unsigned i = 0; i < cfg_.history_length; ++i) {
-      sum += ((ghr >> i) & 1) ? w[i + 1] : -w[i + 1];
+      const int m = -static_cast<int>((ghr >> i) & 1) ^ -1;  // taken: 0, not: -1
+      sum += (static_cast<int>(w[i + 1]) ^ m) - m;
     }
     return sum;
   }
 
   void bump(std::int16_t& w, bool up) const {
+    // Branchless saturate: identical outcomes to the compare-then-step form.
     if (up) {
-      if (w < cfg_.weight_max) ++w;
+      w = static_cast<std::int16_t>(w + (w < cfg_.weight_max ? 1 : 0));
     } else {
-      if (w > -cfg_.weight_max - 1) --w;
+      w = static_cast<std::int16_t>(w - (w > -cfg_.weight_max - 1 ? 1 : 0));
     }
   }
 
   PerceptronConfig cfg_;
-  const bpu::MappingProvider* mapping_;
+  const Mapping* mapping_;
   int theta_;
   std::vector<std::vector<std::int16_t>> weights_;
   std::uint64_t ghr_[2] = {0, 0};
   int scratch_sum_ = 0;
 };
+
+/// Legacy dynamic-dispatch instantiation.
+using PerceptronPredictor = PerceptronPredictorT<>;
 
 }  // namespace stbpu::perceptron

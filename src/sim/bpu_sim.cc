@@ -4,6 +4,10 @@ namespace stbpu::sim {
 
 BranchStats simulate_bpu(bpu::IPredictor& model, trace::BranchStream& stream,
                          const BpuSimOptions& opt) {
+  // Deliberately the pre-batching record-at-a-time loop: this is the
+  // virtual-dispatch baseline the devirtualized replay() is measured
+  // against, preserved exactly as the seed implemented it. Statement
+  // sequence per branch matches replay(), so statistics are bit-identical.
   BranchStats stats;
   bpu::BranchRecord rec;
   bool have_last[2] = {false, false};

@@ -1,181 +1,9 @@
 #include "sim/ooo.h"
 
-#include <algorithm>
-
 namespace stbpu::sim {
 
-OooCore::OooCore(const OooConfig& cfg, bpu::IPredictor* bpu,
-                 std::vector<trace::InstrStream*> threads)
-    : cfg_(cfg), bpu_(bpu), caches_(cfg.caches) {
-  threads_.resize(threads.size());
-  const unsigned rob_share =
-      std::max<unsigned>(8, cfg_.rob / static_cast<unsigned>(threads.size()));
-  const unsigned iq_share =
-      std::max<unsigned>(4, cfg_.iq / static_cast<unsigned>(threads.size()));
-  const unsigned lq_share =
-      std::max<unsigned>(4, cfg_.lq / static_cast<unsigned>(threads.size()));
-  const unsigned sq_share =
-      std::max<unsigned>(4, cfg_.sq / static_cast<unsigned>(threads.size()));
-  for (std::size_t i = 0; i < threads.size(); ++i) {
-    ThreadState& t = threads_[i];
-    t.stream = threads[i];
-    t.hart = static_cast<std::uint8_t>(i);
-    t.rob_commit.assign(rob_share, 0.0);
-    t.iq_issue.assign(iq_share, 0.0);
-    t.lq_complete.assign(lq_share, 0.0);
-    t.sq_commit.assign(sq_share, 0.0);
-  }
-}
-
-void OooCore::step(ThreadState& t) {
-  trace::InstrRecord ins;
-  if (!t.stream->next(ins)) {
-    t.done = true;
-    t.finish_time = t.last_commit;
-    return;
-  }
-  const double inv_w = 1.0 / cfg_.width;
-
-  // --- fetch: thread redirect stall + shared fetch bandwidth -------------
-  double fetch = std::max(t.next_fetch, t.redirect_until);
-  fetch = std::max(fetch, shared_fetch_time_);
-  shared_fetch_time_ = fetch + inv_w;
-  t.next_fetch = fetch;
-
-  // --- dispatch: ROB / IQ / LQ / SQ occupancy -----------------------------
-  double dispatch = fetch + cfg_.frontend_depth;
-  dispatch = std::max(dispatch, t.rob_commit[t.count % t.rob_commit.size()]);
-  dispatch = std::max(dispatch, t.iq_issue[t.count % t.iq_issue.size()]);
-  const bool is_load = ins.kind == trace::InstrRecord::Kind::kLoad;
-  const bool is_store = ins.kind == trace::InstrRecord::Kind::kStore;
-  if (is_load) {
-    dispatch = std::max(dispatch, t.lq_complete[t.loads % t.lq_complete.size()]);
-  }
-  if (is_store) {
-    dispatch = std::max(dispatch, t.sq_commit[t.stores % t.sq_commit.size()]);
-  }
-
-  // --- issue: dataflow + shared issue bandwidth ---------------------------
-  double ready = dispatch;
-  if (ins.src1 != 0) ready = std::max(ready, t.reg_ready[ins.src1]);
-  if (ins.src2 != 0) ready = std::max(ready, t.reg_ready[ins.src2]);
-  double issue = std::max(ready, shared_issue_time_);
-  shared_issue_time_ = issue + inv_w;
-  t.iq_issue[t.count % t.iq_issue.size()] = issue;
-
-  // --- execute ------------------------------------------------------------
-  double lat = cfg_.lat_alu;
-  bool mispredicted = false;
-  bpu::AccessResult access{};
-  switch (ins.kind) {
-    case trace::InstrRecord::Kind::kAlu:
-      lat = cfg_.lat_alu;
-      break;
-    case trace::InstrRecord::Kind::kMul:
-      lat = cfg_.lat_mul;
-      break;
-    case trace::InstrRecord::Kind::kDiv:
-      lat = cfg_.lat_div;
-      break;
-    case trace::InstrRecord::Kind::kFp:
-      lat = cfg_.lat_fp;
-      break;
-    case trace::InstrRecord::Kind::kLoad:
-      lat = caches_.load_latency(ins.mem_addr, ins.streaming);
-      break;
-    case trace::InstrRecord::Kind::kStore:
-      lat = 1;  // store data captured; the line is written back post-commit
-      caches_.load_latency(ins.mem_addr, ins.streaming);  // allocate-on-write
-      break;
-    case trace::InstrRecord::Kind::kBranch: {
-      lat = cfg_.lat_branch;
-      bpu::BranchRecord br = ins.branch;
-      br.ctx.hart = t.hart;  // hart is assigned by the core, not the trace
-      if (t.has_ctx && !(t.last_ctx == br.ctx)) {
-        bpu_->on_switch(t.last_ctx, br.ctx);
-        if (t.measuring) {
-          if (t.last_ctx.pid != br.ctx.pid) {
-            ++t.stats.context_switches;
-          } else {
-            ++t.stats.mode_switches;
-          }
-        }
-      }
-      t.last_ctx = br.ctx;
-      t.has_ctx = true;
-      access = bpu_->access(br);
-      mispredicted = !access.overall_correct;
-      if (t.measuring) t.stats.absorb(br, access);
-      break;
-    }
-  }
-  const double complete = issue + lat;
-  if (ins.dst != 0) t.reg_ready[ins.dst] = complete;
-  if (is_load) {
-    t.lq_complete[t.loads % t.lq_complete.size()] = complete;
-    ++t.loads;
-  }
-
-  // --- resolve branches ----------------------------------------------------
-  if (mispredicted) {
-    // Squash: the front end refills from the correct path once the branch
-    // resolves; younger wrong-path work is abandoned (penalty-modelled).
-    t.redirect_until =
-        std::max(t.redirect_until, complete + cfg_.mispredict_penalty);
-  }
-
-  // --- commit: in order, width per cycle ----------------------------------
-  const double commit = std::max(complete, t.last_commit + inv_w);
-  t.last_commit = commit;
-  t.rob_commit[t.count % t.rob_commit.size()] = commit;
-  if (is_store) {
-    t.sq_commit[t.stores % t.sq_commit.size()] = commit;
-    ++t.stores;
-  }
-  ++t.count;
-  if (t.measuring) ++t.measured;
-}
-
-OooResult OooCore::run(std::uint64_t instr_budget, std::uint64_t warmup) {
-  OooResult result;
-  result.threads = static_cast<unsigned>(threads_.size());
-
-  // Warm up all threads (round-robin so SMT contention is realistic).
-  for (std::uint64_t i = 0; i < warmup; ++i) {
-    for (auto& t : threads_) {
-      if (!t.done) step(t);
-    }
-  }
-  for (auto& t : threads_) {
-    t.measuring = true;
-    t.measure_start = t.last_commit;
-  }
-
-  // Measured window: run each thread to its budget. Fine-grain round-robin
-  // keeps the shared-BPU access interleaving honest while both run.
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (auto& t : threads_) {
-      if (!t.done && t.measured < instr_budget) {
-        step(t);
-        progress = true;
-      } else if (!t.done && t.finish_time == 0.0) {
-        t.finish_time = t.last_commit;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < threads_.size(); ++i) {
-    ThreadState& t = threads_[i];
-    if (t.finish_time == 0.0) t.finish_time = t.last_commit;
-    const double cycles = std::max(1.0, t.finish_time - t.measure_start);
-    result.instructions[i] = t.measured;
-    result.cycles[i] = cycles;
-    result.ipc[i] = static_cast<double>(t.measured) / cycles;
-    result.branch_stats[i] = t.stats;
-  }
-  return result;
-}
+// Legacy dynamic-dispatch instantiation; concrete-engine instantiations
+// happen wherever a bench names the engine type.
+template class OooCoreT<>;
 
 }  // namespace stbpu::sim

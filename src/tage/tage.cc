@@ -1,359 +1,10 @@
 #include "tage/tage.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdlib>
-
-#include "util/bits.h"
-
 namespace stbpu::tage {
 
-namespace {
-constexpr int kScThreshold = 8;        // SC override confidence
-constexpr std::uint32_t kTickPeriod = 1u << 18;  // useful-counter decay period
-}  // namespace
-
-TagePredictor::TagePredictor(const TageConfig& cfg, const bpu::MappingProvider* mapping,
-                             std::uint64_t seed)
-    : cfg_(cfg), mapping_(mapping), rng_(seed) {
-  // Geometric history series L(i) = min * (max/min)^(i/(N-1)) (Seznec).
-  history_lengths_.resize(cfg_.num_tables);
-  for (unsigned i = 0; i < cfg_.num_tables; ++i) {
-    const double frac = cfg_.num_tables == 1
-                            ? 1.0
-                            : static_cast<double>(i) / (cfg_.num_tables - 1);
-    const double len = cfg_.min_history *
-                       std::pow(static_cast<double>(cfg_.max_history) / cfg_.min_history, frac);
-    history_lengths_[i] = std::max<unsigned>(cfg_.min_history,
-                                             static_cast<unsigned>(len + 0.5));
-    if (i > 0 && history_lengths_[i] <= history_lengths_[i - 1]) {
-      history_lengths_[i] = history_lengths_[i - 1] + 1;
-    }
-  }
-
-  tables_.assign(cfg_.num_tables,
-                 std::vector<TaggedEntry>(std::size_t{1} << cfg_.index_bits));
-  bimodal_.assign(std::size_t{1} << cfg_.bimodal_bits, util::SaturatingCounter<2>{});
-  loop_.assign(64, LoopEntry{});
-  sc_bias_.assign(1u << 11, util::SignedSaturatingCounter<6>{});
-  for (auto& t : sc_gehl_) t.assign(1u << 10, util::SignedSaturatingCounter<6>{});
-
-  const unsigned hist_buf = cfg_.max_history + 8;
-  for (auto& hs : harts_) {
-    hs.history.assign(hist_buf, 0);
-    hs.head = 0;
-    hs.folded_index.resize(cfg_.num_tables);
-    hs.folded_tag.resize(cfg_.num_tables);
-    for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-      hs.folded_index[t] = {.value = 0,
-                            .comp_length = cfg_.index_bits,
-                            .orig_length = history_lengths_[t]};
-      hs.folded_tag[t] = {.value = 0,
-                          .comp_length = cfg_.tag_bits,
-                          .orig_length = history_lengths_[t]};
-    }
-  }
-}
-
-void TagePredictor::Folded::update(const std::vector<std::uint8_t>& hist, unsigned head) {
-  // Canonical TAGE circular folding: shift in the newest bit, XOR out the
-  // bit that leaves the history window.
-  const unsigned size = static_cast<unsigned>(hist.size());
-  const std::uint8_t newest = hist[head];
-  const std::uint8_t outgoing = hist[(head + size - orig_length % size) % size];
-  value = (value << 1) | newest;
-  value ^= static_cast<std::uint32_t>(outgoing) << (orig_length % comp_length);
-  value ^= value >> comp_length;
-  value &= (1u << comp_length) - 1;
-}
-
-void TagePredictor::HartState::push(bool taken, unsigned /*max_hist*/) {
-  head = (head + 1) % history.size();
-  history[head] = taken ? 1 : 0;
-}
-
-std::uint64_t TagePredictor::folded_for(const HartState& hs, unsigned table,
-                                        bool for_tag) const {
-  const std::uint32_t fi = hs.folded_index[table].value;
-  const std::uint32_t ft = hs.folded_tag[table].value;
-  // Pack both folds plus a path slice; the provider hashes everything.
-  const std::uint64_t base =
-      static_cast<std::uint64_t>(fi) | (static_cast<std::uint64_t>(ft) << 20) |
-      (util::bits(hs.path, 0, 12) << 44);
-  return for_tag ? (base ^ (base >> 7) ^ 0x5A5AULL) : base;
-}
-
-std::uint32_t TagePredictor::bimodal_index(std::uint64_t ip,
-                                           const bpu::ExecContext& ctx) const {
-  // The base directional predictor is remapped through R3 under STBPU,
-  // exactly like the baseline PHT (paper: attacks on the base predictor
-  // drive the misprediction threshold).
-  return mapping_->pht_index_1level(ip, ctx) & ((1u << cfg_.bimodal_bits) - 1);
-}
-
-void TagePredictor::find_matches(std::uint64_t ip, const bpu::ExecContext& ctx,
-                                 TableMatch& provider, TableMatch& alt) {
-  provider = {};
-  alt = {};
-  const HartState& hs = harts_[ctx.hart & 1];
-  for (int t = static_cast<int>(cfg_.num_tables) - 1; t >= 0; --t) {
-    const unsigned ut = static_cast<unsigned>(t);
-    const std::uint32_t idx =
-        mapping_->tage_index(ip, folded_for(hs, ut, false), ut, cfg_.index_bits, ctx);
-    const std::uint32_t tag =
-        mapping_->tage_tag(ip, folded_for(hs, ut, true), ut, cfg_.tag_bits, ctx);
-    const TaggedEntry& e = tables_[ut][idx & ((1u << cfg_.index_bits) - 1)];
-    if (e.valid && e.tag == tag) {
-      const TableMatch m{.table = t,
-                         .index = idx & ((1u << cfg_.index_bits) - 1),
-                         .prediction = e.ctr.taken(),
-                         .weak = e.ctr.value() == 0 || e.ctr.value() == -1};
-      if (provider.table < 0) {
-        provider = m;
-      } else if (alt.table < 0) {
-        alt = m;
-        break;
-      }
-    }
-  }
-  if (provider.table < 0) {
-    const std::uint32_t bi = bimodal_index(ip, ctx);
-    provider = {.table = -1, .index = bi, .prediction = bimodal_[bi].taken(),
-                .weak = !bimodal_[bi].is_saturated()};
-  } else if (alt.table < 0) {
-    const std::uint32_t bi = bimodal_index(ip, ctx);
-    alt = {.table = -1, .index = bi, .prediction = bimodal_[bi].taken(),
-           .weak = !bimodal_[bi].is_saturated()};
-  }
-}
-
-bool TagePredictor::loop_predict(std::uint64_t ip, const bpu::ExecContext& ctx,
-                                 bool& valid) const {
-  valid = false;
-  if (!cfg_.use_loop_predictor) return false;
-  const std::uint32_t row = mapping_->perceptron_row(ip, 6, ctx) & 63;
-  const std::uint32_t tag = mapping_->tage_tag(ip, 0, 63, 10, ctx);
-  const LoopEntry& e = loop_[row];
-  if (e.valid && e.tag == tag && e.past_iters > 0 && e.conf.raw() == 3) {
-    valid = true;
-    return e.current_iter != e.past_iters;  // taken until the trip end
-  }
-  return false;
-}
-
-void TagePredictor::loop_update(std::uint64_t ip, const bpu::ExecContext& ctx,
-                                bool taken) {
-  if (!cfg_.use_loop_predictor) return;
-  const std::uint32_t row = mapping_->perceptron_row(ip, 6, ctx) & 63;
-  const std::uint32_t tag = mapping_->tage_tag(ip, 0, 63, 10, ctx);
-  LoopEntry& e = loop_[row];
-  if (!e.valid || e.tag != tag) {
-    // Allocate on a not-taken outcome (potential loop exit) if the slot is
-    // cold; never displace a confident entry.
-    if (!taken && (!e.valid || e.conf.raw() == 0)) {
-      e = LoopEntry{.tag = tag, .past_iters = 0, .current_iter = 0,
-                    .conf = util::SaturatingCounter<2>{0}, .valid = true};
-    }
-    return;
-  }
-  if (taken) {
-    ++e.current_iter;
-    if (e.past_iters != 0 && e.current_iter > e.past_iters) {
-      // Trip count changed — retrain.
-      e.past_iters = 0;
-      e.conf = util::SaturatingCounter<2>{0};
-    }
-  } else {
-    if (e.past_iters == 0) {
-      e.past_iters = e.current_iter;  // first full trip observed
-    } else if (e.past_iters == e.current_iter) {
-      e.conf.increment();
-    } else {
-      e.past_iters = e.current_iter;
-      e.conf = util::SaturatingCounter<2>{0};
-    }
-    e.current_iter = 0;
-  }
-}
-
-int TagePredictor::sc_sum(std::uint64_t ip, const bpu::ExecContext& ctx,
-                          bool tage_pred) const {
-  const HartState& hs = harts_[ctx.hart & 1];
-  const std::uint32_t bias_idx =
-      ((mapping_->pht_index_1level(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
-  const std::uint32_t g0 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^ hs.folded_index[0].value) & ((1u << 10) - 1);
-  const std::uint32_t g1 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^
-       (cfg_.num_tables > 2 ? hs.folded_index[2].value : hs.folded_index.back().value)) &
-      ((1u << 10) - 1);
-  int sum = 2 * sc_bias_[bias_idx].value() + 1;
-  sum += 2 * sc_gehl_[0][g0].value() + 1;
-  sum += 2 * sc_gehl_[1][g1].value() + 1;
-  sum += tage_pred ? kScThreshold / 2 : -kScThreshold / 2;  // TAGE's vote
-  return sum;
-}
-
-void TagePredictor::sc_update(std::uint64_t ip, const bpu::ExecContext& ctx, bool taken,
-                              bool tage_pred) {
-  const HartState& hs = harts_[ctx.hart & 1];
-  const std::uint32_t bias_idx =
-      ((mapping_->pht_index_1level(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
-  const std::uint32_t g0 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^ hs.folded_index[0].value) & ((1u << 10) - 1);
-  const std::uint32_t g1 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^
-       (cfg_.num_tables > 2 ? hs.folded_index[2].value : hs.folded_index.back().value)) &
-      ((1u << 10) - 1);
-  sc_bias_[bias_idx].update(taken);
-  sc_gehl_[0][g0].update(taken);
-  sc_gehl_[1][g1].update(taken);
-}
-
-bpu::DirPrediction TagePredictor::predict(std::uint64_t ip, const bpu::ExecContext& ctx) {
-  find_matches(ip, ctx, scratch_.provider, scratch_.alt);
-
-  bool pred = scratch_.provider.prediction;
-  // Newly allocated (weak, not yet useful) provider entries may be less
-  // reliable than the alternate prediction (Seznec's use_alt_on_na).
-  if (scratch_.provider.table >= 0 && scratch_.provider.weak &&
-      use_alt_on_na_.taken()) {
-    pred = scratch_.alt.prediction;
-  }
-  scratch_.tage_pred = pred;
-
-  scratch_.loop_pred = loop_predict(ip, ctx, scratch_.loop_valid);
-  if (scratch_.loop_valid) pred = scratch_.loop_pred;
-
-  scratch_.sc_used = false;
-  if (cfg_.use_statistical_corrector) {
-    const int sum = sc_sum(ip, ctx, pred);
-    if ((sum >= 0) != pred && std::abs(sum) >= kScThreshold) {
-      pred = sum >= 0;
-      scratch_.sc_used = true;
-    }
-  }
-  scratch_.final_pred = pred;
-  return {.taken = pred, .from_tagged = scratch_.provider.table >= 0};
-}
-
-void TagePredictor::update(std::uint64_t ip, const bpu::ExecContext& ctx, bool taken,
-                           const bpu::DirPrediction& /*pred*/) {
-  TableMatch& provider = scratch_.provider;
-  TableMatch& alt = scratch_.alt;
-
-  if (cfg_.use_statistical_corrector) sc_update(ip, ctx, taken, scratch_.tage_pred);
-  loop_update(ip, ctx, taken);
-
-  // use_alt_on_na bookkeeping for weak providers.
-  if (provider.table >= 0 && provider.weak && provider.prediction != alt.prediction) {
-    use_alt_on_na_.update(alt.prediction == taken);
-  }
-
-  // Train the provider.
-  if (provider.table >= 0) {
-    TaggedEntry& e = tables_[static_cast<unsigned>(provider.table)][provider.index];
-    e.ctr.update(taken);
-    if (provider.prediction != alt.prediction) {
-      e.useful.update(provider.prediction == taken);
-    }
-    // Weak providers also train the alternate so it stays a fallback.
-    if (provider.weak) {
-      if (alt.table >= 0) {
-        tables_[static_cast<unsigned>(alt.table)][alt.index].ctr.update(taken);
-      } else {
-        bimodal_[alt.index].update(taken);
-      }
-    }
-  } else {
-    bimodal_[provider.index].update(taken);
-  }
-
-  // Allocate a longer-history entry on a TAGE misprediction.
-  if (scratch_.tage_pred != taken &&
-      provider.table < static_cast<int>(cfg_.num_tables) - 1) {
-    const HartState& hs = harts_[ctx.hart & 1];
-    const unsigned start = static_cast<unsigned>(provider.table + 1);
-    // Skip 0..1 tables at random to spread allocations (Seznec).
-    unsigned first = start + (rng_.below(2) && start + 1 < cfg_.num_tables ? 1 : 0);
-    bool allocated = false;
-    for (unsigned t = first; t < cfg_.num_tables; ++t) {
-      const std::uint32_t idx =
-          mapping_->tage_index(ip, folded_for(hs, t, false), t, cfg_.index_bits, ctx) &
-          ((1u << cfg_.index_bits) - 1);
-      TaggedEntry& e = tables_[t][idx];
-      if (!e.valid || e.useful.raw() == 0) {
-        e.valid = true;
-        e.tag = mapping_->tage_tag(ip, folded_for(hs, t, true), t, cfg_.tag_bits, ctx);
-        e.ctr.set(taken ? 0 : -1);
-        e.useful.set_raw(0);
-        allocated = true;
-        break;
-      }
-    }
-    if (!allocated) {
-      // All candidates useful — age them so future allocations succeed.
-      for (unsigned t = start; t < cfg_.num_tables; ++t) {
-        const std::uint32_t idx =
-            mapping_->tage_index(ip, folded_for(hs, t, false), t, cfg_.index_bits, ctx) &
-            ((1u << cfg_.index_bits) - 1);
-        tables_[t][idx].useful.decrement();
-      }
-    }
-  }
-
-  // Periodic graceful useful decay.
-  if (++tick_ >= kTickPeriod) {
-    tick_ = 0;
-    for (auto& table : tables_) {
-      for (auto& e : table) e.useful.decrement();
-    }
-  }
-
-  // Advance this hart's history and folds.
-  HartState& hs = harts_[ctx.hart & 1];
-  hs.push(taken, cfg_.max_history);
-  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-    hs.folded_index[t].update(hs.history, hs.head);
-    hs.folded_tag[t].update(hs.history, hs.head);
-  }
-  hs.path = (hs.path << 1) ^ util::bits(ip, 2, 16);
-}
-
-void TagePredictor::track(const bpu::BranchRecord& rec) {
-  // Taken unconditional transfers enter the global history as 'taken'
-  // (as in TAGE-SC-L, which conditions on path as well).
-  if (!rec.taken) return;
-  HartState& hs = harts_[rec.ctx.hart & 1];
-  hs.push(true, cfg_.max_history);
-  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-    hs.folded_index[t].update(hs.history, hs.head);
-    hs.folded_tag[t].update(hs.history, hs.head);
-  }
-  hs.path = (hs.path << 1) ^ util::bits(rec.ip, 2, 16);
-}
-
-void TagePredictor::flush() {
-  for (auto& table : tables_) {
-    for (auto& e : table) e = TaggedEntry{};
-  }
-  for (auto& b : bimodal_) b = util::SaturatingCounter<2>{};
-  for (auto& l : loop_) l = LoopEntry{};
-  for (auto& b : sc_bias_) b = util::SignedSaturatingCounter<6>{};
-  for (auto& t : sc_gehl_) {
-    for (auto& c : t) c = util::SignedSaturatingCounter<6>{};
-  }
-  use_alt_on_na_ = util::SignedSaturatingCounter<4>{};
-  for (std::uint8_t h = 0; h < 2; ++h) flush_hart(h);
-}
-
-void TagePredictor::flush_hart(std::uint8_t hart) {
-  HartState& hs = harts_[hart & 1];
-  std::fill(hs.history.begin(), hs.history.end(), 0);
-  hs.head = 0;
-  hs.path = 0;
-  for (auto& f : hs.folded_index) f.value = 0;
-  for (auto& f : hs.folded_tag) f.value = 0;
-}
+// Legacy dynamic-dispatch instantiation (MappingProvider). Devirtualized
+// instantiations over the concrete mapping-logic classes live in
+// src/models/engine.cc.
+template class TagePredictorT<>;
 
 }  // namespace stbpu::tage

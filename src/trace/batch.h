@@ -1,0 +1,77 @@
+// Structure-of-arrays branch batches for the replay hot loop.
+//
+// The simulators used to pull branches one at a time through a virtual
+// BranchStream::next() — one indirect call plus an AoS BranchRecord copy
+// per dynamic branch. Batched replay amortizes the stream dispatch over
+// kDefaultBatch records and keeps the per-branch fields in parallel arrays
+// so the replay loop's bookkeeping (context-switch detection, warm-up
+// windowing, stat absorption) walks dense, homogeneous memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/types.h"
+
+namespace stbpu::trace {
+
+inline constexpr std::size_t kDefaultBatch = 4096;
+
+/// SoA view of a run of dynamic branches. Field i of every array describes
+/// the same branch; `record(i)` reassembles the AoS form for predictors.
+struct BranchBatch {
+  std::vector<std::uint64_t> ip;
+  std::vector<std::uint64_t> target;
+  std::vector<bpu::BranchType> type;
+  std::vector<std::uint8_t> taken;
+  std::vector<std::uint16_t> pid;
+  std::vector<std::uint8_t> hart;
+  std::vector<std::uint8_t> kernel;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ip.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ip.empty(); }
+
+  void clear() noexcept {
+    ip.clear();
+    target.clear();
+    type.clear();
+    taken.clear();
+    pid.clear();
+    hart.clear();
+    kernel.clear();
+  }
+
+  void reserve(std::size_t n) {
+    ip.reserve(n);
+    target.reserve(n);
+    type.reserve(n);
+    taken.reserve(n);
+    pid.reserve(n);
+    hart.reserve(n);
+    kernel.reserve(n);
+  }
+
+  void push_back(const bpu::BranchRecord& r) {
+    ip.push_back(r.ip);
+    target.push_back(r.target);
+    type.push_back(r.type);
+    taken.push_back(r.taken ? 1 : 0);
+    pid.push_back(r.ctx.pid);
+    hart.push_back(r.ctx.hart);
+    kernel.push_back(r.ctx.kernel ? 1 : 0);
+  }
+
+  [[nodiscard]] bpu::ExecContext context(std::size_t i) const noexcept {
+    return bpu::ExecContext{.pid = pid[i], .hart = hart[i], .kernel = kernel[i] != 0};
+  }
+
+  [[nodiscard]] bpu::BranchRecord record(std::size_t i) const noexcept {
+    return bpu::BranchRecord{.ip = ip[i],
+                             .target = target[i],
+                             .type = type[i],
+                             .taken = taken[i] != 0,
+                             .ctx = context(i)};
+  }
+};
+
+}  // namespace stbpu::trace

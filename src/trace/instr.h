@@ -50,7 +50,8 @@ class SyntheticInstrGenerator final : public InstrStream {
     if (block_remaining_ == 0) {
       // Emit the branch ending the previous block, then size the next one.
       if (pending_branch_) {
-        out = InstrRecord{.kind = InstrRecord::Kind::kBranch};
+        out = InstrRecord{};
+        out.kind = InstrRecord::Kind::kBranch;
         out.branch = branch_;
         pending_branch_ = false;
         return true;

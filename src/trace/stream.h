@@ -4,11 +4,13 @@
 // the paper's in-house simulator consumes Intel PT branch streams.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "bpu/types.h"
+#include "trace/batch.h"
 
 namespace stbpu::trace {
 
@@ -20,6 +22,26 @@ class BranchStream {
   /// Rewind to the beginning (same sequence again — streams are
   /// deterministic so every model sees the identical trace).
   virtual void reset() = 0;
+
+  /// Refill `out` with up to `limit` branches (SoA). Returns the number
+  /// produced; 0 means end of trace. The default amortizes the virtual
+  /// dispatch over one call per batch; materialized streams bulk-copy.
+  virtual std::size_t next_batch(BranchBatch& out, std::size_t limit = kDefaultBatch) {
+    out.clear();
+    bpu::BranchRecord r;
+    while (out.size() < limit && next(r)) out.push_back(r);
+    return out.size();
+  }
+
+  /// Zero-copy fast path: expose up to `limit` already-materialized records
+  /// and advance past them. Returns nullptr (n = 0) when the stream has no
+  /// contiguous backing storage (generators) — callers fall back to
+  /// next_batch. The pointer stays valid until the next stream mutation.
+  virtual const bpu::BranchRecord* borrow_run(std::size_t limit, std::size_t& n) {
+    (void)limit;
+    n = 0;
+    return nullptr;
+  }
 };
 
 /// Replays a materialized trace.
@@ -34,6 +56,23 @@ class VectorStream final : public BranchStream {
     return true;
   }
   void reset() override { pos_ = 0; }
+
+  std::size_t next_batch(BranchBatch& out, std::size_t limit = kDefaultBatch) override {
+    out.clear();
+    const std::size_t n = std::min(limit, records_.size() - pos_);
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(records_[pos_ + i]);
+    pos_ += n;
+    return n;
+  }
+
+  const bpu::BranchRecord* borrow_run(std::size_t limit, std::size_t& n) override {
+    n = std::min(limit, records_.size() - pos_);
+    if (n == 0) return nullptr;
+    const bpu::BranchRecord* run = records_.data() + pos_;
+    pos_ += n;
+    return run;
+  }
 
   [[nodiscard]] const std::vector<bpu::BranchRecord>& records() const {
     return records_;
@@ -58,6 +97,18 @@ class LimitStream final : public BranchStream {
   void reset() override {
     inner_->reset();
     count_ = 0;
+  }
+
+  const bpu::BranchRecord* borrow_run(std::size_t limit, std::size_t& n) override {
+    if (count_ >= limit_) {
+      n = 0;
+      return nullptr;
+    }
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(limit, limit_ - count_));
+    const bpu::BranchRecord* run = inner_->borrow_run(want, n);
+    count_ += n;
+    return run;
   }
 
  private:

@@ -62,8 +62,12 @@ TEST(Equations, BindingComplexityIsTheMinimum) {
   EXPECT_NEAR(c.evictions_c, 5.3e5, 0.02e5);
   const auto rows = section_vi5_table();
   for (const auto& row : rows) {
-    if (row.mispredictions > 0) EXPECT_GE(row.mispredictions, c.mispredictions_c * 0.99);
-    if (row.evictions > 0) EXPECT_GE(row.evictions, c.evictions_c * 0.99);
+    if (row.mispredictions > 0) {
+      EXPECT_GE(row.mispredictions, c.mispredictions_c * 0.99);
+    }
+    if (row.evictions > 0) {
+      EXPECT_GE(row.evictions, c.evictions_c * 0.99);
+    }
   }
 }
 

@@ -254,7 +254,9 @@ TEST(InstrGenerator, Deterministic) {
     g2.next(b);
     ASSERT_EQ(static_cast<int>(a.kind), static_cast<int>(b.kind));
     ASSERT_EQ(a.mem_addr, b.mem_addr);
-    if (a.kind == InstrRecord::Kind::kBranch) ASSERT_EQ(a.branch.ip, b.branch.ip);
+    if (a.kind == InstrRecord::Kind::kBranch) {
+      ASSERT_EQ(a.branch.ip, b.branch.ip);
+    }
   }
 }
 
