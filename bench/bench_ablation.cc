@@ -1,186 +1,8 @@
-// Ablation study (extension beyond the paper's figures, motivated by its
-// design discussion): STBPU combines three mechanisms — keyed remapping
-// (ψ), target encryption (φ), and event-triggered re-randomization. Each
-// is load-bearing for a different attack class:
-//   * remap-only  (φ = 0): SpectreRSB still works — the RSB is a stack,
-//     not an indexed table, so only encryption protects its payloads;
-//   * encrypt-only (legacy indices + φ codec): BranchScope still works —
-//     PHT counters store directions, not targets, so encryption is moot;
-//   * no monitor: brute-force collision search eventually succeeds — the
-//     keyed mapping is non-cryptographic by construction (§V) and relies
-//     on re-randomization to stay ahead of reverse engineering.
-#include <array>
-#include <cstdio>
-#include <functional>
-#include <memory>
-#include <vector>
-
-#include "attacks/brute.h"
-#include "attacks/table1.h"
-#include "bench_common.h"
-#include "bpu/direction.h"
-#include "bpu/predictor.h"
-#include "core/monitor.h"
-#include "core/stbpu_mapping.h"
-
-namespace {
-
-using namespace stbpu;
-
-/// ψ-remapping without φ-encryption.
-class RemapOnlyMapping final : public bpu::MappingProvider {
- public:
-  explicit RemapOnlyMapping(core::STManager* stm) : inner_(stm) {}
-  bpu::BtbIndex btb_mode1(std::uint64_t ip, const bpu::ExecContext& c) const override {
-    return inner_.btb_mode1(ip, c);
-  }
-  std::uint32_t btb_mode2_tag(std::uint64_t b, const bpu::ExecContext& c) const override {
-    return inner_.btb_mode2_tag(b, c);
-  }
-  std::uint32_t pht_index_1level(std::uint64_t ip, const bpu::ExecContext& c) const override {
-    return inner_.pht_index_1level(ip, c);
-  }
-  std::uint32_t pht_index_2level(std::uint64_t ip, std::uint64_t g,
-                                 const bpu::ExecContext& c) const override {
-    return inner_.pht_index_2level(ip, g, c);
-  }
-  std::uint64_t encode_target(std::uint64_t t, const bpu::ExecContext&) const override {
-    return t & 0xFFFF'FFFFULL;  // plaintext store
-  }
-  std::uint64_t decode_target(std::uint64_t ip, std::uint64_t s,
-                              const bpu::ExecContext&) const override {
-    return (ip & 0xFFFF'0000'0000ULL) | (s & 0xFFFF'FFFFULL);
-  }
-  std::uint32_t tage_index(std::uint64_t ip, std::uint64_t f, unsigned t, unsigned b,
-                           const bpu::ExecContext& c) const override {
-    return inner_.tage_index(ip, f, t, b, c);
-  }
-  std::uint32_t tage_tag(std::uint64_t ip, std::uint64_t f, unsigned t, unsigned b,
-                         const bpu::ExecContext& c) const override {
-    return inner_.tage_tag(ip, f, t, b, c);
-  }
-  std::uint32_t perceptron_row(std::uint64_t ip, unsigned b,
-                               const bpu::ExecContext& c) const override {
-    return inner_.perceptron_row(ip, b, c);
-  }
-
- private:
-  core::StbpuMapping inner_;
-};
-
-/// φ-encryption on top of the legacy (deterministic) index mapping.
-class EncryptOnlyMapping final : public bpu::BaselineMapping {
- public:
-  explicit EncryptOnlyMapping(core::STManager* stm) : stm_(stm) {}
-  std::uint64_t encode_target(std::uint64_t t, const bpu::ExecContext& c) const override {
-    return (t & 0xFFFF'FFFFULL) ^ stm_->token(c).phi;
-  }
-  std::uint64_t decode_target(std::uint64_t ip, std::uint64_t s,
-                              const bpu::ExecContext& c) const override {
-    return (ip & 0xFFFF'0000'0000ULL) | ((s ^ stm_->token(c).phi) & 0xFFFF'FFFFULL);
-  }
-
- private:
-  core::STManager* stm_;
-};
-
-struct Variant {
-  const char* name;
-  std::unique_ptr<core::STManager> stm;
-  std::unique_ptr<bpu::MappingProvider> mapping;
-  std::unique_ptr<core::EventMonitor> monitor;
-  std::unique_ptr<bpu::CorePredictor> bpu;
-};
-
-Variant make_variant(int which) {
-  Variant v;
-  v.stm = std::make_unique<core::STManager>(0x1234);
-  switch (which) {
-    case 0:
-      v.name = "full STBPU";
-      v.mapping = std::make_unique<core::StbpuMapping>(v.stm.get());
-      v.monitor = std::make_unique<core::EventMonitor>(
-          v.stm.get(), core::MonitorConfig::from_difficulty(0.05, false));
-      break;
-    case 1:
-      v.name = "remap only (no phi)";
-      v.mapping = std::make_unique<RemapOnlyMapping>(v.stm.get());
-      break;
-    case 2:
-      v.name = "encrypt only (no psi)";
-      v.mapping = std::make_unique<EncryptOnlyMapping>(v.stm.get());
-      break;
-    case 3:
-      v.name = "no monitor";
-      v.mapping = std::make_unique<core::StbpuMapping>(v.stm.get());
-      break;
-  }
-  v.bpu = std::make_unique<bpu::CorePredictor>(
-      bpu::CorePredictorConfig{}, v.mapping.get(),
-      std::make_unique<bpu::SklCondPredictor>(v.mapping.get()), v.monitor.get());
-  return v;
-}
-
-}  // namespace
+// Ablation: which STBPU mechanism stops which attack — thin compatibility shim: the implementation lives in the
+// 'ablation' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run ablation` (same flags, same BENCH_ablation.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  const auto scale = stbpu::bench::Scale::parse(argc, argv);
-  scale.banner("Ablation: which STBPU mechanism stops which attack");
-  stbpu::bench::BenchJson json("ablation", scale);
-  const unsigned trials = scale.paper ? 512 : 128;
-  constexpr std::uint64_t kGadget = 0x0000'1122'3344ULL;
-
-  // One pool job per (variant, attack) cell; each job wires its own
-  // predictor so the attacks never share mutable state.
-  struct Row {
-    const char* name = "";
-    stbpu::attacks::AttackResult rsb{}, pht{};
-    std::uint64_t rerands = 0;
-  };
-  std::array<Row, 4> rows;
-  std::vector<std::function<void()>> jobs;
-  for (int which = 0; which < 4; ++which) {
-    jobs.emplace_back([&, which] {
-      auto v = make_variant(which);
-      rows[which].name = v.name;
-      rows[which].rsb = stbpu::attacks::rsb_injection_away(*v.bpu, trials, 6, kGadget);
-    });
-    jobs.emplace_back([&, which] {
-      auto v = make_variant(which);
-      rows[which].pht = stbpu::attacks::pht_reuse_home(*v.bpu, trials, 2);
-    });
-    jobs.emplace_back([&, which] {
-      auto v = make_variant(which);
-      stbpu::attacks::ReuseSearchConfig cfg;
-      cfg.max_set_size = scale.paper ? 400'000 : 60'000;
-      cfg.internal_collision_checks = false;
-      (void)stbpu::attacks::reuse_collision_search(*v.bpu, cfg);
-      rows[which].rerands = v.stm->rerandomizations();
-    });
-  }
-  stbpu::bench::Stopwatch sweep;
-  stbpu::bench::run_parallel(jobs, scale.jobs);
-
-  std::printf("%-24s | %12s %12s %12s\n", "variant", "SpectreRSB", "BranchScope",
-              "rotations*");
-  stbpu::bench::rule();
-  for (const auto& row : rows) {
-    std::printf("%-24s | %9.3f %c  %9.3f %c  %12llu\n", row.name, row.rsb.success_rate,
-                row.rsb.success ? '!' : '.', row.pht.success_rate,
-                row.pht.success ? '!' : '.', static_cast<unsigned long long>(row.rerands));
-    json.row(row.name)
-        .set("spectre_rsb_success_rate", row.rsb.success_rate)
-        .set("branchscope_success_rate", row.pht.success_rate)
-        .set("rotations", row.rerands);
-  }
-  json.meta("sweep_seconds", sweep.seconds()).meta("trials", std::uint64_t{trials});
-  json.write();
-  std::printf("\n* ST rotations while a brute-force collision search probes the BTB\n"
-              "(fresh branches, constant evictions). Each mechanism is necessary:\n"
-              "dropping phi re-opens SpectreRSB (the RSB is a stack — remapping\n"
-              "cannot protect it); dropping psi re-opens BranchScope (directions\n"
-              "are not targets — encryption cannot protect them); dropping the\n"
-              "monitor gives brute force unlimited time against a non-cryptographic\n"
-              "keyed hash (paper §V) — 0 rotations means nothing ever stops it.\n");
-  return 0;
+  return stbpu::exp::scenario_main("ablation", argc, argv);
 }

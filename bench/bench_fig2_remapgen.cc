@@ -1,83 +1,8 @@
-// Figure 2 reproduction: the automated remapping-function generator finds
-// S/P/C-box circuits for every Table II spec under the §V-A hardware
-// constraints, validates C2 (uniformity) and C3 (avalanche), scores with
-// the Eq. (1) equal-weight objective, and prints the winning R1 design —
-// the paper's Figure 2 (theirs has a 36-transistor critical path; the
-// budget is 45).
-#include <functional>
-#include <vector>
-
-#include "bench_common.h"
-#include "remapgen/search.h"
+// Figure 2: automated remapping-function generation — thin compatibility shim: the implementation lives in the
+// 'fig2_remapgen' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run fig2_remapgen` (same flags, same BENCH_fig2_remapgen.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Figure 2: automated remapping-function generation (Table II specs)");
-  bench::BenchJson json("fig2_remapgen", scale);
-
-  remapgen::SearchConfig cfg;
-  cfg.candidates = scale.paper ? 64 : 16;
-  cfg.validation.uniformity_samples = scale.paper ? (1u << 17) : (1u << 14);
-  cfg.validation.avalanche_samples = scale.paper ? 2048 : 256;
-
-  std::printf("%-4s %7s %7s | %6s %7s %9s | %8s %8s %8s %8s\n", "fn", "in", "out",
-              "gen'd", "passed", "discarded", "critpath", "transist", "avalanche",
-              "score");
-  bench::rule();
-
-  // Every Table II spec searches independently — one pool job each.
-  const auto specs = remapgen::table2_specs();
-  std::vector<remapgen::SearchResult> results(specs.size());
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    jobs.emplace_back([&, i] { results[i] = remapgen::search(specs[i], cfg); });
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-  json.meta("sweep_seconds", sweep.seconds());
-
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto& spec = specs[i];
-    const auto& r = results[i];
-    if (r.best) {
-      std::printf("%-4s %7u %7u | %6u %7u %9llu | %8u %8u %8.4f %8.4f\n",
-                  spec.name.c_str(), spec.input_bits, spec.output_bits, r.generated,
-                  r.passed, static_cast<unsigned long long>(r.discarded),
-                  r.best->critical_path_transistors(), r.best->total_transistors(),
-                  r.best_report.mean_avalanche, r.best_report.score);
-      json.row(spec.name)
-          .set("input_bits", std::uint64_t{spec.input_bits})
-          .set("output_bits", std::uint64_t{spec.output_bits})
-          .set("generated", std::uint64_t{r.generated})
-          .set("passed", std::uint64_t{r.passed})
-          .set("critical_path_transistors",
-               std::uint64_t{r.best->critical_path_transistors()})
-          .set("total_transistors", std::uint64_t{r.best->total_transistors()})
-          .set("mean_avalanche", r.best_report.mean_avalanche)
-          .set("score", r.best_report.score);
-    } else {
-      std::printf("%-4s %7u %7u | no candidate passed validation\n", spec.name.c_str(),
-                  spec.input_bits, spec.output_bits);
-      json.row(spec.name).set("passed", std::uint64_t{0});
-    }
-    std::fflush(stdout);
-  }
-
-  // The Figure 2 winner in detail.
-  std::printf("\n== selected R1 construction (cf. paper Figure 2) ==\n");
-  const auto r1 = remapgen::search(remapgen::table2_specs()[0], cfg);
-  if (r1.best) {
-    std::printf("%s", r1.best->describe().c_str());
-    std::printf("validation: uniformity CV %.4f (ideal %.4f), avalanche %.4f,\n"
-                "            per-lambda CV %.4f, per-bit spread %.4f, Eq.(1) score %.4f\n",
-                r1.best_report.bin_cv, r1.best_report.ideal_bin_cv,
-                r1.best_report.mean_avalanche, r1.best_report.avalanche_cv,
-                r1.best_report.per_bit_spread, r1.best_report.score);
-  }
-  std::printf("\npaper: chosen R1 has a 36-transistor critical path (within the\n"
-              "45-transistor single-cycle budget), alternating substitution (PRESENT/\n"
-              "SPONGENT S-boxes), permutation and compression C-S layers.\n");
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("fig2_remapgen", argc, argv);
 }

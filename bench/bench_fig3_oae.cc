@@ -1,92 +1,8 @@
-// Figure 3 reproduction: overall effective prediction accuracy (OAE),
-// normalized to the unprotected baseline, for the five BPU models over the
-// 23 SPEC CPU 2017 traces and 14 user/server application traces.
-// Paper reference averages: STBPU 0.99, ucode1 0.88, ucode2 0.82,
-// conservative 0.77 (flush/partition designs collapse on switch-heavy app
-// workloads; STBPU stays at the baseline).
-//
-// Workloads run as thread-pool jobs over the devirtualized engine
-// (bit-identical to the legacy BpuModel — see the equivalence test); each
-// job materializes its trace once and replays it through all five models.
-#include <array>
-#include <functional>
-#include <vector>
-
-#include "bench_common.h"
-#include "models/engine.h"
-#include "models/models.h"
-#include "sim/bpu_sim.h"
-#include "trace/generator.h"
-#include "trace/profile.h"
-#include "trace/stream.h"
+// Figure 3: OAE accuracy of the five BPU models — thin compatibility shim: the implementation lives in the
+// 'fig3_oae' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run fig3_oae` (same flags, same BENCH_fig3_oae.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Figure 3: OAE prediction accuracy, STBPU vs secure BPU models");
-  bench::BenchJson json("fig3_oae", scale);
-
-  const sim::BpuSimOptions opt{.max_branches = scale.trace_branches,
-                               .warmup_branches = scale.trace_warmup};
-  const models::ModelKind kinds[] = {
-      models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
-      models::ModelKind::kUcode2, models::ModelKind::kConservative,
-      models::ModelKind::kStbpu};
-  const char* cols[] = {"baseline", "ucode1", "ucode2", "conserv", "STBPU"};
-
-  const auto profiles = trace::figure3_profiles();
-  std::vector<std::array<double, 5>> oae(profiles.size());
-
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t p = 0; p < profiles.size(); ++p) {
-    jobs.emplace_back([&, p] {
-      trace::SyntheticWorkloadGenerator gen(profiles[p]);
-      trace::VectorStream stream(
-          trace::collect(gen, opt.warmup_branches + opt.max_branches));
-      for (unsigned k = 0; k < 5; ++k) {
-        stream.reset();
-        auto model = models::make_engine({.model = kinds[k]});
-        oae[p][k] = models::replay_engine(*model, stream, opt).oae();
-      }
-    });
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-  const double sweep_secs = sweep.seconds();
-
-  std::printf("%-24s %9s %9s %9s %9s %9s   (normalized OAE; baseline column absolute)\n",
-              "workload", cols[0], cols[1], cols[2], cols[3], cols[4]);
-  bench::rule();
-
-  std::vector<double> norm_sum(5, 0.0);
-  for (std::size_t p = 0; p < profiles.size(); ++p) {
-    const double base_oae = oae[p][0];
-    std::printf("%-24s %9.4f", profiles[p].name.c_str(), base_oae);
-    auto& row = json.row(profiles[p].name).set("baseline_oae", base_oae);
-    norm_sum[0] += 1.0;
-    for (unsigned k = 1; k < 5; ++k) {
-      const double norm = base_oae > 0 ? oae[p][k] / base_oae : 0.0;
-      norm_sum[k] += norm;
-      std::printf(" %9.4f", norm);
-      row.set(std::string(cols[k]) + "_norm_oae", norm);
-    }
-    std::printf("\n");
-  }
-
-  bench::rule();
-  std::printf("%-24s %9s", "AVERAGE (normalized)", "1.0000");
-  auto& avg = json.row("AVERAGE");
-  for (unsigned k = 1; k < 5; ++k) {
-    const double v = norm_sum[k] / static_cast<double>(profiles.size());
-    std::printf(" %9.4f", v);
-    avg.set(std::string(cols[k]) + "_norm_oae", v);
-  }
-  std::printf("\n\npaper averages:                      ucode1 ~0.88, ucode2 ~0.82, "
-              "conservative ~0.77, STBPU ~0.99\n");
-
-  json.meta("sweep_seconds", sweep_secs)
-      .meta("workloads", std::uint64_t{profiles.size()})
-      .meta("branches_per_workload", std::uint64_t{opt.warmup_branches + opt.max_branches});
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("fig3_oae", argc, argv);
 }

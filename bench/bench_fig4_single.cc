@@ -1,208 +1,8 @@
-// Figure 4 reproduction: single-workload cycle-level evaluation of the four
-// ST designs against their unprotected counterparts over 18 SPEC workloads.
-// Reported per the paper: reduction of direction prediction rate, reduction
-// of target prediction rate, and normalized IPC. Paper averages:
-//   direction reduction: ST_Perceptron 0.001, ST_SKLCond 0.010,
-//                        ST_TAGE64 0.009, ST_TAGE8 0.011
-//   target reduction:    0.012 / -0.001 / 0.018 / 0.017
-//   normalized IPC:      1.066 / 0.984 / 0.977 / 0.969
-// (Table IV machine: 8-issue OoO, ROB 192, IQ/LQ/SQ 64/32/32, 3-level caches.)
-//
-// The bench additionally measures simulator throughput (branches/sec) of
-// the devirtualized + remap-cached engine against the virtual-dispatch
-// BpuModel on identical materialized traces — the perf trajectory recorded
-// in BENCH_fig4_single.json — and cross-checks that both engines produce
-// bit-identical statistics.
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "bench_common.h"
-#include "models/engine.h"
-#include "models/models.h"
-#include "sim/bpu_sim.h"
-#include "sim/ooo.h"
-#include "trace/generator.h"
-#include "trace/instr.h"
-#include "trace/profile.h"
-#include "trace/stream.h"
-
-namespace {
-
-using namespace stbpu;
-
-struct ThroughputResult {
-  std::string label;
-  double legacy_bps = 0.0;
-  double devirt_bps = 0.0;
-  double speedup = 0.0;
-  double cache_hit_rate = 0.0;
-  bool identical_stats = false;
-};
-
-ThroughputResult measure_throughput(const models::ModelSpec& spec,
-                                    trace::VectorStream& stream,
-                                    const sim::BpuSimOptions& opt, unsigned reps) {
-  ThroughputResult r;
-  r.label = models::to_string(spec.model) + "/" + models::to_string(spec.direction);
-  const double branches =
-      static_cast<double>(opt.warmup_branches + opt.max_branches);
-
-  // Interleave repetitions of both paths and keep each path's best time —
-  // standard noise suppression for wall-clock microbenchmarks on shared
-  // machines. Every repetition uses a freshly built model so both paths
-  // start cold and produce the full statistics (compared for identity).
-  double legacy_secs = 1e300, devirt_secs = 1e300;
-  sim::BranchStats legacy_stats, devirt_stats;
-  for (unsigned rep = 0; rep < reps; ++rep) {
-    stream.reset();
-    auto legacy = models::BpuModel::create(spec);
-    bench::Stopwatch sw;
-    legacy_stats = sim::simulate_bpu(*legacy, stream, opt);
-    legacy_secs = std::min(legacy_secs, std::max(sw.seconds(), 1e-9));
-
-    stream.reset();
-    auto engine = models::make_engine(spec);
-    sw.restart();
-    devirt_stats = models::replay_engine(*engine, stream, opt);
-    devirt_secs = std::min(devirt_secs, std::max(sw.seconds(), 1e-9));
-    if (rep == 0) {
-      r.cache_hit_rate = models::engine_remap_cache_stats(*engine).hit_rate();
-    }
-  }
-
-  r.legacy_bps = branches / legacy_secs;
-  r.devirt_bps = branches / devirt_secs;
-  r.speedup = r.devirt_bps / r.legacy_bps;
-  r.identical_stats = legacy_stats == devirt_stats;
-  return r;
-}
-
-}  // namespace
+// Figure 4: single-workload cycle-level evaluation — thin compatibility shim: the implementation lives in the
+// 'fig4_single' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run fig4_single` (same flags, same BENCH_fig4_single.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Figure 4: single-workload gem5-style evaluation (Table IV config)");
-  bench::BenchJson json("fig4_single", scale);
-
-  // --- Engine throughput: devirtualized + remap-cached vs virtual dispatch
-  {
-    const auto profile = trace::profile_by_name("mcf");
-    trace::SyntheticWorkloadGenerator gen(profile);
-    const sim::BpuSimOptions opt{.max_branches = scale.trace_branches,
-                                 .warmup_branches = scale.trace_warmup};
-    trace::VectorStream stream(
-        trace::collect(gen, opt.warmup_branches + opt.max_branches));
-
-    const models::ModelSpec combos[] = {
-        {.model = models::ModelKind::kUnprotected,
-         .direction = models::DirectionKind::kSklCond},
-        {.model = models::ModelKind::kStbpu,
-         .direction = models::DirectionKind::kSklCond},
-        {.model = models::ModelKind::kStbpu,
-         .direction = models::DirectionKind::kPerceptron},
-        {.model = models::ModelKind::kStbpu,
-         .direction = models::DirectionKind::kTage8},
-    };
-
-    std::printf("engine throughput on materialized '%s' trace (branches/sec):\n",
-                profile.name.c_str());
-    std::printf("%-26s | %14s %14s %8s %10s %6s\n", "config", "virtual", "devirt+cache",
-                "speedup", "cache hit", "equal");
-    bench::rule();
-    for (const auto& spec : combos) {
-      const auto r = measure_throughput(spec, stream, opt, /*reps=*/3);
-      std::printf("%-26s | %14.0f %14.0f %7.2fx %9.1f%% %6s\n", r.label.c_str(),
-                  r.legacy_bps, r.devirt_bps, r.speedup, 100.0 * r.cache_hit_rate,
-                  r.identical_stats ? "yes" : "NO!");
-      std::fflush(stdout);
-      json.row(r.label)
-          .set("section", "throughput")
-          .set("legacy_branches_per_sec", r.legacy_bps)
-          .set("devirt_branches_per_sec", r.devirt_bps)
-          .set("branches_per_sec", r.devirt_bps)
-          .set("speedup", r.speedup)
-          .set("remap_cache_hit_rate", r.cache_hit_rate)
-          .set("identical_stats", r.identical_stats ? "true" : "false");
-    }
-    std::printf("\n");
-  }
-
-  // --- Figure 4 table (one pool job per workload × predictor) -------------
-  const models::DirectionKind dirs[] = {
-      models::DirectionKind::kPerceptron, models::DirectionKind::kSklCond,
-      models::DirectionKind::kTage64, models::DirectionKind::kTage8};
-  const char* names[] = {"PerceptronBP", "SKLCond", "TAGE_SC_L_64KB", "TAGE_SC_L_8KB"};
-
-  struct Cell {
-    double dred = 0.0, tred = 0.0, nipc = 0.0;
-  };
-  const auto profiles = trace::figure4_profiles();
-  std::vector<std::vector<Cell>> cells(profiles.size(), std::vector<Cell>(4));
-
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (unsigned d = 0; d < 4; ++d) {
-      jobs.emplace_back([&, p, d] {
-        double dir[2], tgt[2], ipc[2];
-        for (int st = 0; st < 2; ++st) {
-          auto model = models::make_engine(
-              {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
-               .direction = dirs[d]});
-          trace::SyntheticInstrGenerator gen(profiles[p]);
-          sim::OooCore core({}, model.get(), {&gen});
-          const auto r = core.run(scale.ooo_instructions, scale.ooo_warmup);
-          dir[st] = r.branch_stats[0].direction_rate();
-          tgt[st] = r.branch_stats[0].target_rate();
-          ipc[st] = r.ipc[0];
-        }
-        cells[p][d] = {.dred = dir[0] - dir[1],
-                       .tred = tgt[0] - tgt[1],
-                       .nipc = ipc[0] > 0 ? ipc[1] / ipc[0] : 0.0};
-      });
-    }
-  }
-  bench::Stopwatch sweep_timer;
-  bench::run_parallel(jobs, scale.jobs);
-  const double sweep_secs = sweep_timer.seconds();
-
-  std::printf("%-12s | %-14s | %10s %10s %10s\n", "workload", "predictor",
-              "dir. red.", "tgt. red.", "norm. IPC");
-  bench::rule();
-  std::vector<double> sum_dir(4, 0.0), sum_tgt(4, 0.0), sum_ipc(4, 0.0);
-  for (std::size_t p = 0; p < profiles.size(); ++p) {
-    for (unsigned d = 0; d < 4; ++d) {
-      const Cell& c = cells[p][d];
-      sum_dir[d] += c.dred;
-      sum_tgt[d] += c.tred;
-      sum_ipc[d] += c.nipc;
-      std::printf("%-12s | ST_%-11s | %10.4f %10.4f %10.4f\n",
-                  profiles[p].name.c_str(), names[d], c.dred, c.tred, c.nipc);
-      json.row(profiles[p].name + "/" + names[d])
-          .set("section", "figure4")
-          .set("direction_reduction", c.dred)
-          .set("target_reduction", c.tred)
-          .set("normalized_ipc", c.nipc);
-    }
-  }
-
-  bench::rule();
-  const double n = static_cast<double>(profiles.size());
-  for (unsigned d = 0; d < 4; ++d) {
-    std::printf("%-12s | ST_%-11s | %10.4f %10.4f %10.4f   (avg)\n", "AVERAGE",
-                names[d], sum_dir[d] / n, sum_tgt[d] / n, sum_ipc[d] / n);
-    json.row(std::string("AVERAGE/") + names[d])
-        .set("section", "figure4_average")
-        .set("direction_reduction", sum_dir[d] / n)
-        .set("target_reduction", sum_tgt[d] / n)
-        .set("normalized_ipc", sum_ipc[d] / n);
-  }
-  std::printf("\npaper averages: dir red 0.001/0.010/0.009/0.011, "
-              "tgt red 0.012/-0.001/0.018/0.017, norm IPC 1.066/0.984/0.977/0.969\n");
-
-  json.meta("sweep_seconds", sweep_secs)
-      .meta("sweep_jobs", std::uint64_t{jobs.size()})
-      .meta("workers", std::uint64_t{bench::worker_count(scale.jobs, jobs.size())});
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("fig4_single", argc, argv);
 }

@@ -1,126 +1,8 @@
-// Figure 5 reproduction: SMT-pair evaluation — two SPEC workloads share one
-// physical core (and one BPU). Reported: reduction of direction/target
-// prediction rates (combined over both threads) and the harmonic-mean
-// normalized IPC. Paper averages:
-//   direction reduction: ST_Perceptron 0.013, ST_SKLCond 0.038,
-//                        ST_TAGE64 0.016, ST_TAGE8 0.019
-//   target reduction:    0.037 / 0.004 / 0.021 / 0.017
-//   normalized IPC:      1.009 / 0.951 / 0.981 / 0.980
-// ST_SKLCond suffers most: it lacks the separate TAGE-table misprediction
-// register, so SMT noise re-randomizes it more often (paper §VII-B2).
-//
-// Each (pair, predictor) point is one thread-pool job over devirtualized
-// engines; results land in preallocated slots so the sweep order — and the
-// BENCH_fig5_smt.json trajectory — is deterministic.
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "bench_common.h"
-#include "models/engine.h"
-#include "models/models.h"
-#include "sim/ooo.h"
-#include "trace/instr.h"
-#include "trace/profile.h"
-
-namespace {
-// The 31 pairs of Figure 5, in the paper's axis order.
-const char* kPairs[][2] = {
-    {"bwaves", "fotonik3d"}, {"bwaves", "cactuBSSN"}, {"bwaves", "leela"},
-    {"bwaves", "cam4"},      {"exchange2", "nab"},    {"bwaves", "wrf"},
-    {"leela", "namd"},       {"exchange2", "mcf"},    {"bwaves", "deepsjeng"},
-    {"exchange2", "fotonik3d"}, {"deepsjeng", "lbm"}, {"bwaves", "namd"},
-    {"bwaves", "lbm"},       {"leela", "mcf"},        {"lbm", "xz"},
-    {"fotonik3d", "mcf"},    {"lbm", "namd"},         {"lbm", "mcf"},
-    {"exchange2", "leela"},  {"fotonik3d", "lbm"},    {"cam4", "mcf"},
-    {"nab", "xz"},           {"exchange2", "namd"},   {"bwaves", "roms"},
-    {"mcf", "xz"},           {"exchange2", "lbm"},    {"bwaves", "povray"},
-    {"fotonik3d", "leela"},  {"fotonik3d", "namd"},   {"deepsjeng", "xz"},
-    {"bwaves", "exchange2"}};
-constexpr std::size_t kNumPairs = sizeof(kPairs) / sizeof(kPairs[0]);
-}  // namespace
+// Figure 5: SMT workload-pair evaluation — thin compatibility shim: the implementation lives in the
+// 'fig5_smt' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run fig5_smt` (same flags, same BENCH_fig5_smt.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Figure 5: SMT workload-pair evaluation (harmonic-mean IPC)");
-  bench::BenchJson json("fig5_smt", scale);
-
-  const models::DirectionKind dirs[] = {
-      models::DirectionKind::kPerceptron, models::DirectionKind::kSklCond,
-      models::DirectionKind::kTage64, models::DirectionKind::kTage8};
-  const char* names[] = {"PerceptronBP", "SKLCond", "TAGE_SC_L_64KB", "TAGE_SC_L_8KB"};
-
-  struct Cell {
-    double dred = 0.0, tred = 0.0, nipc = 0.0;
-  };
-  std::vector<std::vector<Cell>> cells(kNumPairs, std::vector<Cell>(4));
-
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t p = 0; p < kNumPairs; ++p) {
-    for (unsigned d = 0; d < 4; ++d) {
-      jobs.emplace_back([&, p, d] {
-        const auto p0 = trace::profile_by_name(kPairs[p][0]);
-        const auto p1 = trace::profile_by_name(kPairs[p][1]);
-        double dir[2], tgt[2], hipc[2];
-        for (int st = 0; st < 2; ++st) {
-          auto model = models::make_engine(
-              {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
-               .direction = dirs[d]});
-          trace::SyntheticInstrGenerator g0(p0), g1(p1);
-          sim::OooCore core({}, model.get(), {&g0, &g1});
-          const auto r = core.run(scale.ooo_instructions, scale.ooo_warmup);
-          const auto combined = r.combined_stats();
-          dir[st] = combined.direction_rate();
-          tgt[st] = combined.target_rate();
-          hipc[st] = r.ipc_harmonic_mean();
-        }
-        cells[p][d] = {.dred = dir[0] - dir[1],
-                       .tred = tgt[0] - tgt[1],
-                       .nipc = hipc[0] > 0 ? hipc[1] / hipc[0] : 0.0};
-      });
-    }
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-  const double sweep_secs = sweep.seconds();
-
-  std::printf("%-22s | %-14s | %10s %10s %10s\n", "pair", "predictor", "dir. red.",
-              "tgt. red.", "norm. IPC(H)");
-  bench::rule();
-  std::vector<double> sum_dir(4, 0.0), sum_tgt(4, 0.0), sum_ipc(4, 0.0);
-  for (std::size_t p = 0; p < kNumPairs; ++p) {
-    const std::string label = std::string(kPairs[p][0]) + "_" + kPairs[p][1];
-    for (unsigned d = 0; d < 4; ++d) {
-      const Cell& c = cells[p][d];
-      sum_dir[d] += c.dred;
-      sum_tgt[d] += c.tred;
-      sum_ipc[d] += c.nipc;
-      std::printf("%-22s | ST_%-11s | %10.4f %10.4f %10.4f\n", label.c_str(), names[d],
-                  c.dred, c.tred, c.nipc);
-      json.row(label + "/" + names[d])
-          .set("direction_reduction", c.dred)
-          .set("target_reduction", c.tred)
-          .set("normalized_ipc_harmonic", c.nipc);
-    }
-  }
-
-  bench::rule();
-  for (unsigned d = 0; d < 4; ++d) {
-    const double n = static_cast<double>(kNumPairs);
-    std::printf("%-22s | ST_%-11s | %10.4f %10.4f %10.4f   (avg)\n", "AVERAGE",
-                names[d], sum_dir[d] / n, sum_tgt[d] / n, sum_ipc[d] / n);
-    json.row(std::string("AVERAGE/") + names[d])
-        .set("direction_reduction", sum_dir[d] / n)
-        .set("target_reduction", sum_tgt[d] / n)
-        .set("normalized_ipc_harmonic", sum_ipc[d] / n);
-  }
-  std::printf("\npaper averages: dir red 0.013/0.038/0.016/0.019, "
-              "tgt red 0.037/0.004/0.021/0.017, norm IPC 1.009/0.951/0.981/0.980\n");
-
-  json.meta("sweep_seconds", sweep_secs)
-      .meta("sweep_jobs", std::uint64_t{jobs.size()})
-      .meta("workers", std::uint64_t{bench::worker_count(scale.jobs, jobs.size())});
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("fig5_smt", argc, argv);
 }

@@ -1,120 +1,8 @@
-// Figure 6 reproduction: aggressive ST re-randomization. Lowering the
-// attack-difficulty factor r (Γ = r·C) simulates defending against ever
-// faster attack algorithms. The paper sweeps r for the TAGE_SC_L_64KB
-// STBPU in SMT mode (most sensitive to history loss): accuracy stays >95%
-// until the thresholds shrink to a few hundred events, where BPU training
-// effectively ceases and IPC collapses.
-//
-// Every (r, pair) point — including the unprotected normalization bases —
-// is one thread-pool job over devirtualized engines.
-#include <functional>
-#include <vector>
-
-#include "bench_common.h"
-#include "models/engine.h"
-#include "models/models.h"
-#include "sim/ooo.h"
-#include "trace/instr.h"
-#include "trace/profile.h"
+// Figure 6: aggressive re-randomization sweep — thin compatibility shim: the implementation lives in the
+// 'fig6_rsweep' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run fig6_rsweep` (same flags, same BENCH_fig6_rsweep.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Figure 6: performance under aggressive re-randomization (r sweep)");
-  bench::BenchJson json("fig6_rsweep", scale);
-
-  // SMT pairs averaged (paper: 42 combinations; a representative subset in
-  // quick mode).
-  const char* pairs[][2] = {{"bwaves", "mcf"},      {"exchange2", "leela"},
-                            {"fotonik3d", "namd"},  {"deepsjeng", "xz"},
-                            {"bwaves", "exchange2"}, {"leela", "mcf"}};
-  const unsigned npairs = scale.paper ? 6 : 4;
-
-  const double rs[] = {0.05, 0.01, 1e-3, 1e-4, 1e-5, 5e-6};
-  constexpr unsigned kNumRs = 6;
-
-  // Unprotected reference per pair (normalization base) + the sweep grid.
-  std::vector<double> base_ipc(npairs, 0.0);
-  struct Point {
-    double dir = 0.0, tgt = 0.0, hipc = 0.0;
-    std::uint64_t rerands = 0;
-  };
-  std::vector<std::vector<Point>> grid(kNumRs, std::vector<Point>(npairs));
-
-  std::vector<std::function<void()>> jobs;
-  for (unsigned p = 0; p < npairs; ++p) {
-    jobs.emplace_back([&, p] {
-      auto model = models::make_engine(
-          {.model = models::ModelKind::kUnprotected,
-           .direction = models::DirectionKind::kTage64});
-      trace::SyntheticInstrGenerator g0(trace::profile_by_name(pairs[p][0]));
-      trace::SyntheticInstrGenerator g1(trace::profile_by_name(pairs[p][1]));
-      sim::OooCore core({}, model.get(), {&g0, &g1});
-      base_ipc[p] = core.run(scale.ooo_instructions, scale.ooo_warmup).ipc_harmonic_mean();
-    });
-  }
-  for (unsigned ri = 0; ri < kNumRs; ++ri) {
-    for (unsigned p = 0; p < npairs; ++p) {
-      jobs.emplace_back([&, ri, p] {
-        models::ModelSpec spec{.model = models::ModelKind::kStbpu,
-                               .direction = models::DirectionKind::kTage64};
-        spec.rerand_difficulty_r = rs[ri];
-        auto model = models::make_engine(spec);
-        trace::SyntheticInstrGenerator g0(trace::profile_by_name(pairs[p][0]));
-        trace::SyntheticInstrGenerator g1(trace::profile_by_name(pairs[p][1]));
-        sim::OooCore core({}, model.get(), {&g0, &g1});
-        const auto res = core.run(scale.ooo_instructions, scale.ooo_warmup);
-        const auto combined = res.combined_stats();
-        std::uint64_t rerands = 0;
-        if (auto* mon = models::engine_monitor(*model)) rerands = mon->rerandomizations();
-        grid[ri][p] = {.dir = combined.direction_rate(),
-                       .tgt = combined.target_rate(),
-                       .hipc = res.ipc_harmonic_mean(),
-                       .rerands = rerands};
-      });
-    }
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-  const double sweep_secs = sweep.seconds();
-
-  std::printf("%-10s %14s %14s %12s %12s %12s\n", "r", "misp. thresh",
-              "evict thresh", "dir. rate", "tgt. rate", "norm. IPC(H)");
-  bench::rule();
-  for (unsigned ri = 0; ri < kNumRs; ++ri) {
-    const double r = rs[ri];
-    const core::MonitorConfig mc = core::MonitorConfig::from_difficulty(r, true);
-    double dir = 0, tgt = 0, nipc = 0;
-    std::uint64_t rerands = 0;
-    for (unsigned p = 0; p < npairs; ++p) {
-      dir += grid[ri][p].dir;
-      tgt += grid[ri][p].tgt;
-      nipc += base_ipc[p] > 0 ? grid[ri][p].hipc / base_ipc[p] : 0.0;
-      rerands += grid[ri][p].rerands;
-    }
-    std::printf("%-10g %14llu %14llu %12.4f %12.4f %12.4f   (%llu rerands)\n", r,
-                static_cast<unsigned long long>(mc.misprediction_threshold),
-                static_cast<unsigned long long>(mc.eviction_threshold), dir / npairs,
-                tgt / npairs, nipc / npairs, static_cast<unsigned long long>(rerands));
-    char label[32];
-    std::snprintf(label, sizeof label, "r=%g", r);
-    json.row(label)
-        .set("difficulty_r", r)
-        .set("misprediction_threshold", std::uint64_t{mc.misprediction_threshold})
-        .set("eviction_threshold", std::uint64_t{mc.eviction_threshold})
-        .set("direction_rate", dir / npairs)
-        .set("target_rate", tgt / npairs)
-        .set("normalized_ipc_harmonic", nipc / npairs)
-        .set("rerandomizations", rerands);
-  }
-
-  std::printf("\npaper shape: accuracy >95%% down to thresholds of a few thousand\n"
-              "events; once thresholds reach a few hundred, re-randomization\n"
-              "effectively disables BPU training and throughput collapses.\n");
-
-  json.meta("sweep_seconds", sweep_secs)
-      .meta("sweep_jobs", std::uint64_t{jobs.size()})
-      .meta("pairs", std::uint64_t{npairs});
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("fig6_rsweep", argc, argv);
 }

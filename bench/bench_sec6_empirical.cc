@@ -1,157 +1,8 @@
-// Empirical validation of the §VI equations on scaled structures: the
-// brute-force reuse search (Eq. 2) and GEM eviction-set construction
-// (Eq. 4) are executed against shrunken ST-mapped BTBs, and the measured
-// attacker event bills are compared with the closed forms evaluated at the
-// same geometry. Attack cost grows with I·T·O, so the full-size numbers of
-// §VI-A5 (10^5..10^8 events) are validated by extrapolation.
-#include <algorithm>
-#include <functional>
-#include <vector>
-
-#include "analysis/equations.h"
-#include "attacks/brute.h"
-#include "attacks/gem.h"
-#include "attacks/scaled.h"
-#include "bench_common.h"
+// Section VI: empirical equation validation — thin compatibility shim: the implementation lives in the
+// 'sec6_empirical' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run sec6_empirical` (same flags, same BENCH_sec6_empirical.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  using attacks::ScaledGeometry;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Section VI: empirical equation validation on scaled structures");
-  bench::BenchJson json("sec6_empirical", scale);
-  const unsigned reps = scale.paper ? 15 : 7;
-
-  std::printf("-- Eq. (2): brute-force reuse-collision search against ST mapping --\n");
-  std::printf("%-24s %10s | %12s %12s | %12s %12s\n", "geometry (I,T,O,W)", "I*T*O",
-              "meas. M", "eq. M", "meas. |SB|", "eq. n");
-  bench::rule();
-  const ScaledGeometry geoms[] = {
-      {.set_bits = 3, .tag_bits = 3, .offset_bits = 1, .ways = 4},
-      {.set_bits = 4, .tag_bits = 3, .offset_bits = 1, .ways = 4},
-      {.set_bits = 4, .tag_bits = 4, .offset_bits = 1, .ways = 8},
-      {.set_bits = 5, .tag_bits = 4, .offset_bits = 2, .ways = 8},
-  };
-  constexpr std::size_t kNumGeoms = sizeof(geoms) / sizeof(geoms[0]);
-  // One pool job per (geometry, repetition): each builds an independent
-  // scaled target and searcher, writing into its own slot.
-  struct Run {
-    bool found = false;
-    std::uint64_t misp = 0, size = 0;
-  };
-  std::vector<std::vector<Run>> runs(kNumGeoms, std::vector<Run>(reps));
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t gi = 0; gi < kNumGeoms; ++gi) {
-    for (unsigned rep = 0; rep < reps; ++rep) {
-      jobs.emplace_back([&, gi, rep] {
-        const auto& g = geoms[gi];
-        auto target = attacks::make_scaled_target(g, /*stbpu=*/true, 1000 + rep);
-        attacks::ReuseSearchConfig cfg;
-        cfg.seed = 77 + rep;
-        cfg.max_set_size = 64 * g.ito();
-        const auto r = attacks::reuse_collision_search(*target.predictor, cfg);
-        runs[gi][rep] = {.found = r.found, .misp = r.mispredictions, .size = r.set_size};
-      });
-    }
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-  json.meta("sweep_seconds", sweep.seconds());
-
-  for (std::size_t gi = 0; gi < kNumGeoms; ++gi) {
-    const auto& g = geoms[gi];
-    std::vector<std::uint64_t> misp, sizes;
-    for (const auto& r : runs[gi]) {
-      if (r.found) {
-        misp.push_back(r.misp);
-        sizes.push_back(r.size);
-      }
-    }
-    std::sort(misp.begin(), misp.end());
-    std::sort(sizes.begin(), sizes.end());
-    analysis::BtbGeometry eq;
-    eq.sets = static_cast<double>(g.sets());
-    eq.tag_space = static_cast<double>(g.tag_space());
-    eq.offset_space = static_cast<double>(g.offset_space());
-    eq.ways = g.ways;
-    const auto predicted = analysis::btb_reuse_cost(eq);
-    std::printf("I=%-3llu T=%-3llu O=%-2llu W=%-2u %10llu | %12llu %12.4g | %12llu %12.4g\n",
-                static_cast<unsigned long long>(g.sets()),
-                static_cast<unsigned long long>(g.tag_space()),
-                static_cast<unsigned long long>(g.offset_space()), g.ways,
-                static_cast<unsigned long long>(g.ito()),
-                static_cast<unsigned long long>(misp.empty() ? 0 : misp[misp.size() / 2]),
-                predicted.mispredictions_m,
-                static_cast<unsigned long long>(sizes.empty() ? 0 : sizes[sizes.size() / 2]),
-                predicted.set_size_n);
-    char label[96];
-    std::snprintf(label, sizeof label, "reuse_I%llu_T%llu_O%llu_W%u",
-                  static_cast<unsigned long long>(g.sets()),
-                  static_cast<unsigned long long>(g.tag_space()),
-                  static_cast<unsigned long long>(g.offset_space()), g.ways);
-    json.row(label)
-        .set("ito", std::uint64_t{g.ito()})
-        .set("measured_mispredictions", misp.empty() ? std::uint64_t{0} : misp[misp.size() / 2])
-        .set("equation_mispredictions", predicted.mispredictions_m)
-        .set("measured_set_size", sizes.empty() ? std::uint64_t{0} : sizes[sizes.size() / 2])
-        .set("equation_set_size", predicted.set_size_n);
-    std::fflush(stdout);
-  }
-  std::printf("(median over %u runs. Eq. (2) uses birthday-scale factors per pair and\n"
-              " is a deliberate over-estimate of the observation count — conservative\n"
-              " for threshold derivation; measured |SB| tracks n within ~2x and both\n"
-              " M columns grow superlinearly in I*T*O, validating the scaling law)\n\n",
-              reps);
-
-  std::printf("-- Eq. (4): GEM eviction-set construction cost --\n");
-  std::printf("%-24s | %12s %12s | %s\n", "geometry", "meas. evict", "eq. E(P=1)",
-              "success");
-  bench::rule();
-  for (const auto& g : geoms) {
-    auto target = attacks::make_scaled_target(g, /*stbpu=*/true, 4242);
-    attacks::GemConfig cfg;
-    cfg.ways = g.ways;
-    cfg.sets_hint = static_cast<unsigned>(g.sets());
-    const auto r = attacks::gem_eviction_set(*target.predictor, 0x0000'2345'6780ULL, cfg);
-    analysis::BtbGeometry eq;
-    eq.sets = static_cast<double>(g.sets());
-    eq.ways = g.ways;
-    std::printf("I=%-3llu W=%-2u              | %12llu %12.4g | %s (|set|=%zu)\n",
-                static_cast<unsigned long long>(g.sets()), g.ways,
-                static_cast<unsigned long long>(r.evictions),
-                analysis::gem_eviction_cost(eq, 1.0),
-                r.success ? "yes" : "no", r.eviction_set.size());
-    std::fflush(stdout);
-  }
-
-  std::printf("\n-- the monitor wins the race --\n");
-  {
-    const ScaledGeometry g{.set_bits = 6, .tag_bits = 5, .offset_bits = 2, .ways = 8};
-    // Thresholds scaled to the structure exactly as §VII-A does for the
-    // full-size BPU (r = 0.05 of the binding complexity).
-    analysis::BtbGeometry eq;
-    eq.sets = static_cast<double>(g.sets());
-    eq.ways = g.ways;
-    core::MonitorConfig mc;
-    mc.eviction_threshold = static_cast<std::uint64_t>(
-        0.05 * analysis::gem_eviction_cost(eq, 0.5));
-    mc.misprediction_threshold = 1'000'000;
-    auto target = attacks::make_scaled_target(g, /*stbpu=*/true, 99, &mc);
-    attacks::GemConfig cfg;
-    cfg.ways = g.ways;
-    cfg.sets_hint = static_cast<unsigned>(g.sets());
-    const auto r = attacks::gem_eviction_set(*target.predictor, 0x0000'2345'6780ULL, cfg);
-    std::printf("GEM vs STBPU(I=%llu, Gamma_E=%llu): evictions=%llu, ST rotations=%llu\n",
-                static_cast<unsigned long long>(g.sets()),
-                static_cast<unsigned long long>(mc.eviction_threshold),
-                static_cast<unsigned long long>(r.evictions),
-                static_cast<unsigned long long>(target.stm->rerandomizations()));
-    std::printf("every rotation invalidates the partially-built eviction set —\n"
-                "the attacker restarts from scratch (paper §IV-A).\n");
-    json.row("monitor_race")
-        .set("evictions", std::uint64_t{r.evictions})
-        .set("rotations", std::uint64_t{target.stm->rerandomizations()});
-  }
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("sec6_empirical", argc, argv);
 }

@@ -1,63 +1,8 @@
-// §VI-A5 + §VII-A reproduction: the analytic attack-complexity table for
-// the Skylake-like geometry and the derived ST re-randomization thresholds
-// Γ = r·C. These are the numbers the paper prints: BTB reuse M≈6.9e8 /
-// E≈2^21, PHT reuse M≈8.38e5, BTB eviction E≈5.3e5, Spectre v2/RSB ≈2^31;
-// thresholds 8.3e4/5.3e4 at r=0.1 and 4.15e4/2.65e4 at r=0.05.
-#include <cmath>
-
-#include "analysis/equations.h"
-#include "bench_common.h"
+// Section VI-A5: complexities and thresholds — thin compatibility shim: the implementation lives in the
+// 'sec6_thresholds' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run sec6_thresholds` (same flags, same BENCH_sec6_thresholds.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Section VI-A5: attack complexities and re-randomization thresholds");
-  bench::BenchJson json("sec6_thresholds", scale);
-
-  std::printf("structure parameters (Table III, Skylake-like baseline):\n");
-  const analysis::BtbGeometry btb{};
-  std::printf("  BTB: W=%g ways, I=%g sets, T=%g tags, O=%g offsets, Omega=2^32\n",
-              btb.ways, btb.sets, btb.tag_space, btb.offset_space);
-  std::printf("  PHT: I=%g counters (effective T*O=%g — calibration, DESIGN.md)\n\n",
-              analysis::PhtGeometry{}.sets, analysis::kPhtEffectiveTagOffset);
-
-  std::printf("%-48s %16s %16s\n", "attack", "mispredictions", "evictions");
-  bench::rule();
-  for (const auto& row : analysis::section_vi5_table()) {
-    std::printf("%-48s %16.4g %16.4g\n", row.attack.c_str(), row.mispredictions,
-                row.evictions);
-    json.row(row.attack)
-        .set("mispredictions", row.mispredictions)
-        .set("evictions", row.evictions);
-  }
-  std::printf("\npaper constants: 6.9e8 / 2^21 (BTB reuse), 8.38e5 (PHT reuse),\n"
-              "5.3e5 (BTB eviction at P=0.5), 2^31 (target injection)\n\n");
-
-  std::printf("naive eviction-set guessing (Eq. 3): P = (1/I)^(W-1) = %.3g\n\n",
-              analysis::naive_eviction_set_probability(btb));
-
-  std::printf("GEM eviction cost (Eq. 4) by target success rate P:\n");
-  for (const double p : {0.1, 0.25, 0.5, 0.75, 1.0}) {
-    std::printf("  P=%-5g E ~= %12.4g\n", p, analysis::gem_eviction_cost(btb, p));
-  }
-
-  std::printf("\nre-randomization thresholds Gamma = r*C (binding C: M=%.4g, E=%.4g):\n",
-              analysis::binding_complexity().mispredictions_c,
-              analysis::binding_complexity().evictions_c);
-  std::printf("%-8s %16s %16s\n", "r", "misp. threshold", "evict threshold");
-  for (const double r : {1.0, 0.1, 0.05, 0.01, 0.001}) {
-    const auto t = analysis::derive_thresholds(r);
-    std::printf("%-8g %16llu %16llu%s\n", r,
-                static_cast<unsigned long long>(t.mispredictions),
-                static_cast<unsigned long long>(t.evictions),
-                r == 0.05 ? "   <- paper's deployment choice" : "");
-    char label[32];
-    std::snprintf(label, sizeof label, "thresholds_r=%g", r);
-    json.row(label)
-        .set("difficulty_r", r)
-        .set("misprediction_threshold", std::uint64_t{t.mispredictions})
-        .set("eviction_threshold", std::uint64_t{t.evictions});
-  }
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("sec6_thresholds", argc, argv);
 }

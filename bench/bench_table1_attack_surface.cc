@@ -1,96 +1,8 @@
-// Table I reproduction: the collision-based attack surface, executed cell
-// by cell against the unprotected baseline, the microcode-protected model,
-// the conservative model, and STBPU. Each cell prints the attack's
-// per-trial success rate (blind-guess baselines: 0.5 for 1-bit leaks, 0 for
-// injection/steering) plus the attacker's event bill.
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "attacks/table1.h"
-#include "bench_common.h"
-#include "models/models.h"
+// Table I: attack surface, executed — thin compatibility shim: the implementation lives in the
+// 'table1_attack_surface' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run table1_attack_surface` (same flags, same BENCH_table1_attack_surface.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  using namespace stbpu;
-  const auto scale = bench::Scale::parse(argc, argv);
-  scale.banner("Table I: collision-based attack surface, executed");
-  bench::BenchJson json("table1_attack_surface", scale);
-  const unsigned trials = scale.paper ? 512 : 128;
-  constexpr std::uint64_t kGadget = 0x0000'1122'3344ULL;
-
-  using Attack = std::function<attacks::AttackResult(bpu::IPredictor&)>;
-  struct Cell {
-    const char* cls;
-    Attack run;
-  };
-  const std::vector<Cell> cells = {
-      {"RB-HE BTB ", [&](bpu::IPredictor& b) { return attacks::btb_reuse_home(b, trials, 1); }},
-      {"RB-HE PHT ", [&](bpu::IPredictor& b) { return attacks::pht_reuse_home(b, trials, 2); }},
-      {"RB-HE RSB ", [&](bpu::IPredictor& b) { return attacks::rsb_reuse_home(b, trials, 3); }},
-      {"RB-AE PHT ", [&](bpu::IPredictor& b) { return attacks::pht_reuse_away(b, trials, 4); }},
-      {"RB-AE BTB ", [&](bpu::IPredictor& b) { return attacks::btb_injection_away(b, trials, 5, kGadget); }},
-      {"RB-AE RSB ", [&](bpu::IPredictor& b) { return attacks::rsb_injection_away(b, trials, 6, kGadget); }},
-      {"RB same-AS", [&](bpu::IPredictor& b) { return attacks::same_address_space_trojan(b, trials, 7, kGadget); }},
-      {"EB-HE BTB ", [&](bpu::IPredictor& b) { return attacks::btb_eviction_home(b, trials, 8); }},
-      {"EB-AE BTB ", [&](bpu::IPredictor& b) { return attacks::btb_eviction_away(b, trials, 9); }},
-      {"EB-HE RSB ", [&](bpu::IPredictor& b) { return attacks::rsb_eviction_home(b, trials, 10); }},
-      {"EB-AE RSB ", [&](bpu::IPredictor& b) { return attacks::rsb_eviction_away(b, trials, 11); }},
-  };
-
-  const models::ModelKind kinds[] = {models::ModelKind::kUnprotected,
-                                     models::ModelKind::kUcode1,
-                                     models::ModelKind::kConservative,
-                                     models::ModelKind::kStbpu};
-  const char* knames[] = {"baseline", "ucode1", "conserv", "STBPU"};
-
-  std::printf("%-11s %-46s", "class", "attack");
-  for (const char* k : knames) std::printf(" %9s", k);
-  std::printf("\n");
-  bench::rule(' ', 0);
-  bench::rule();
-
-  // One pool job per (attack, model) cell.
-  struct Cells {
-    std::string name;
-    double rates[4] = {};
-    bool success[4] = {};
-  };
-  std::vector<Cells> results(cells.size());
-  std::vector<std::function<void()>> jobs;
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    for (unsigned k = 0; k < 4; ++k) {
-      jobs.emplace_back([&, c, k] {
-        auto model = models::BpuModel::create({.model = kinds[k]});
-        const auto r = cells[c].run(*model);
-        results[c].rates[k] = r.success_rate;
-        results[c].success[k] = r.success;
-        if (k == 0) results[c].name = r.name;
-      });
-    }
-  }
-  bench::Stopwatch sweep;
-  bench::run_parallel(jobs, scale.jobs);
-
-  for (std::size_t c = 0; c < cells.size(); ++c) {
-    std::printf("%-11s %-46s", cells[c].cls, results[c].name.c_str());
-    auto& row = json.row(results[c].name).set("class", cells[c].cls);
-    for (unsigned k = 0; k < 4; ++k) {
-      std::printf("  %6.3f %c", results[c].rates[k], results[c].success[k] ? '!' : '.');
-      row.set(std::string(knames[k]) + "_success_rate", results[c].rates[k]);
-      row.set(std::string(knames[k]) + "_succeeds",
-              results[c].success[k] ? "true" : "false");
-    }
-    std::printf("\n");
-    std::fflush(stdout);
-  }
-  json.meta("sweep_seconds", sweep.seconds()).meta("trials", std::uint64_t{trials});
-  json.write();
-
-  std::printf("\nlegend: '!' attack succeeds, '.' attack defeated (rate at blind-guess level)\n");
-  std::printf("expected: every row '!' on baseline; STBPU '.' everywhere except the\n"
-              "RSB occupancy channels (content-independent; leak call counts only).\n"
-              "ucode stays '!' on the same-address-space trojan — flushing cannot\n"
-              "separate a trojan from its victim inside one context (paper §II-A).\n");
-  return 0;
+  return stbpu::exp::scenario_main("table1_attack_surface", argc, argv);
 }

@@ -1,180 +1,8 @@
-// Table II reproduction + remap-function microbenchmarks (google-benchmark):
-// the I/O geometry of every baseline and STBPU function, and the per-call
-// cost of the software rendering of the R-functions (the hardware cost is
-// the transistor budget — see bench_fig2_remapgen).
-#include <benchmark/benchmark.h>
-
-#include <cstdio>
-
-#include "bench_common.h"
-#include "bpu/mapping.h"
-#include "core/remap.h"
-#include "core/remap_cache.h"
-#include "core/secret_token.h"
-#include "core/stbpu_mapping.h"
-
-namespace {
-
-using namespace stbpu;
-
-void print_table2() {
-  std::printf("== Table II: I/O bits for baseline and STBPU functions ==\n");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "fn", "baseline input", "STBPU input",
-              "output", "mapping");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "1", "32 s", "32 psi, 48 s",
-              "9 ind, 8 tag, 5 offs", "R1(80 -> 22)");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "2", "58 BHB", "32 psi, 58 BHB", "8 tag",
-              "R2(90 -> 8)");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "3", "32 s", "32 psi, 48 s", "14 ind",
-              "R3(80 -> 14)");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "4", "18 GHR, 32 s", "32 psi, 16 GHR, 48 s",
-              "14 ind", "R4(96 -> 14)");
-  std::printf("%-4s %-28s %-28s %-22s %s\n", "t", "48 s, L(GHR)", "32 psi, 48 s, L(GHR)",
-              "10/13 ind, 8/12 tag", "Rt(80+ -> 25)");
-  std::printf("%-4s %-28s %-28s %-22s %s\n\n", "p", "48 s", "32 psi, 48 s", "10 ind",
-              "Rp(80 -> 10)");
-}
-
-const bpu::ExecContext kCtx{.pid = 1, .hart = 0, .kernel = false};
-
-void BM_Baseline_F1(benchmark::State& state) {
-  bpu::BaselineMapping m;
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.btb_mode1(ip, kCtx));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Baseline_F1);
-
-void BM_Stbpu_R1(benchmark::State& state) {
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::r1(0xDEADBEEF, ip));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Stbpu_R1);
-
-void BM_Stbpu_R2(benchmark::State& state) {
-  std::uint64_t bhb = 0x12345;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::r2(0xDEADBEEF, bhb));
-    bhb = bhb * 3 + 1;
-  }
-}
-BENCHMARK(BM_Stbpu_R2);
-
-void BM_Stbpu_R3(benchmark::State& state) {
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::r3(0xDEADBEEF, ip));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Stbpu_R3);
-
-void BM_Stbpu_R4(benchmark::State& state) {
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::r4(0xDEADBEEF, ip, ip & 0xFFFF));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Stbpu_R4);
-
-void BM_Stbpu_Rt(benchmark::State& state) {
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::rt_index(0xDEADBEEF, ip, ip >> 3, 5, 13));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Stbpu_Rt);
-
-void BM_Stbpu_Rp(benchmark::State& state) {
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::Remapper::rp(0xDEADBEEF, ip, 10));
-    ip += 16;
-  }
-}
-BENCHMARK(BM_Stbpu_Rp);
-
-void BM_CachedR1_Hit(benchmark::State& state) {
-  // The devirtualized engine's hot path: R1 through the memo-cache with a
-  // resident working set (site-keyed lookups hit ~always in traces).
-  core::STManager stm(1);
-  core::CachedStbpuMapping map(&stm);
-  std::uint64_t ip = 0x0000'2345'6780ULL;
-  unsigned i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(map.btb_mode1(ip + 16 * (i & 255), kCtx));
-    ++i;
-  }
-}
-BENCHMARK(BM_CachedR1_Hit);
-
-void BM_CachedR4_Churn(benchmark::State& state) {
-  // History-keyed worst case: every (ip, GHR) pair fresh — the memo-cache
-  // pays the probe AND the mix, bounding its overhead over the direct call.
-  core::STManager stm(1);
-  core::CachedStbpuMapping map(&stm);
-  std::uint64_t ip = 0x0000'2345'6780ULL, ghr = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(map.pht_index_2level(ip, ghr, kCtx));
-    ghr = ghr * 6364136223846793005ULL + 1442695040888963407ULL;
-  }
-}
-BENCHMARK(BM_CachedR4_Churn);
-
-void BM_TargetCodecRoundtrip(benchmark::State& state) {
-  core::STManager stm(1);
-  core::StbpuMapping map(&stm);
-  std::uint64_t t = 0x0000'2345'9000ULL;
-  for (auto _ : state) {
-    const auto enc = map.encode_target(t, kCtx);
-    benchmark::DoNotOptimize(map.decode_target(0x0000'2345'6780ULL, enc, kCtx));
-    t += 64;
-  }
-}
-BENCHMARK(BM_TargetCodecRoundtrip);
-
-}  // namespace
+// Table II: remap-function microbenchmarks — thin compatibility shim: the implementation lives in the
+// 'table2_remap_functions' scenario (src/exp/), and this binary behaves exactly like
+// `stbpu_bench run table2_remap_functions` (same flags, same BENCH_table2_remap_functions.json).
+#include "exp/driver.h"
 
 int main(int argc, char** argv) {
-  print_table2();
-  const auto scale = bench::Scale::parse(argc, argv);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  std::printf("\nnote: in hardware each R-function is a <=45-transistor-deep circuit\n"
-              "(single cycle); these numbers measure the simulator's software stand-in.\n");
-
-  // Machine-readable per-call costs (Stopwatch-timed, pool-independent):
-  // the direct R functions vs the memo-cached hit path.
-  bench::BenchJson json("table2_remap_functions", scale);
-  const auto time_ns = [](auto&& fn) {
-    constexpr int kIters = 2'000'000;
-    bench::Stopwatch sw;
-    std::uint64_t acc = 0;
-    for (int i = 0; i < kIters; ++i) acc += fn(static_cast<std::uint64_t>(i));
-    benchmark::DoNotOptimize(acc);
-    return sw.seconds() / kIters * 1e9;
-  };
-  json.row("R1_direct").set("ns_per_call", time_ns([](std::uint64_t i) {
-    return core::Remapper::r1(0xDEADBEEF, 0x2345'6780ULL + 16 * i).set;
-  }));
-  json.row("R4_direct").set("ns_per_call", time_ns([](std::uint64_t i) {
-    return core::Remapper::r4(0xDEADBEEF, 0x2345'6780ULL, i & 0xFFFF);
-  }));
-  core::STManager stm(1);
-  core::CachedStbpuMapping map(&stm);
-  json.row("R1_cached_hit").set("ns_per_call", time_ns([&](std::uint64_t i) {
-    return map.btb_mode1(0x2345'6780ULL + 16 * (i & 255), kCtx).set;
-  }));
-  json.row("R4_cached_churn").set("ns_per_call", time_ns([&](std::uint64_t i) {
-    return map.pht_index_2level(0x2345'6780ULL, i, kCtx);
-  }));
-  json.write();
-  return 0;
+  return stbpu::exp::scenario_main("table2_remap_functions", argc, argv);
 }

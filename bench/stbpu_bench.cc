@@ -1,0 +1,5 @@
+// The unified experiment driver: list/describe/run/merge any registered
+// scenario (see docs/EXPERIMENTS.md).
+#include "exp/driver.h"
+
+int main(int argc, char** argv) { return stbpu::exp::driver_main(argc, argv); }

@@ -1,0 +1,339 @@
+#include "exp/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/scenario.h"
+
+namespace stbpu::exp {
+
+namespace {
+
+constexpr int kExitUsage = 2;
+
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: stbpu_bench <command> [options]\n"
+               "\n"
+               "commands:\n"
+               "  list                       show all registered scenarios\n"
+               "  describe <scenario>        show a scenario's point grid\n"
+               "  run <scenario> [options]   execute a scenario\n"
+               "  merge <shard.json>...      union shard files into BENCH_<name>.json\n"
+               "\n"
+               "run/describe options:\n"
+               "  --scale=quick|paper        simulation budgets (default quick)\n"
+               "  --jobs=N                   worker threads (default: hardware)\n"
+               "  --shard=I/N                run the I-th of N even stripes of the\n"
+               "                             (selected) point grid; writes\n"
+               "                             BENCH_<name>.shard<I>of<N>.json\n"
+               "  --points=LIST              run a subset, e.g. 0,3,7-9\n"
+               "  --json=PATH                output path override\n"
+               "  --spec=FILE                load an ExperimentSpec JSON (flags override)\n"
+               "  --trace=PATH               replay an on-disk branch trace (trace-replay\n"
+               "                             scenarios)\n"
+               "  --seed=N                   model seed override (0 = scenario default)\n"
+               "  --trace-branches=N --trace-warmup=N\n"
+               "  --ooo-instructions=N --ooo-warmup=N\n"
+               "                             individual budget overrides\n"
+               "\n"
+               "merge options:\n"
+               "  --json=PATH                output path (default BENCH_<name>.json)\n");
+}
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "stbpu_bench: %s\n\n", message.c_str());
+  print_usage(stderr);
+  return kExitUsage;
+}
+
+bool parse_u64_flag(const char* arg, const char* prefix, std::uint64_t& out,
+                    std::string& err) {
+  const std::size_t len = std::strlen(prefix);
+  const char* text = arg + len;
+  // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+  if (*text < '0' || *text > '9') {
+    err = std::string("bad value in '") + arg + "'";
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    err = std::string("bad value in '") + arg + "'";
+    return false;
+  }
+  return true;
+}
+
+struct RunOptions {
+  ExperimentSpec spec;
+  std::string json_path;  ///< empty = default naming
+};
+
+/// Strict run-flag parsing: every argument must be a known flag with a
+/// well-formed value. Unknown arguments are errors, not warnings.
+bool parse_run_flags(const std::vector<std::string>& args, RunOptions& out,
+                     std::string& err) {
+  const auto starts_with = [](const std::string& s, const char* p) {
+    return s.rfind(p, 0) == 0;
+  };
+  // --spec files load first so explicit flags override their contents.
+  for (const std::string& arg : args) {
+    if (starts_with(arg, "--spec=")) {
+      const std::string path = arg.substr(7);
+      std::string text;
+      if (!read_file(path, text)) {
+        err = "cannot read spec file '" + path + "'";
+        return false;
+      }
+      JsonValue doc;
+      if (!json_parse(text, doc, err)) {
+        err = "spec file '" + path + "': " + err;
+        return false;
+      }
+      const std::string scenario = out.spec.scenario;
+      if (!ExperimentSpec::from_json(doc, out.spec, err)) {
+        err = "spec file '" + path + "': " + err;
+        return false;
+      }
+      if (!scenario.empty() && out.spec.scenario != scenario) {
+        err = "spec file '" + path + "' is for scenario '" + out.spec.scenario +
+              "', not '" + scenario + "'";
+        return false;
+      }
+    }
+  }
+  for (const std::string& arg : args) {
+    std::uint64_t u = 0;
+    if (starts_with(arg, "--spec=")) {
+      continue;  // handled above
+    } else if (starts_with(arg, "--scale=")) {
+      const std::string name = arg.substr(8);
+      const auto preset = Scale::named(name);
+      if (!preset) {
+        err = "unknown scale '" + name + "' (use quick|paper)";
+        return false;
+      }
+      out.spec.scale = *preset;
+    } else if (starts_with(arg, "--jobs=")) {
+      if (!parse_u64_flag(arg.c_str(), "--jobs=", u, err)) return false;
+      out.spec.jobs = static_cast<unsigned>(u);
+    } else if (starts_with(arg, "--shard=")) {
+      if (!parse_shard(arg.substr(8), out.spec.shard_index, out.spec.shard_count, err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--points=")) {
+      if (!parse_points(arg.substr(9), out.spec.points, err)) return false;
+    } else if (starts_with(arg, "--json=")) {
+      out.json_path = arg.substr(7);
+    } else if (starts_with(arg, "--trace=")) {
+      out.spec.trace_file = arg.substr(8);
+    } else if (starts_with(arg, "--seed=")) {
+      if (!parse_u64_flag(arg.c_str(), "--seed=", out.spec.seed, err)) return false;
+    } else if (starts_with(arg, "--trace-branches=")) {
+      if (!parse_u64_flag(arg.c_str(), "--trace-branches=", out.spec.scale.trace_branches,
+                          err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--trace-warmup=")) {
+      if (!parse_u64_flag(arg.c_str(), "--trace-warmup=", out.spec.scale.trace_warmup,
+                          err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--ooo-instructions=")) {
+      if (!parse_u64_flag(arg.c_str(),
+                          "--ooo-instructions=", out.spec.scale.ooo_instructions, err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--ooo-warmup=")) {
+      if (!parse_u64_flag(arg.c_str(), "--ooo-warmup=", out.spec.scale.ooo_warmup, err)) {
+        return false;
+      }
+    } else {
+      err = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+const Scenario* lookup(const std::string& name) {
+  const Scenario* s = find_scenario(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "stbpu_bench: unknown scenario '%s'; available:\n",
+                 name.c_str());
+    for (const Scenario* sc : all_scenarios()) {
+      std::fprintf(stderr, "  %s\n", std::string(sc->name()).c_str());
+    }
+  }
+  return s;
+}
+
+int cmd_list() {
+  for (const Scenario* s : all_scenarios()) {
+    std::printf("%-24s %s\n", std::string(s->name()).c_str(),
+                std::string(s->title()).c_str());
+  }
+  return 0;
+}
+
+int cmd_describe(const std::string& name, const std::vector<std::string>& args) {
+  RunOptions opt;
+  std::string err;
+  opt.spec.scenario = name;
+  if (!parse_run_flags(args, opt, err)) return usage_error(err);
+  const Scenario* s = lookup(name);
+  if (s == nullptr) return kExitUsage;
+  std::printf("%s — %s\n", std::string(s->name()).c_str(),
+              std::string(s->title()).c_str());
+  std::printf("spec: %s\n", opt.spec.to_json().c_str());
+  const auto labels = s->point_labels(opt.spec);
+  const auto owned = opt.spec.owned_points(labels.size());
+  std::printf("%zu grid points:\n", labels.size());
+  for (std::size_t i = 0, o = 0; i < labels.size(); ++i) {
+    const bool mine = o < owned.size() && owned[o] == i;
+    if (mine) ++o;
+    std::printf("  [%4zu]%s %s\n", i, mine ? " " : "-", labels[i].c_str());
+  }
+  if (opt.spec.sharded() || !opt.spec.points.empty()) {
+    std::printf("('-' marks points excluded by --points/--shard)\n");
+  }
+  return 0;
+}
+
+void print_rows(const Scenario& scenario, const ExperimentSpec& spec,
+                const std::vector<PointResult>& points) {
+  const ScenarioOutput output = scenario.aggregate(spec, points);
+  for (const Row& row : output.rows) {
+    std::printf("%-32s |", row.label.c_str());
+    for (const auto& f : row.fields) {
+      std::printf(" %s=%s", f.key.c_str(), f.value.render().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+int cmd_run(const std::string& name, const std::vector<std::string>& args) {
+  RunOptions opt;
+  std::string err;
+  opt.spec.scenario = name;
+  if (!parse_run_flags(args, opt, err)) return usage_error(err);
+  const Scenario* s = lookup(name);
+  if (s == nullptr) return kExitUsage;
+
+  std::printf("== %s: %s ==\n", std::string(s->name()).c_str(),
+              std::string(s->title()).c_str());
+  std::printf("spec: %s\n", opt.spec.to_json().c_str());
+
+  RunOutcome outcome;
+  if (!run_experiment(*s, opt.spec, outcome, err)) {
+    std::fprintf(stderr, "stbpu_bench: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("ran %zu/%zu grid points in %.2fs (%u workers)\n", outcome.ran.size(),
+              outcome.labels.size(), outcome.seconds,
+              worker_count(opt.spec.jobs, outcome.ran.size()));
+
+  std::string path = opt.json_path;
+  if (opt.spec.sharded()) {
+    if (path.empty()) {
+      path = "BENCH_" + std::string(s->name()) + ".shard" +
+             std::to_string(opt.spec.shard_index) + "of" +
+             std::to_string(opt.spec.shard_count) + ".json";
+    }
+    if (!write_file(path, shard_json(*s, opt.spec, outcome))) {
+      std::fprintf(stderr, "stbpu_bench: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote shard %u/%u to %s (merge shards with `stbpu_bench merge`)\n",
+                opt.spec.shard_index, opt.spec.shard_count, path.c_str());
+    return 0;
+  }
+
+  print_rows(*s, opt.spec, outcome.points);
+  if (path.empty()) path = "BENCH_" + std::string(s->name()) + ".json";
+  if (!write_file(path, final_json(*s, opt.spec, outcome.points))) {
+    std::fprintf(stderr, "stbpu_bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  std::string json_path;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown argument '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage_error("merge needs at least one shard file");
+
+  std::vector<std::string> texts(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (!read_file(paths[i], texts[i])) {
+      std::fprintf(stderr, "stbpu_bench: cannot read %s\n", paths[i].c_str());
+      return 1;
+    }
+  }
+  std::string merged, scenario, err;
+  if (!merge_shards(texts, merged, scenario, err)) {
+    std::fprintf(stderr, "stbpu_bench: merge failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (json_path.empty()) json_path = "BENCH_" + scenario + ".json";
+  if (!write_file(json_path, merged)) {
+    std::fprintf(stderr, "stbpu_bench: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("merged %zu shards into %s\n", paths.size(), json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int driver_main(int argc, char** argv) {
+  register_builtin_scenarios();
+  if (argc < 2) {
+    print_usage(stderr);
+    return kExitUsage;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (command == "list") {
+    if (!args.empty()) return usage_error("list takes no arguments");
+    return cmd_list();
+  }
+  if (command == "describe" || command == "run") {
+    if (args.empty() || args[0].rfind("--", 0) == 0) {
+      return usage_error(command + " needs a scenario name");
+    }
+    const std::string name = args[0];
+    args.erase(args.begin());
+    return command == "run" ? cmd_run(name, args) : cmd_describe(name, args);
+  }
+  if (command == "merge") return cmd_merge(args);
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
+  return usage_error("unknown command '" + command + "'");
+}
+
+int scenario_main(const char* scenario, int argc, char** argv) {
+  register_builtin_scenarios();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return cmd_run(scenario, args);
+}
+
+}  // namespace stbpu::exp

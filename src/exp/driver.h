@@ -1,0 +1,22 @@
+// The `stbpu_bench` driver: one binary that lists, describes, runs and
+// merges every registered scenario — the unified replacement for the old
+// per-figure bench executables (which remain as thin delegates through
+// scenario_main for compatibility).
+#pragma once
+
+namespace stbpu::exp {
+
+/// Entry point of the `stbpu_bench` binary:
+///   stbpu_bench list
+///   stbpu_bench describe <scenario> [run flags]
+///   stbpu_bench run <scenario> [run flags]
+///   stbpu_bench merge [--json=PATH] <shard.json>...
+/// Unknown flags and malformed values are rejected with a usage message
+/// and a non-zero exit code.
+int driver_main(int argc, char** argv);
+
+/// Entry point of the legacy bench executables: behaves exactly like
+/// `stbpu_bench run <scenario> <argv...>`.
+int scenario_main(const char* scenario, int argc, char** argv);
+
+}  // namespace stbpu::exp

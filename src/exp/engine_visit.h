@@ -1,0 +1,25 @@
+// Engine-typed fan-out for experiment scenarios: build the devirtualized
+// engine for a ModelSpec and hand it to `fn` as its concrete
+// EngineT<Mapping, Direction> type. The dynamic_cast chain runs once per
+// engine — scenario bodies that instantiate sim::OooCoreT (via
+// sim::run_ooo) or sim::replay on the typed reference execute the whole
+// per-branch path without a single virtual call.
+#pragma once
+
+#include <utility>
+
+#include "models/engine.h"
+
+namespace stbpu::exp {
+
+/// Build the engine for `spec` and visit it typed. `fn` is instantiated
+/// for every concrete engine combination (all mappings × all direction
+/// predictors); the matching one runs. Always dispatches for specs
+/// make_engine understands.
+template <class Fn>
+bool for_each_engine(const models::ModelSpec& spec, Fn&& fn) {
+  const auto engine = models::make_engine(spec);
+  return engine != nullptr && models::visit_engine(*engine, std::forward<Fn>(fn));
+}
+
+}  // namespace stbpu::exp

@@ -1,0 +1,360 @@
+#include "exp/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "exp/timing.h"
+
+namespace stbpu::exp {
+
+unsigned worker_count(unsigned requested, std::size_t jobs) {
+  unsigned n = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (jobs != 0 && n > jobs) n = static_cast<unsigned>(jobs);
+  return n;
+}
+
+namespace {
+
+/// Run every job, `workers` at a time (atomic work-stealing index). Each
+/// job owns its slot, so sweeps stay deterministic regardless of
+/// scheduling.
+void run_parallel(const std::vector<std::function<void()>>& jobs, unsigned workers) {
+  const unsigned n = worker_count(workers, jobs.size());
+  if (n <= 1) {
+    for (const auto& job : jobs) job();
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1)) {
+        jobs[i]();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void append_fields_row(std::string& out, const std::vector<Field>& fields,
+                       bool with_label, const std::string& label) {
+  out += "{";
+  bool first = true;
+  if (with_label) {
+    out += "\"label\": " + json_quote(label);
+    first = false;
+  }
+  for (const auto& f : fields) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(f.key) + ": " + f.value.render();
+  }
+  out += "}";
+}
+
+}  // namespace
+
+bool run_experiment(const Scenario& scenario, const ExperimentSpec& spec,
+                    RunOutcome& out, std::string& err) {
+  out = RunOutcome{};
+  out.labels = scenario.point_labels(spec);
+  for (const std::size_t p : spec.points) {
+    if (p >= out.labels.size()) {
+      err = "point " + std::to_string(p) + " out of range (grid has " +
+            std::to_string(out.labels.size()) + " points)";
+      return false;
+    }
+  }
+  out.points.resize(out.labels.size());
+  out.ran = spec.owned_points(out.labels.size());
+  std::vector<std::size_t> timed;
+  for (const std::size_t i : out.ran) {
+    if (scenario.timing_sensitive(spec, i)) timed.push_back(i);
+  }
+
+  // A run_point exception (bad trace file, I/O failure) must fail the run
+  // with a message, not std::terminate a pool worker; the first error wins.
+  std::mutex error_mutex;
+  std::string first_error;
+  const auto run_one = [&](std::size_t index) {
+    try {
+      out.points[index] = scenario.run_point(spec, index);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.empty()) {
+        first_error = "point " + std::to_string(index) + " ('" + out.labels[index] +
+                      "') failed: " + e.what();
+      }
+    }
+  };
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(out.ran.size());
+  for (const std::size_t index : out.ran) {
+    if (scenario.timing_sensitive(spec, index)) continue;
+    jobs.emplace_back([&run_one, index] { run_one(index); });
+  }
+  Stopwatch sw;
+  run_parallel(jobs, spec.jobs);
+  // Wall-clock-measured points run alone, after the pool drains, so their
+  // Stopwatch windows never overlap simulation jobs.
+  for (const std::size_t index : timed) {
+    if (first_error.empty()) run_one(index);
+  }
+  out.seconds = sw.seconds();
+  if (!first_error.empty()) {
+    err = first_error;
+    return false;
+  }
+  return true;
+}
+
+std::string final_json(const Scenario& scenario, const ExperimentSpec& spec,
+                       const std::vector<PointResult>& points) {
+  const ScenarioOutput output = scenario.aggregate(spec, points);
+  std::string out = "{\n  \"bench\": " + json_quote(std::string(scenario.name())) + ",\n";
+  out += "  \"scale\": " + json_quote(spec.scale.name()) + ",\n";
+  for (const auto& f : output.meta) {
+    out += "  " + json_quote(f.key) + ": " + f.value.render() + ",\n";
+  }
+  out += "  \"rows\": [";
+  for (std::size_t i = 0; i < output.rows.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_fields_row(out, output.rows[i].fields, /*with_label=*/true,
+                      output.rows[i].label);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string shard_json(const Scenario& scenario, const ExperimentSpec& spec,
+                       const RunOutcome& outcome) {
+  std::string out = "{\n  \"format\": \"stbpu-shard-v1\",\n";
+  out += "  \"bench\": " + json_quote(std::string(scenario.name())) + ",\n";
+  out += "  \"spec\": " + spec.to_json(/*with_shard=*/true) + ",\n";
+  out += "  \"points\": [";
+  bool first = true;
+  for (const std::size_t index : outcome.ran) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"index\": " + std::to_string(index) +
+           ", \"label\": " + json_quote(outcome.labels[index]) + ", \"fields\": [";
+    const auto& fields = outcome.points[index].fields;
+    for (std::size_t j = 0; j < fields.size(); ++j) {
+      if (j != 0) out += ", ";
+      const char* tag = "s";
+      switch (fields[j].value.type()) {
+        case Value::Type::kString: tag = "s"; break;
+        case Value::Type::kDouble: tag = "d"; break;
+        case Value::Type::kU64: tag = "u"; break;
+        case Value::Type::kInt: tag = "i"; break;
+      }
+      // Split concatenation (GCC 12 -Wrestrict false positive on
+      // `"lit" + std::string&&` chains).
+      out += "[";
+      out += json_quote(fields[j].key);
+      out += ", \"";
+      out += tag;
+      out += "\", ";
+      out += fields[j].value.type() == Value::Type::kString
+                 ? json_quote(fields[j].value.str())
+                 : fields[j].value.render_exact();
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+bool parse_shard_field(const JsonValue& v, Field& out, std::string& err) {
+  if (!v.is_array() || v.items().size() != 3 || !v.items()[0].is_string() ||
+      !v.items()[1].is_string()) {
+    err = "malformed shard field (expected [key, type, value])";
+    return false;
+  }
+  out.key = v.items()[0].text();
+  const std::string& tag = v.items()[1].text();
+  const JsonValue& val = v.items()[2];
+  if (tag == "s") {
+    if (!val.is_string()) {
+      err = "shard field '" + out.key + "': expected string value";
+      return false;
+    }
+    out.value = Value(val.text());
+  } else if (tag == "d") {
+    if (!val.is_number()) {
+      err = "shard field '" + out.key + "': expected numeric value";
+      return false;
+    }
+    out.value = Value(val.as_double());
+  } else if (tag == "u") {
+    if (!val.is_number() || val.text().find_first_of("-+.eE") != std::string::npos) {
+      err = "shard field '" + out.key + "': expected non-negative integer value";
+      return false;
+    }
+    out.value = Value(val.as_u64());
+  } else if (tag == "i") {
+    if (!val.is_number()) {
+      err = "shard field '" + out.key + "': expected integer value";
+      return false;
+    }
+    out.value = Value(static_cast<int>(val.as_long()));
+  } else {
+    err = "shard field '" + out.key + "': unknown type tag '" + tag + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_json,
+                  std::string& out_scenario, std::string& err) {
+  if (shard_texts.empty()) {
+    err = "no shard files to merge";
+    return false;
+  }
+
+  ExperimentSpec spec;
+  bool have_spec = false;
+  std::vector<PointResult> points;
+  std::vector<bool> have_point;
+  std::vector<std::string> labels;
+  const Scenario* scenario = nullptr;
+
+  for (std::size_t si = 0; si < shard_texts.size(); ++si) {
+    const std::string where = "shard " + std::to_string(si);
+    JsonValue doc;
+    if (!json_parse(shard_texts[si], doc, err)) {
+      err = where + ": " + err;
+      return false;
+    }
+    const JsonValue* format = doc.find("format");
+    if (format == nullptr || format->text() != "stbpu-shard-v1") {
+      err = where + ": not a stbpu shard file (missing format tag)";
+      return false;
+    }
+    const JsonValue* spec_v = doc.find("spec");
+    if (spec_v == nullptr) {
+      err = where + ": missing spec";
+      return false;
+    }
+    ExperimentSpec shard_spec;
+    if (!ExperimentSpec::from_json(*spec_v, shard_spec, err)) {
+      err = where + ": " + err;
+      return false;
+    }
+    if (!have_spec) {
+      spec = shard_spec;
+      // Shard identity and worker count are execution details, not sweep
+      // identity — shards run with different --jobs still merge.
+      spec.shard_index = 0;
+      spec.shard_count = 1;
+      spec.jobs = 0;
+      have_spec = true;
+      scenario = find_scenario(spec.scenario);
+      if (scenario == nullptr) {
+        err = where + ": unknown scenario '" + spec.scenario + "'";
+        return false;
+      }
+      labels = scenario->point_labels(spec);
+      points.resize(labels.size());
+      have_point.assign(labels.size(), false);
+    } else {
+      ExperimentSpec normalized = shard_spec;
+      normalized.shard_index = 0;
+      normalized.shard_count = 1;
+      normalized.jobs = 0;
+      if (!(normalized == spec)) {
+        err = where + ": spec differs from the first shard's (same sweep required)";
+        return false;
+      }
+    }
+
+    const JsonValue* pts = doc.find("points");
+    if (pts == nullptr || !pts->is_array()) {
+      err = where + ": missing points array";
+      return false;
+    }
+    for (const JsonValue& pv : pts->items()) {
+      const JsonValue* index_v = pv.find("index");
+      const JsonValue* label_v = pv.find("label");
+      const JsonValue* fields_v = pv.find("fields");
+      if (index_v == nullptr || label_v == nullptr || fields_v == nullptr ||
+          !fields_v->is_array()) {
+        err = where + ": malformed point entry";
+        return false;
+      }
+      const std::size_t index = static_cast<std::size_t>(index_v->as_u64());
+      if (index >= labels.size()) {
+        err = where + ": point index " + std::to_string(index) + " out of range";
+        return false;
+      }
+      if (labels[index] != label_v->text()) {
+        err = where + ": point " + std::to_string(index) + " label '" +
+              label_v->text() + "' does not match grid label '" + labels[index] + "'";
+        return false;
+      }
+      if (have_point[index]) {
+        err = where + ": duplicate point " + std::to_string(index) + " ('" +
+              labels[index] + "')";
+        return false;
+      }
+      PointResult pr;
+      for (const JsonValue& fv : fields_v->items()) {
+        Field f;
+        if (!parse_shard_field(fv, f, err)) {
+          err = where + ": " + err;
+          return false;
+        }
+        pr.fields.push_back(std::move(f));
+      }
+      points[index] = std::move(pr);
+      have_point[index] = true;
+    }
+  }
+
+  // Completeness: the union must cover the selected grid exactly.
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (spec.selected(i) && !have_point[i]) {
+      err = "incomplete merge: point " + std::to_string(i) + " ('" + labels[i] +
+            "') missing from every shard";
+      return false;
+    }
+  }
+
+  out_json = final_json(*scenario, spec, points);
+  out_scenario = spec.scenario;
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      content.empty() || std::fwrite(content.data(), content.size(), 1, f) == 1;
+  std::fclose(f);
+  return ok;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace stbpu::exp

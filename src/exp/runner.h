@@ -1,0 +1,58 @@
+// Experiment runner: executes a spec's selected grid points on the shared
+// thread pool, serializes results — either the final BENCH_*.json (rows
+// built by the scenario's aggregate step) or an intermediate shard file —
+// and merges shard files back into the exact unsharded trajectory.
+//
+// Determinism contract: every point writes into its own pre-allocated slot
+// (scheduling cannot reorder results), aggregate only ever sees the full
+// point set in grid order, and shard files persist doubles at full
+// precision — so `run --shard=i/N` × N + `merge` is byte-identical to a
+// single unsharded `run`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/spec.h"
+
+namespace stbpu::exp {
+
+/// Worker count: `requested` if nonzero, else hardware concurrency,
+/// clamped to the job count (at least 1).
+[[nodiscard]] unsigned worker_count(unsigned requested, std::size_t jobs);
+
+/// Result of executing the spec's share of the grid.
+struct RunOutcome {
+  std::vector<std::string> labels;    ///< full grid, in sweep order
+  std::vector<PointResult> points;    ///< full grid; only `ran` slots are live
+  std::vector<std::size_t> ran;       ///< grid indices this run executed
+  double seconds = 0.0;               ///< pool wall-clock (reporting only)
+};
+
+/// Run every selected-and-owned grid point of `spec` through the pool.
+/// Fails (false + err) on unknown points in the selection.
+bool run_experiment(const Scenario& scenario, const ExperimentSpec& spec,
+                    RunOutcome& out, std::string& err);
+
+/// Final BENCH_*.json text: scenario aggregate over the complete point set,
+/// rendered in the legacy bench schema.
+[[nodiscard]] std::string final_json(const Scenario& scenario, const ExperimentSpec& spec,
+                                     const std::vector<PointResult>& points);
+
+/// Intermediate shard-file text for this outcome (full-precision fields +
+/// the spec, so merge can verify completeness).
+[[nodiscard]] std::string shard_json(const Scenario& scenario, const ExperimentSpec& spec,
+                                     const RunOutcome& outcome);
+
+/// Union shard files into the final BENCH_*.json text. Verifies that the
+/// shards agree on the spec and that the union covers the selected grid
+/// exactly once (no dropped or duplicated points).
+bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_json,
+                  std::string& out_scenario, std::string& err);
+
+/// Whole-file convenience I/O (runner + driver + tests).
+bool write_file(const std::string& path, const std::string& content);
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace stbpu::exp

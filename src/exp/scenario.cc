@@ -1,0 +1,50 @@
+#include "exp/scenario.h"
+
+#include <cstdio>
+
+#include "exp/json.h"
+
+namespace stbpu::exp {
+
+namespace {
+
+std::string format_double(double d, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, d);
+  return buf;
+}
+
+std::vector<const Scenario*>& registry() {
+  static std::vector<const Scenario*> scenarios;
+  return scenarios;
+}
+
+}  // namespace
+
+std::string Value::render() const {
+  switch (type_) {
+    case Type::kString: return json_quote(str_);
+    case Type::kDouble: return format_double(num_, "%.10g");
+    case Type::kU64: return std::to_string(u64_);
+    case Type::kInt: return std::to_string(int_);
+  }
+  return "null";
+}
+
+std::string Value::render_exact() const {
+  if (type_ == Type::kDouble) return format_double(num_, "%.17g");
+  return render();
+}
+
+void register_scenario(const Scenario* scenario) { registry().push_back(scenario); }
+
+const Scenario* find_scenario(std::string_view name) {
+  for (const Scenario* s : registry()) {
+    if (s->name() == name) return s;
+  }
+  return nullptr;
+}
+
+const std::vector<const Scenario*>& all_scenarios() { return registry(); }
+
+}  // namespace stbpu::exp

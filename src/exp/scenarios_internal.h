@@ -1,0 +1,45 @@
+// Shared plumbing for the built-in scenario implementations (one
+// registration function per translation unit, called from
+// register_builtin_scenarios in scenarios.cc).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/scenario.h"
+
+namespace stbpu::exp {
+
+class ScenarioBase : public Scenario {
+ public:
+  ScenarioBase(std::string name, std::string title)
+      : name_(std::move(name)), title_(std::move(title)) {}
+  [[nodiscard]] std::string_view name() const final { return name_; }
+  [[nodiscard]] std::string_view title() const final { return title_; }
+
+ private:
+  std::string name_, title_;
+};
+
+/// Indices of the spec's selected grid points, in sweep order (the whole
+/// grid when no explicit --points selection). Aggregates iterate this so a
+/// subset run produces rows — and averages — over exactly what ran.
+inline std::vector<std::size_t> selected_indices(const ExperimentSpec& spec,
+                                                 std::size_t grid_size) {
+  std::vector<std::size_t> out;
+  out.reserve(grid_size);
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    if (spec.selected(i)) out.push_back(i);
+  }
+  return out;
+}
+
+namespace scenarios {
+void register_analysis();  // fig2_remapgen, sec6_thresholds, table2_remap_functions
+void register_attacks();   // table1_attack_surface, ablation, sec6_empirical
+void register_trace();     // fig3_oae
+void register_ooo();       // fig4_single, fig5_smt, fig6_rsweep, ooo_engine
+}  // namespace scenarios
+
+}  // namespace stbpu::exp

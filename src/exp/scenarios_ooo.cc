@@ -1,0 +1,510 @@
+// Cycle-level (OoO) scenarios: Figures 4-6 and the engine-typed fan-out
+// study. Every simulated point goes through exp::for_each_engine — the
+// concrete EngineT<Mapping, Direction> is recovered once per run and
+// sim::run_ooo instantiates the cycle-level core on it, so the per-branch
+// access()/on_switch() path is fully devirtualized (the trace-replay
+// equivalent of models::replay_engine).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/monitor.h"
+#include "exp/engine_visit.h"
+#include "exp/scenarios_internal.h"
+#include "exp/timing.h"
+#include "models/engine.h"
+#include "models/models.h"
+#include "sim/bpu_sim.h"
+#include "sim/ooo.h"
+#include "trace/generator.h"
+#include "trace/instr.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+
+namespace stbpu::exp {
+
+namespace {
+
+constexpr models::DirectionKind kDirs[] = {
+    models::DirectionKind::kPerceptron, models::DirectionKind::kSklCond,
+    models::DirectionKind::kTage64, models::DirectionKind::kTage8};
+constexpr const char* kDirNames[] = {"PerceptronBP", "SKLCond", "TAGE_SC_L_64KB",
+                                     "TAGE_SC_L_8KB"};
+
+models::ModelSpec with_seed(models::ModelSpec mspec, const ExperimentSpec& spec) {
+  if (spec.seed != 0) mspec.seed = spec.seed;
+  return mspec;
+}
+
+/// Single-workload ST-vs-unprotected cell: both cycle-level runs on the
+/// concrete engine type. Returns {dir reduction, tgt reduction, norm IPC}.
+struct OooCell {
+  double dred = 0.0, tred = 0.0, nipc = 0.0;
+};
+
+OooCell run_single_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& profile,
+                        models::DirectionKind dir) {
+  double dirr[2] = {}, tgt[2] = {}, ipc[2] = {};
+  for (int st = 0; st < 2; ++st) {
+    const auto mspec = with_seed(
+        {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
+         .direction = dir},
+        spec);
+    for_each_engine(mspec, [&](auto& engine) {
+      trace::SyntheticInstrGenerator gen(profile);
+      const auto r = sim::run_ooo({}, engine, {&gen}, spec.scale.ooo_instructions,
+                                  spec.scale.ooo_warmup);
+      dirr[st] = r.branch_stats[0].direction_rate();
+      tgt[st] = r.branch_stats[0].target_rate();
+      ipc[st] = r.ipc[0];
+    });
+  }
+  return {.dred = dirr[0] - dirr[1],
+          .tred = tgt[0] - tgt[1],
+          .nipc = ipc[0] > 0 ? ipc[1] / ipc[0] : 0.0};
+}
+
+/// SMT-pair cell (two workloads sharing one BPU), same engine-typed path.
+OooCell run_smt_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& p0,
+                     const trace::WorkloadProfile& p1, models::DirectionKind dir) {
+  double dirr[2] = {}, tgt[2] = {}, hipc[2] = {};
+  for (int st = 0; st < 2; ++st) {
+    const auto mspec = with_seed(
+        {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
+         .direction = dir},
+        spec);
+    for_each_engine(mspec, [&](auto& engine) {
+      trace::SyntheticInstrGenerator g0(p0), g1(p1);
+      const auto r = sim::run_ooo({}, engine, {&g0, &g1}, spec.scale.ooo_instructions,
+                                  spec.scale.ooo_warmup);
+      const auto combined = r.combined_stats();
+      dirr[st] = combined.direction_rate();
+      tgt[st] = combined.target_rate();
+      hipc[st] = r.ipc_harmonic_mean();
+    });
+  }
+  return {.dred = dirr[0] - dirr[1],
+          .tred = tgt[0] - tgt[1],
+          .nipc = hipc[0] > 0 ? hipc[1] / hipc[0] : 0.0};
+}
+
+// ---------------------------------------------------------------------------
+// fig4_single — single-workload evaluation + engine throughput section.
+// ---------------------------------------------------------------------------
+
+constexpr models::ModelKind kThroughputModels[] = {
+    models::ModelKind::kUnprotected, models::ModelKind::kStbpu,
+    models::ModelKind::kStbpu, models::ModelKind::kStbpu};
+constexpr models::DirectionKind kThroughputDirs[] = {
+    models::DirectionKind::kSklCond, models::DirectionKind::kSklCond,
+    models::DirectionKind::kPerceptron, models::DirectionKind::kTage8};
+constexpr std::size_t kNumThroughput = 4;
+
+class Fig4Scenario final : public ScenarioBase {
+ public:
+  Fig4Scenario()
+      : ScenarioBase("fig4_single",
+                     "Figure 4: single-workload gem5-style evaluation "
+                     "(Table IV config)") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec&) const override {
+    std::vector<std::string> labels;
+    for (std::size_t t = 0; t < kNumThroughput; ++t) {
+      labels.push_back("throughput/" + models::to_string(kThroughputModels[t]) + "/" +
+                       models::to_string(kThroughputDirs[t]));
+    }
+    for (const auto& profile : trace::figure4_profiles()) {
+      for (const char* d : kDirNames) labels.push_back(profile.name + "/" + d);
+    }
+    return labels;
+  }
+
+  bool timing_sensitive(const ExperimentSpec&, std::size_t index) const override {
+    return index < kNumThroughput;  // Stopwatch-timed replay throughput
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    PointResult p;
+    if (index < kNumThroughput) {
+      // Replay throughput of the devirtualized + remap-cached engine vs the
+      // virtual-dispatch BpuModel on an identical materialized trace.
+      const auto mspec = with_seed(
+          {.model = kThroughputModels[index], .direction = kThroughputDirs[index]}, spec);
+      const sim::BpuSimOptions opt{.max_branches = spec.scale.trace_branches,
+                                   .warmup_branches = spec.scale.trace_warmup};
+      trace::SyntheticWorkloadGenerator gen(trace::profile_by_name("mcf"));
+      trace::VectorStream stream(
+          trace::collect(gen, opt.warmup_branches + opt.max_branches));
+      const double branches =
+          static_cast<double>(opt.warmup_branches + opt.max_branches);
+
+      // Interleave repetitions of both paths and keep each path's best
+      // time; every repetition rebuilds its model so both start cold.
+      double legacy_secs = 1e300, devirt_secs = 1e300;
+      double cache_hit_rate = 0.0;
+      sim::BranchStats legacy_stats, devirt_stats;
+      for (unsigned rep = 0; rep < 3; ++rep) {
+        stream.reset();
+        auto legacy = models::BpuModel::create(mspec);
+        Stopwatch sw;
+        legacy_stats = sim::simulate_bpu(*legacy, stream, opt);
+        legacy_secs = std::min(legacy_secs, std::max(sw.seconds(), 1e-9));
+
+        stream.reset();
+        auto engine = models::make_engine(mspec);
+        sw.restart();
+        devirt_stats = models::replay_engine(*engine, stream, opt);
+        devirt_secs = std::min(devirt_secs, std::max(sw.seconds(), 1e-9));
+        if (rep == 0) {
+          cache_hit_rate = models::engine_remap_cache_stats(*engine).hit_rate();
+        }
+      }
+      const double legacy_bps = branches / legacy_secs;
+      const double devirt_bps = branches / devirt_secs;
+      p.set("section", "throughput")
+          .set("legacy_branches_per_sec", legacy_bps)
+          .set("devirt_branches_per_sec", devirt_bps)
+          .set("branches_per_sec", devirt_bps)
+          .set("speedup", devirt_bps / legacy_bps)
+          .set("remap_cache_hit_rate", cache_hit_rate)
+          .set("identical_stats", legacy_stats == devirt_stats ? "true" : "false");
+      return p;
+    }
+
+    const std::size_t cell = index - kNumThroughput;
+    const auto profiles = trace::figure4_profiles();
+    const auto c = run_single_cell(spec, profiles[cell / 4], kDirs[cell % 4]);
+    p.set("section", "figure4")
+        .set("direction_reduction", c.dred)
+        .set("target_reduction", c.tred)
+        .set("normalized_ipc", c.nipc);
+    return p;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const auto profiles = trace::figure4_profiles();
+    for (std::size_t t = 0; t < kNumThroughput; ++t) {
+      if (!spec.selected(t)) continue;
+      Row& row = out.rows.emplace_back(models::to_string(kThroughputModels[t]) + "/" +
+                                       models::to_string(kThroughputDirs[t]));
+      row.fields = points[t].fields;
+    }
+    double sum_dir[4] = {}, sum_tgt[4] = {}, sum_ipc[4] = {};
+    unsigned count[4] = {};
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      for (unsigned d = 0; d < 4; ++d) {
+        const std::size_t index = kNumThroughput + p * 4 + d;
+        if (!spec.selected(index)) continue;
+        const PointResult& cell = points[index];
+        sum_dir[d] += cell.num("direction_reduction");
+        sum_tgt[d] += cell.num("target_reduction");
+        sum_ipc[d] += cell.num("normalized_ipc");
+        ++count[d];
+        Row& row = out.rows.emplace_back(profiles[p].name + "/" + kDirNames[d]);
+        row.fields = cell.fields;
+      }
+    }
+    for (unsigned d = 0; d < 4; ++d) {
+      if (count[d] == 0) continue;
+      const double n = static_cast<double>(count[d]);
+      out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d])
+          .set("section", "figure4_average")
+          .set("direction_reduction", sum_dir[d] / n)
+          .set("target_reduction", sum_tgt[d] / n)
+          .set("normalized_ipc", sum_ipc[d] / n);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fig5_smt — SMT workload-pair evaluation (harmonic-mean IPC).
+// ---------------------------------------------------------------------------
+
+// The 31 pairs of Figure 5, in the paper's axis order.
+constexpr const char* kFig5Pairs[][2] = {
+    {"bwaves", "fotonik3d"}, {"bwaves", "cactuBSSN"}, {"bwaves", "leela"},
+    {"bwaves", "cam4"},      {"exchange2", "nab"},    {"bwaves", "wrf"},
+    {"leela", "namd"},       {"exchange2", "mcf"},    {"bwaves", "deepsjeng"},
+    {"exchange2", "fotonik3d"}, {"deepsjeng", "lbm"}, {"bwaves", "namd"},
+    {"bwaves", "lbm"},       {"leela", "mcf"},        {"lbm", "xz"},
+    {"fotonik3d", "mcf"},    {"lbm", "namd"},         {"lbm", "mcf"},
+    {"exchange2", "leela"},  {"fotonik3d", "lbm"},    {"cam4", "mcf"},
+    {"nab", "xz"},           {"exchange2", "namd"},   {"bwaves", "roms"},
+    {"mcf", "xz"},           {"exchange2", "lbm"},    {"bwaves", "povray"},
+    {"fotonik3d", "leela"},  {"fotonik3d", "namd"},   {"deepsjeng", "xz"},
+    {"bwaves", "exchange2"}};
+constexpr std::size_t kNumFig5Pairs = sizeof(kFig5Pairs) / sizeof(kFig5Pairs[0]);
+
+class Fig5Scenario final : public ScenarioBase {
+ public:
+  Fig5Scenario()
+      : ScenarioBase("fig5_smt",
+                     "Figure 5: SMT workload-pair evaluation (harmonic-mean "
+                     "IPC)") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec&) const override {
+    std::vector<std::string> labels;
+    for (const auto& pair : kFig5Pairs) {
+      const std::string base = std::string(pair[0]) + "_" + pair[1];
+      for (const char* d : kDirNames) labels.push_back(base + "/" + d);
+    }
+    return labels;
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    const auto& pair = kFig5Pairs[index / 4];
+    const auto c = run_smt_cell(spec, trace::profile_by_name(pair[0]),
+                                trace::profile_by_name(pair[1]), kDirs[index % 4]);
+    PointResult p;
+    p.set("direction_reduction", c.dred)
+        .set("target_reduction", c.tred)
+        .set("normalized_ipc_harmonic", c.nipc);
+    return p;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const auto labels = point_labels(spec);
+    double sum_dir[4] = {}, sum_tgt[4] = {}, sum_ipc[4] = {};
+    unsigned count[4] = {};
+    for (std::size_t p = 0; p < kNumFig5Pairs; ++p) {
+      for (unsigned d = 0; d < 4; ++d) {
+        const std::size_t index = p * 4 + d;
+        if (!spec.selected(index)) continue;
+        const PointResult& cell = points[index];
+        sum_dir[d] += cell.num("direction_reduction");
+        sum_tgt[d] += cell.num("target_reduction");
+        sum_ipc[d] += cell.num("normalized_ipc_harmonic");
+        ++count[d];
+        Row& row = out.rows.emplace_back(labels[index]);
+        row.fields = cell.fields;
+      }
+    }
+    for (unsigned d = 0; d < 4; ++d) {
+      if (count[d] == 0) continue;
+      const double n = static_cast<double>(count[d]);
+      out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d])
+          .set("direction_reduction", sum_dir[d] / n)
+          .set("target_reduction", sum_tgt[d] / n)
+          .set("normalized_ipc_harmonic", sum_ipc[d] / n);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fig6_rsweep — performance under aggressive re-randomization.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kFig6Pairs[][2] = {{"bwaves", "mcf"},      {"exchange2", "leela"},
+                                         {"fotonik3d", "namd"},  {"deepsjeng", "xz"},
+                                         {"bwaves", "exchange2"}, {"leela", "mcf"}};
+constexpr double kFig6Rs[] = {0.05, 0.01, 1e-3, 1e-4, 1e-5, 5e-6};
+constexpr unsigned kNumFig6Rs = 6;
+
+unsigned fig6_pairs(const Scale& scale) { return scale.paper ? 6 : 4; }
+
+std::string fig6_r_label(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "r=%g", r);
+  return buf;
+}
+
+class Fig6Scenario final : public ScenarioBase {
+ public:
+  Fig6Scenario()
+      : ScenarioBase("fig6_rsweep",
+                     "Figure 6: performance under aggressive re-randomization "
+                     "(r sweep)") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec& spec) const override {
+    const unsigned npairs = fig6_pairs(spec.scale);
+    std::vector<std::string> labels;
+    for (unsigned p = 0; p < npairs; ++p) {
+      labels.push_back(std::string("base/") + kFig6Pairs[p][0] + "_" + kFig6Pairs[p][1]);
+    }
+    for (const double r : kFig6Rs) {
+      for (unsigned p = 0; p < npairs; ++p) {
+        labels.push_back(fig6_r_label(r) + "/" + kFig6Pairs[p][0] + "_" +
+                         kFig6Pairs[p][1]);
+      }
+    }
+    return labels;
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    const unsigned npairs = fig6_pairs(spec.scale);
+    PointResult out;
+    const auto run_pair = [&](unsigned p, const models::ModelSpec& mspec) {
+      for_each_engine(mspec, [&](auto& engine) {
+        trace::SyntheticInstrGenerator g0(trace::profile_by_name(kFig6Pairs[p][0]));
+        trace::SyntheticInstrGenerator g1(trace::profile_by_name(kFig6Pairs[p][1]));
+        const auto res = sim::run_ooo({}, engine, {&g0, &g1},
+                                      spec.scale.ooo_instructions, spec.scale.ooo_warmup);
+        if (mspec.model == models::ModelKind::kUnprotected) {
+          out.set("ipc_harmonic", res.ipc_harmonic_mean());
+        } else {
+          const auto combined = res.combined_stats();
+          std::uint64_t rerands = 0;
+          if (auto* mon = engine.monitor()) rerands = mon->rerandomizations();
+          out.set("direction_rate", combined.direction_rate())
+              .set("target_rate", combined.target_rate())
+              .set("ipc_harmonic", res.ipc_harmonic_mean())
+              .set("rerandomizations", rerands);
+        }
+      });
+    };
+    if (index < npairs) {
+      run_pair(static_cast<unsigned>(index),
+               with_seed({.model = models::ModelKind::kUnprotected,
+                          .direction = models::DirectionKind::kTage64},
+                         spec));
+    } else {
+      const unsigned ri = static_cast<unsigned>((index - npairs) / npairs);
+      const unsigned p = static_cast<unsigned>((index - npairs) % npairs);
+      models::ModelSpec mspec = with_seed({.model = models::ModelKind::kStbpu,
+                                           .direction = models::DirectionKind::kTage64},
+                                          spec);
+      mspec.rerand_difficulty_r = kFig6Rs[ri];
+      run_pair(p, mspec);
+    }
+    return out;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const unsigned npairs = fig6_pairs(spec.scale);
+    const bool separate_tagged = true;  // TAGE-based STBPU (§VII-B2)
+    for (unsigned ri = 0; ri < kNumFig6Rs; ++ri) {
+      double dir = 0, tgt = 0, nipc = 0;
+      std::uint64_t rerands = 0;
+      unsigned count = 0;
+      for (unsigned p = 0; p < npairs; ++p) {
+        const std::size_t base_index = p;
+        const std::size_t index = npairs + ri * std::size_t{npairs} + p;
+        if (!spec.selected(index) || !spec.selected(base_index)) continue;
+        const double base_ipc = points[base_index].num("ipc_harmonic");
+        dir += points[index].num("direction_rate");
+        tgt += points[index].num("target_rate");
+        nipc += base_ipc > 0 ? points[index].num("ipc_harmonic") / base_ipc : 0.0;
+        rerands += points[index].u64("rerandomizations");
+        ++count;
+      }
+      if (count == 0) continue;
+      const double r = kFig6Rs[ri];
+      const core::MonitorConfig mc = core::MonitorConfig::from_difficulty(r, separate_tagged);
+      out.rows.emplace_back(fig6_r_label(r))
+          .set("difficulty_r", r)
+          .set("misprediction_threshold", std::uint64_t{mc.misprediction_threshold})
+          .set("eviction_threshold", std::uint64_t{mc.eviction_threshold})
+          .set("direction_rate", dir / count)
+          .set("target_rate", tgt / count)
+          .set("normalized_ipc_harmonic", nipc / count)
+          .set("rerandomizations", rerands);
+    }
+    out.meta.push_back({"pairs", Value(std::uint64_t{npairs})});
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ooo_engine — engine-typed OoO fan-out vs the interface-typed core.
+// ---------------------------------------------------------------------------
+
+class OooEngineScenario final : public ScenarioBase {
+ public:
+  OooEngineScenario()
+      : ScenarioBase("ooo_engine",
+                     "Engine-typed OoO fan-out: devirtualized cycle-level "
+                     "core vs IPredictor dispatch") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec&) const override {
+    std::vector<std::string> labels;
+    for (std::size_t t = 0; t < kNumThroughput; ++t) {
+      labels.push_back(models::to_string(kThroughputModels[t]) + "/" +
+                       models::to_string(kThroughputDirs[t]));
+    }
+    return labels;
+  }
+
+  bool timing_sensitive(const ExperimentSpec&, std::size_t) const override {
+    return true;  // every point is a best-of-3 wall-clock measurement
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    const auto mspec = with_seed(
+        {.model = kThroughputModels[index], .direction = kThroughputDirs[index]}, spec);
+    const auto profile = trace::profile_by_name("mcf");
+
+    // Interleaved best-of-3 (fresh engine + generator per repetition):
+    // the interface-typed OooCore vs the core instantiated on the concrete
+    // engine type through for_each_engine.
+    double iface_secs = 1e300, typed_secs = 1e300;
+    sim::OooResult iface_result{}, typed_result{};
+    for (unsigned rep = 0; rep < 3; ++rep) {
+      {
+        auto engine = models::make_engine(mspec);
+        trace::SyntheticInstrGenerator gen(profile);
+        bpu::IPredictor* iface = engine.get();
+        Stopwatch sw;
+        iface_result = sim::run_ooo({}, *iface, {&gen}, spec.scale.ooo_instructions,
+                                    spec.scale.ooo_warmup);
+        iface_secs = std::min(iface_secs, std::max(sw.seconds(), 1e-9));
+      }
+      for_each_engine(mspec, [&](auto& engine) {
+        trace::SyntheticInstrGenerator gen(profile);
+        Stopwatch sw;
+        typed_result = sim::run_ooo({}, engine, {&gen}, spec.scale.ooo_instructions,
+                                    spec.scale.ooo_warmup);
+        typed_secs = std::min(typed_secs, std::max(sw.seconds(), 1e-9));
+      });
+    }
+    const double branches = static_cast<double>(typed_result.combined_stats().branches);
+    const double iface_bps = branches / iface_secs;
+    const double typed_bps = branches / typed_secs;
+    const bool identical =
+        iface_result.combined_stats() == typed_result.combined_stats() &&
+        iface_result.instructions == typed_result.instructions &&
+        iface_result.cycles == typed_result.cycles;
+    PointResult p;
+    p.set("iface_branches_per_sec", iface_bps)
+        .set("typed_branches_per_sec", typed_bps)
+        .set("branches_per_sec", typed_bps)
+        .set("speedup", typed_bps / iface_bps)
+        .set("measured_branches", std::uint64_t{typed_result.combined_stats().branches})
+        .set("ipc", typed_result.ipc[0])
+        .set("identical_stats", identical ? "true" : "false");
+    return p;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const auto labels = point_labels(spec);
+    for (const std::size_t i : selected_indices(spec, points.size())) {
+      Row& row = out.rows.emplace_back(labels[i]);
+      row.fields = points[i].fields;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace scenarios {
+
+void register_ooo() {
+  register_scenario(new Fig4Scenario);
+  register_scenario(new Fig5Scenario);
+  register_scenario(new Fig6Scenario);
+  register_scenario(new OooEngineScenario);
+}
+
+}  // namespace scenarios
+
+}  // namespace stbpu::exp

@@ -1,0 +1,109 @@
+// Trace-replay scenario: Figure 3's OAE comparison of the five BPU models.
+// Each grid point replays one workload's materialized trace — or, with
+// --trace=PATH, an on-disk branch trace through trace::FileStream, whose
+// batched reader feeds sim::replay's SoA fast path.
+#include <array>
+#include <memory>
+
+#include "exp/scenarios_internal.h"
+#include "models/engine.h"
+#include "models/models.h"
+#include "sim/bpu_sim.h"
+#include "trace/generator.h"
+#include "trace/io.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+
+namespace stbpu::exp {
+
+namespace {
+
+constexpr models::ModelKind kFig3Kinds[] = {
+    models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
+    models::ModelKind::kUcode2, models::ModelKind::kConservative,
+    models::ModelKind::kStbpu};
+constexpr const char* kFig3Cols[] = {"baseline", "ucode1", "ucode2", "conserv", "STBPU"};
+
+class Fig3Scenario final : public ScenarioBase {
+ public:
+  Fig3Scenario()
+      : ScenarioBase("fig3_oae",
+                     "Figure 3: OAE prediction accuracy, STBPU vs secure BPU "
+                     "models") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec& spec) const override {
+    if (!spec.trace_file.empty()) return {"trace:" + spec.trace_file};
+    std::vector<std::string> labels;
+    for (const auto& profile : trace::figure3_profiles()) labels.push_back(profile.name);
+    return labels;
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    const sim::BpuSimOptions opt{.max_branches = spec.scale.trace_branches,
+                                 .warmup_branches = spec.scale.trace_warmup};
+    // Replay the identical trace through all five models: a reset-able
+    // stream — materialized synthetic workload, or the block-buffered
+    // on-disk reader (borrow_run keeps sim::replay on its zero-copy path).
+    std::unique_ptr<trace::BranchStream> stream;
+    if (!spec.trace_file.empty()) {
+      stream = std::make_unique<trace::FileStream>(spec.trace_file);
+    } else {
+      trace::SyntheticWorkloadGenerator gen(trace::figure3_profiles()[index]);
+      stream = std::make_unique<trace::VectorStream>(
+          trace::collect(gen, opt.warmup_branches + opt.max_branches));
+    }
+    PointResult p;
+    for (unsigned k = 0; k < 5; ++k) {
+      stream->reset();
+      models::ModelSpec mspec{.model = kFig3Kinds[k]};
+      if (spec.seed != 0) mspec.seed = spec.seed;
+      auto model = models::make_engine(mspec);
+      p.set(std::string("oae_") + kFig3Cols[k],
+            models::replay_engine(*model, *stream, opt).oae());
+    }
+    return p;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const auto labels = point_labels(spec);
+    const auto selected = selected_indices(spec, points.size());
+    std::array<double, 5> norm_sum{};
+    for (const std::size_t i : selected) {
+      const PointResult& p = points[i];
+      const double base_oae = p.num("oae_baseline");
+      Row& row = out.rows.emplace_back(labels[i]);
+      row.set("baseline_oae", base_oae);
+      norm_sum[0] += 1.0;
+      for (unsigned k = 1; k < 5; ++k) {
+        const double oae = p.num(std::string("oae_") + kFig3Cols[k]);
+        const double norm = base_oae > 0 ? oae / base_oae : 0.0;
+        norm_sum[k] += norm;
+        row.set(std::string(kFig3Cols[k]) + "_norm_oae", norm);
+      }
+    }
+    if (!selected.empty()) {
+      Row& avg = out.rows.emplace_back("AVERAGE");
+      for (unsigned k = 1; k < 5; ++k) {
+        avg.set(std::string(kFig3Cols[k]) + "_norm_oae",
+                norm_sum[k] / static_cast<double>(selected.size()));
+      }
+    }
+    out.meta.push_back({"workloads", Value(std::uint64_t{selected.size()})});
+    out.meta.push_back(
+        {"branches_per_workload",
+         Value(std::uint64_t{spec.scale.trace_warmup + spec.scale.trace_branches})});
+    return out;
+  }
+};
+
+}  // namespace
+
+namespace scenarios {
+
+void register_trace() { register_scenario(new Fig3Scenario); }
+
+}  // namespace scenarios
+
+}  // namespace stbpu::exp

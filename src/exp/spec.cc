@@ -1,0 +1,254 @@
+#include "exp/spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stbpu::exp {
+
+std::optional<Scale> Scale::named(const std::string& name) {
+  if (name == "quick") return Scale{};
+  if (name == "paper") {
+    Scale s;
+    s.paper = true;
+    s.trace_branches = 5'000'000;
+    s.trace_warmup = 500'000;
+    s.ooo_instructions = 100'000'000;  // paper: 110M incl. warm-up
+    s.ooo_warmup = 10'000'000;
+    return s;
+  }
+  return std::nullopt;
+}
+
+bool ExperimentSpec::selected(std::size_t index) const noexcept {
+  if (points.empty()) return true;
+  return std::binary_search(points.begin(), points.end(), index);
+}
+
+std::vector<std::size_t> ExperimentSpec::owned_points(std::size_t grid_size) const {
+  std::vector<std::size_t> out;
+  std::size_t ordinal = 0;
+  for (std::size_t i = 0; i < grid_size; ++i) {
+    if (!selected(i)) continue;
+    if (ordinal % shard_count == shard_index) out.push_back(i);
+    ++ordinal;
+  }
+  return out;
+}
+
+std::string ExperimentSpec::to_json(bool with_shard) const {
+  std::string out = "{";
+  out += "\"scenario\": " + json_quote(scenario);
+  out += ", \"scale\": {\"name\": " + json_quote(scale.name());
+  out += ", \"trace_branches\": " + std::to_string(scale.trace_branches);
+  out += ", \"trace_warmup\": " + std::to_string(scale.trace_warmup);
+  out += ", \"ooo_instructions\": " + std::to_string(scale.ooo_instructions);
+  out += ", \"ooo_warmup\": " + std::to_string(scale.ooo_warmup) + "}";
+  if (jobs != 0) out += ", \"jobs\": " + std::to_string(jobs);
+  if (with_shard && sharded()) {
+    out += ", \"shard\": {\"index\": " + std::to_string(shard_index) +
+           ", \"count\": " + std::to_string(shard_count) + "}";
+  }
+  if (!points.empty()) {
+    out += ", \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += std::to_string(points[i]);
+    }
+    out += "]";
+  }
+  if (!trace_file.empty()) out += ", \"trace_file\": " + json_quote(trace_file);
+  if (seed != 0) out += ", \"seed\": " + std::to_string(seed);
+  out += "}";
+  return out;
+}
+
+namespace {
+
+bool want_u64(const JsonValue& v, std::uint64_t& out, const char* key, std::string& err) {
+  // strtoull would silently wrap negatives to huge values; reject any
+  // non-integral literal outright ("a sweep spec is never silently
+  // reinterpreted").
+  if (!v.is_number() || v.text().find_first_of("-+.eE") != std::string::npos) {
+    err = std::string("'") + key + "' must be a non-negative integer";
+    return false;
+  }
+  out = v.as_u64();
+  return true;
+}
+
+}  // namespace
+
+bool ExperimentSpec::from_json(const JsonValue& v, ExperimentSpec& out, std::string& err) {
+  out = ExperimentSpec{};
+  if (!v.is_object()) {
+    err = "spec must be a JSON object";
+    return false;
+  }
+  for (const auto& [key, val] : v.members()) {
+    if (key == "scenario") {
+      if (!val.is_string()) {
+        err = "'scenario' must be a string";
+        return false;
+      }
+      out.scenario = val.text();
+    } else if (key == "scale") {
+      if (!val.is_object()) {
+        err = "'scale' must be an object";
+        return false;
+      }
+      // The name seeds the preset; explicit budget fields override it.
+      if (const JsonValue* name = val.find("name")) {
+        const auto preset = Scale::named(name->text());
+        if (!name->is_string() || !preset) {
+          err = "unknown scale '" + name->text() + "' (use quick|paper)";
+          return false;
+        }
+        out.scale = *preset;
+      }
+      for (const auto& [sk, sv] : val.members()) {
+        if (sk == "name") continue;
+        std::uint64_t* field = nullptr;
+        if (sk == "trace_branches") field = &out.scale.trace_branches;
+        if (sk == "trace_warmup") field = &out.scale.trace_warmup;
+        if (sk == "ooo_instructions") field = &out.scale.ooo_instructions;
+        if (sk == "ooo_warmup") field = &out.scale.ooo_warmup;
+        if (field == nullptr) {
+          err = "unknown scale field '" + sk + "'";
+          return false;
+        }
+        if (!want_u64(sv, *field, sk.c_str(), err)) return false;
+      }
+    } else if (key == "jobs") {
+      std::uint64_t jobs = 0;
+      if (!want_u64(val, jobs, "jobs", err)) return false;
+      out.jobs = static_cast<unsigned>(jobs);
+    } else if (key == "shard") {
+      if (!val.is_object()) {
+        err = "'shard' must be an object";
+        return false;
+      }
+      std::uint64_t index = 0, count = 1;
+      if (const JsonValue* i = val.find("index")) {
+        if (!want_u64(*i, index, "shard.index", err)) return false;
+      }
+      if (const JsonValue* c = val.find("count")) {
+        if (!want_u64(*c, count, "shard.count", err)) return false;
+      }
+      if (count == 0 || index >= count) {
+        err = "shard index must satisfy index < count";
+        return false;
+      }
+      out.shard_index = static_cast<std::uint32_t>(index);
+      out.shard_count = static_cast<std::uint32_t>(count);
+    } else if (key == "points") {
+      if (!val.is_array()) {
+        err = "'points' must be an array of indices";
+        return false;
+      }
+      for (const JsonValue& p : val.items()) {
+        if (!p.is_number()) {
+          err = "'points' entries must be numbers";
+          return false;
+        }
+        out.points.push_back(static_cast<std::size_t>(p.as_u64()));
+      }
+      std::sort(out.points.begin(), out.points.end());
+      out.points.erase(std::unique(out.points.begin(), out.points.end()),
+                       out.points.end());
+    } else if (key == "trace_file") {
+      if (!val.is_string()) {
+        err = "'trace_file' must be a string";
+        return false;
+      }
+      out.trace_file = val.text();
+    } else if (key == "seed") {
+      if (!want_u64(val, out.seed, "seed", err)) return false;
+    } else {
+      err = "unknown spec field '" + key + "'";
+      return false;
+    }
+  }
+  if (out.scenario.empty()) {
+    err = "spec is missing 'scenario'";
+    return false;
+  }
+  return true;
+}
+
+bool parse_shard(const std::string& text, std::uint32_t& index, std::uint32_t& count,
+                 std::string& err) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    err = "shard must look like i/N (e.g. 0/2), got '" + text + "'";
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long i = std::strtoul(text.c_str(), &end, 10);
+  if (end != text.c_str() + slash) {
+    err = "bad shard index in '" + text + "'";
+    return false;
+  }
+  const unsigned long n = std::strtoul(text.c_str() + slash + 1, &end, 10);
+  if (*end != '\0' || n == 0) {
+    err = "bad shard count in '" + text + "'";
+    return false;
+  }
+  if (i >= n) {
+    err = "shard index " + std::to_string(i) + " out of range for count " +
+          std::to_string(n);
+    return false;
+  }
+  index = static_cast<std::uint32_t>(i);
+  count = static_cast<std::uint32_t>(n);
+  return true;
+}
+
+bool parse_points(const std::string& text, std::vector<std::size_t>& out,
+                  std::string& err) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char* end = nullptr;
+    const unsigned long first = std::strtoul(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos) {
+      err = "bad point list '" + text + "'";
+      return false;
+    }
+    unsigned long last = first;
+    if (*end == '-') {
+      const char* lo = end + 1;
+      last = std::strtoul(lo, &end, 10);
+      if (end == lo || last < first) {
+        err = "bad point range in '" + text + "'";
+        return false;
+      }
+    }
+    // Ranges materialize eagerly; cap them so an absurd (or maximal,
+    // wrap-prone) range is a hard error instead of an OOM/hang. No grid
+    // comes close to this — out-of-range indices are caught against the
+    // actual grid size at run time.
+    constexpr unsigned long kMaxPoints = 1'000'000;
+    if (last - first >= kMaxPoints || out.size() + (last - first) >= kMaxPoints) {
+      err = "point range in '" + text + "' is too large";
+      return false;
+    }
+    for (unsigned long i = first; i <= last; ++i) out.push_back(i);
+    pos = static_cast<std::size_t>(end - text.c_str());
+    if (pos < text.size()) {
+      if (text[pos] != ',') {
+        err = "bad point list '" + text + "'";
+        return false;
+      }
+      ++pos;
+    }
+  }
+  if (out.empty()) {
+    err = "empty point list";
+    return false;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return true;
+}
+
+}  // namespace stbpu::exp

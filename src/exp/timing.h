@@ -1,0 +1,35 @@
+// Wall-clock timing helpers for throughput scenarios (moved from the old
+// bench_common.h so the driver and any remaining standalone tools share
+// one implementation).
+#pragma once
+
+#include <chrono>
+
+namespace stbpu::exp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Compiler barrier for microbenchmark loops (keeps the measured value
+/// alive without google-benchmark's DoNotOptimize).
+template <class T>
+inline void do_not_optimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+}  // namespace stbpu::exp

@@ -82,34 +82,6 @@ std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec) {
   return nullptr;
 }
 
-namespace {
-
-/// Visit `engine` as its concrete EngineT type (one dynamic_cast per combo,
-/// all combos enumerated in exactly one place). `fn` receives the typed
-/// engine reference; returns false when `engine` is a foreign predictor.
-template <class Mapping, class Fn>
-bool visit_engine_mapping(bpu::IPredictor& engine, Fn&& fn) {
-  const auto try_one = [&](auto* typed) {
-    if (typed == nullptr) return false;
-    fn(*typed);
-    return true;
-  };
-  return try_one(dynamic_cast<EngineT<Mapping, bpu::SklCondPredictorT<Mapping>>*>(&engine)) ||
-         try_one(dynamic_cast<EngineT<Mapping, tage::TagePredictorT<Mapping>>*>(&engine)) ||
-         try_one(
-             dynamic_cast<EngineT<Mapping, perceptron::PerceptronPredictorT<Mapping>>*>(
-                 &engine));
-}
-
-template <class Fn>
-bool visit_engine(bpu::IPredictor& engine, Fn&& fn) {
-  return visit_engine_mapping<core::CachedStbpuMapping>(engine, fn) ||
-         visit_engine_mapping<bpu::BaselineMappingLogic>(engine, fn) ||
-         visit_engine_mapping<ConservativeMappingLogic>(engine, fn);
-}
-
-}  // namespace
-
 core::RemapCacheStats engine_remap_cache_stats(const bpu::IPredictor& engine) {
   core::RemapCacheStats stats;
   visit_engine(const_cast<bpu::IPredictor&>(engine), [&](auto& e) {

@@ -18,12 +18,15 @@
 #include <memory>
 #include <string>
 
+#include "bpu/direction.h"
 #include "bpu/predictor.h"
 #include "core/monitor.h"
 #include "core/remap_cache.h"
 #include "core/secret_token.h"
 #include "models/models.h"
+#include "perceptron/perceptron.h"
 #include "sim/bpu_sim.h"
+#include "tage/tage.h"
 
 namespace stbpu::models {
 
@@ -88,6 +91,40 @@ class EngineT final : public bpu::IPredictor {
 /// Build the devirtualized engine for `spec`. Drop-in IPredictor
 /// replacement for BpuModel::create(spec) with identical statistics.
 [[nodiscard]] std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec);
+
+namespace detail {
+
+/// Visit `engine` as its concrete EngineT type for one mapping family
+/// (one dynamic_cast per direction-predictor combo).
+template <class Mapping, class Fn>
+bool visit_engine_mapping(bpu::IPredictor& engine, Fn&& fn) {
+  const auto try_one = [&](auto* typed) {
+    if (typed == nullptr) return false;
+    fn(*typed);
+    return true;
+  };
+  return try_one(dynamic_cast<EngineT<Mapping, bpu::SklCondPredictorT<Mapping>>*>(&engine)) ||
+         try_one(dynamic_cast<EngineT<Mapping, tage::TagePredictorT<Mapping>>*>(&engine)) ||
+         try_one(
+             dynamic_cast<EngineT<Mapping, perceptron::PerceptronPredictorT<Mapping>>*>(
+                 &engine));
+}
+
+}  // namespace detail
+
+/// Typed-dispatch visitor over every engine make_engine can assemble: one
+/// dynamic_cast chain per run recovers the concrete EngineT<Mapping,
+/// Direction>, after which `fn`'s body compiles against the final type —
+/// callers that instantiate sim::OooCoreT (or sim::replay) on it get a
+/// fully devirtualized per-branch path. Returns false when `engine` is a
+/// foreign predictor (e.g. the legacy BpuModel); callers then fall back to
+/// the interface-typed path.
+template <class Fn>
+bool visit_engine(bpu::IPredictor& engine, Fn&& fn) {
+  return detail::visit_engine_mapping<core::CachedStbpuMapping>(engine, fn) ||
+         detail::visit_engine_mapping<bpu::BaselineMappingLogic>(engine, fn) ||
+         detail::visit_engine_mapping<ConservativeMappingLogic>(engine, fn);
+}
 
 /// Remap-cache statistics of an STBPU engine built by make_engine
 /// (zeros for non-STBPU engines or foreign predictors).

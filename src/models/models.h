@@ -47,9 +47,9 @@ enum class DirectionKind : std::uint8_t {
 /// Conservative mapping logic: the BTB keeps the complete 48-bit branch
 /// address (set bits excluded) as its tag and the complete target — no
 /// compression, no truncation, hence no aliasing. Budget-neutral capacity
-/// reduction is applied by the factory (2048 entries vs 4096; see
-/// DESIGN.md). Non-virtual (shadows the baseline methods it changes) for
-/// the devirtualized engine.
+/// reduction is applied by the factory (2048 entries vs 4096; see the
+/// model notes in docs/EXPERIMENTS.md). Non-virtual (shadows the baseline
+/// methods it changes) for the devirtualized engine.
 class ConservativeMappingLogic : public bpu::BaselineMappingLogic {
  public:
   // Budget-neutral entry count: a baseline entry is ~45 bits (8 tag + 5

@@ -300,4 +300,16 @@ OooResult OooCoreT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
 /// The legacy instantiation is compiled once in ooo.cc.
 extern template class OooCoreT<>;
 
+/// Engine-typed fan-out entry point: run a cycle-level core instantiated on
+/// the concrete BPU type. With `Bpu` a final engine from
+/// models::visit_engine the per-branch access()/on_switch() calls in step()
+/// devirtualize, mirroring what models::replay_engine does for trace
+/// replay; with `Bpu = bpu::IPredictor` this is exactly the legacy core.
+template <class Bpu>
+OooResult run_ooo(const OooConfig& cfg, Bpu& bpu, std::vector<trace::InstrStream*> threads,
+                  std::uint64_t instr_budget, std::uint64_t warmup) {
+  OooCoreT<Bpu> core(cfg, &bpu, std::move(threads));
+  return core.run(instr_budget, warmup);
+}
+
 }  // namespace stbpu::sim

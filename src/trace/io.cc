@@ -1,5 +1,6 @@
 #include "trace/io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -29,6 +30,32 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+bpu::BranchRecord unpack(const PackedRecord& p) {
+  bpu::BranchRecord r;
+  r.ip = p.ip;
+  r.target = p.target;
+  r.type = static_cast<bpu::BranchType>(p.type);
+  r.taken = p.taken != 0;
+  r.ctx = {.pid = p.pid, .hart = p.hart, .kernel = p.kernel != 0};
+  return r;
+}
+
+/// Open a trace, validate the header, and return the record count.
+FilePtr open_trace(const std::string& path, std::uint64_t& count) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open trace: " + path);
+  std::uint32_t header[4];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 || header[0] != kTraceMagic) {
+    throw std::runtime_error("bad trace header: " + path);
+  }
+  if (header[1] != kTraceVersion) {
+    throw std::runtime_error("unsupported trace version in " + path);
+  }
+  count =
+      static_cast<std::uint64_t>(header[2]) | (static_cast<std::uint64_t>(header[3]) << 32);
+  return f;
+}
+
 }  // namespace
 
 bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& records) {
@@ -53,33 +80,94 @@ bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& 
 }
 
 std::vector<bpu::BranchRecord> read_trace(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) throw std::runtime_error("cannot open trace: " + path);
-  std::uint32_t header[4];
-  if (std::fread(header, sizeof(header), 1, f.get()) != 1 || header[0] != kTraceMagic) {
-    throw std::runtime_error("bad trace header: " + path);
-  }
-  if (header[1] != kTraceVersion) {
-    throw std::runtime_error("unsupported trace version in " + path);
-  }
-  const std::uint64_t count =
-      static_cast<std::uint64_t>(header[2]) | (static_cast<std::uint64_t>(header[3]) << 32);
+  std::uint64_t count = 0;
+  FilePtr f = open_trace(path, count);
   std::vector<bpu::BranchRecord> out;
   out.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    PackedRecord p;
-    if (std::fread(&p, sizeof(p), 1, f.get()) != 1) {
+  PackedRecord block[256];
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, sizeof(block) / sizeof(block[0])));
+    if (std::fread(block, sizeof(PackedRecord), want, f.get()) != want) {
       throw std::runtime_error("truncated trace: " + path);
     }
-    bpu::BranchRecord r;
-    r.ip = p.ip;
-    r.target = p.target;
-    r.type = static_cast<bpu::BranchType>(p.type);
-    r.taken = p.taken != 0;
-    r.ctx = {.pid = p.pid, .hart = p.hart, .kernel = p.kernel != 0};
-    out.push_back(r);
+    for (std::size_t i = 0; i < want; ++i) out.push_back(unpack(block[i]));
+    remaining -= want;
   }
   return out;
+}
+
+FileStream::FileStream(std::string path) : path_(std::move(path)) {
+  file_.reset(open_trace(path_, count_).release());
+  buffer_.reserve(kDefaultBatch);
+}
+
+std::size_t FileStream::refill() {
+  if (buffer_pos_ < buffer_.size()) return buffer_.size() - buffer_pos_;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  // Everything buffered so far has been consumed, so the file cursor is at
+  // record `consumed_`.
+  const std::uint64_t remaining = count_ - consumed_;
+  const std::size_t target =
+      static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kDefaultBatch));
+  PackedRecord block[512];
+  std::size_t filled = 0;
+  while (filled < target) {
+    const std::size_t want =
+        std::min(target - filled, sizeof(block) / sizeof(block[0]));
+    if (std::fread(block, sizeof(PackedRecord), want, file_.get()) != want) {
+      throw std::runtime_error("truncated trace: " + path_);
+    }
+    for (std::size_t i = 0; i < want; ++i) buffer_.push_back(unpack(block[i]));
+    filled += want;
+  }
+  return filled;
+}
+
+bool FileStream::next(bpu::BranchRecord& out) {
+  if (refill() == 0) return false;
+  out = buffer_[buffer_pos_++];
+  ++consumed_;
+  return true;
+}
+
+void FileStream::reset() {
+  // Re-validate the header on rewind (the file may have been replaced).
+  std::uint64_t count = 0;
+  FilePtr fresh = open_trace(path_, count);
+  file_.reset(fresh.release());
+  count_ = count;
+  consumed_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+}
+
+std::size_t FileStream::next_batch(BranchBatch& out, std::size_t limit) {
+  out.clear();
+  while (out.size() < limit) {
+    const std::size_t available = refill();
+    if (available == 0) break;
+    const std::size_t take = std::min(limit - out.size(), available);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(buffer_[buffer_pos_ + i]);
+    buffer_pos_ += take;
+    consumed_ += take;
+  }
+  return out.size();
+}
+
+const bpu::BranchRecord* FileStream::borrow_run(std::size_t limit, std::size_t& n) {
+  const std::size_t available = refill();
+  if (available == 0 || limit == 0) {
+    n = 0;
+    return nullptr;
+  }
+  n = std::min(limit, available);
+  const bpu::BranchRecord* run = buffer_.data() + buffer_pos_;
+  buffer_pos_ += n;
+  consumed_ += n;
+  return run;
 }
 
 }  // namespace stbpu::trace

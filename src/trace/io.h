@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bpu/types.h"
+#include "trace/stream.h"
 
 namespace stbpu::trace {
 
@@ -19,5 +22,42 @@ bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& 
 
 /// Read records from `path`. Throws std::runtime_error on malformed input.
 std::vector<bpu::BranchRecord> read_trace(const std::string& path);
+
+/// File-backed branch stream with block-buffered reads: records are pulled
+/// from disk kDefaultBatch at a time and unpacked into a resident buffer,
+/// so next() never touches the file per branch and borrow_run() hands
+/// sim::replay contiguous already-materialized runs (the SoA fast path) —
+/// without materializing the whole trace like read_trace + VectorStream.
+/// Throws std::runtime_error on open/header failure or truncated reads.
+class FileStream final : public BranchStream {
+ public:
+  explicit FileStream(std::string path);
+
+  bool next(bpu::BranchRecord& out) override;
+  void reset() override;
+  std::size_t next_batch(BranchBatch& out, std::size_t limit = kDefaultBatch) override;
+  const bpu::BranchRecord* borrow_run(std::size_t limit, std::size_t& n) override;
+
+  /// Total records in the trace file.
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  /// Refill the buffer from disk (up to kDefaultBatch records). Returns the
+  /// number of buffered records available.
+  std::size_t refill();
+
+  std::string path_;
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::uint64_t count_ = 0;      ///< records in the file
+  std::uint64_t consumed_ = 0;   ///< records handed to the caller
+  std::vector<bpu::BranchRecord> buffer_;
+  std::size_t buffer_pos_ = 0;
+};
 
 }  // namespace stbpu::trace

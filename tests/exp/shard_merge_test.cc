@@ -1,0 +1,181 @@
+// Shard determinism: a sweep executed as --shard=0/2 + --shard=1/2 and
+// merged must reproduce the unsharded BENCH_*.json byte for byte — no
+// dropped points, no duplicates, no float drift through the shard files
+// (this is the acceptance contract of the sharded driver).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/spec.h"
+
+namespace stbpu::exp {
+namespace {
+
+/// Tiny OoO budgets so the 124-point fig5 grid stays unit-test cheap while
+/// still exercising real simulation (nonzero doubles in every field).
+ExperimentSpec tiny_fig5_spec() {
+  ExperimentSpec spec;
+  spec.scenario = "fig5_smt";
+  spec.scale.ooo_instructions = 1'500;
+  spec.scale.ooo_warmup = 150;
+  spec.points = {0, 1, 2, 3, 4, 5, 6, 7};  // two pairs × four predictors
+  return spec;
+}
+
+TEST(ShardMerge, Fig5ShardedMergeIsBitIdenticalToUnsharded) {
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("fig5_smt");
+  ASSERT_NE(scenario, nullptr);
+
+  // Unsharded reference run.
+  ExperimentSpec spec = tiny_fig5_spec();
+  RunOutcome unsharded;
+  std::string err;
+  ASSERT_TRUE(run_experiment(*scenario, spec, unsharded, err)) << err;
+  ASSERT_EQ(unsharded.ran.size(), 8u);
+  const std::string reference = final_json(*scenario, spec, unsharded.points);
+
+  // The same sweep as two shards.
+  std::vector<std::string> shard_texts;
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    ExperimentSpec shard_spec = tiny_fig5_spec();
+    shard_spec.shard_index = shard;
+    shard_spec.shard_count = 2;
+    RunOutcome outcome;
+    ASSERT_TRUE(run_experiment(*scenario, shard_spec, outcome, err)) << err;
+    EXPECT_EQ(outcome.ran.size(), 4u);
+    shard_texts.push_back(shard_json(*scenario, shard_spec, outcome));
+  }
+
+  std::string merged, merged_scenario;
+  ASSERT_TRUE(merge_shards(shard_texts, merged, merged_scenario, err)) << err;
+  EXPECT_EQ(merged_scenario, "fig5_smt");
+  EXPECT_EQ(merged, reference);
+
+  // The trajectory is complete: every selected point's row plus the
+  // per-predictor AVERAGE rows.
+  for (const char* label :
+       {"bwaves_fotonik3d/PerceptronBP", "bwaves_cactuBSSN/TAGE_SC_L_8KB",
+        "AVERAGE/SKLCond"}) {
+    EXPECT_NE(merged.find(std::string("\"label\": \"") + label + "\""),
+              std::string::npos)
+        << label;
+  }
+  EXPECT_NE(merged.find("\"normalized_ipc_harmonic\":"), std::string::npos);
+}
+
+TEST(ShardMerge, DetectsMissingAndDuplicatePoints) {
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("fig5_smt");
+  ASSERT_NE(scenario, nullptr);
+
+  ExperimentSpec shard0 = tiny_fig5_spec();
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+  RunOutcome outcome;
+  std::string err;
+  ASSERT_TRUE(run_experiment(*scenario, shard0, outcome, err)) << err;
+  const std::string shard0_text = shard_json(*scenario, shard0, outcome);
+
+  std::string merged, merged_scenario;
+  // One missing shard: the even-point shard alone cannot cover the grid.
+  EXPECT_FALSE(merge_shards({shard0_text}, merged, merged_scenario, err));
+  EXPECT_NE(err.find("missing"), std::string::npos) << err;
+
+  // The same shard twice: duplicate points must be rejected, not silently
+  // unioned.
+  EXPECT_FALSE(merge_shards({shard0_text, shard0_text}, merged, merged_scenario, err));
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+
+  // Shards from different sweeps must not merge.
+  ExperimentSpec other = tiny_fig5_spec();
+  other.shard_index = 1;
+  other.shard_count = 2;
+  other.scale.ooo_instructions = 999;  // different budget = different sweep
+  RunOutcome other_outcome;
+  ASSERT_TRUE(run_experiment(*scenario, other, other_outcome, err)) << err;
+  const std::string other_text = shard_json(*scenario, other, other_outcome);
+  EXPECT_FALSE(merge_shards({shard0_text, other_text}, merged, merged_scenario, err));
+  EXPECT_NE(err.find("spec differs"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, RejectsGarbageInput) {
+  register_builtin_scenarios();
+  std::string merged, merged_scenario, err;
+  EXPECT_FALSE(merge_shards({"not json"}, merged, merged_scenario, err));
+  EXPECT_FALSE(merge_shards({R"({"bench": "x"})"}, merged, merged_scenario, err));
+  EXPECT_NE(err.find("format"), std::string::npos) << err;
+  EXPECT_FALSE(merge_shards({}, merged, merged_scenario, err));
+
+  // A corrupted field value (null where a double belongs) must be a merge
+  // error, not a silent zero in the final trajectory.
+  const std::string corrupted = R"({
+    "format": "stbpu-shard-v1",
+    "bench": "sec6_thresholds",
+    "spec": {"scenario": "sec6_thresholds"},
+    "points": [
+      {"index": 0, "label": "BTB reuse-based side channel",
+       "fields": [["mispredictions", "d", null]]}
+    ]
+  })";
+  EXPECT_FALSE(merge_shards({corrupted}, merged, merged_scenario, err));
+  EXPECT_NE(err.find("numeric"), std::string::npos) << err;
+}
+
+TEST(Runner, RejectsOutOfRangePoints) {
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("sec6_thresholds");
+  ASSERT_NE(scenario, nullptr);
+  ExperimentSpec spec;
+  spec.scenario = "sec6_thresholds";
+  spec.points = {10'000};
+  RunOutcome outcome;
+  std::string err;
+  EXPECT_FALSE(run_experiment(*scenario, spec, outcome, err));
+  EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+}
+
+TEST(Runner, PointExceptionFailsTheRunCleanly) {
+  // A bad --trace path throws inside run_point on a pool worker; the
+  // runner must surface it as an error, not std::terminate.
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("fig3_oae");
+  ASSERT_NE(scenario, nullptr);
+  ExperimentSpec spec;
+  spec.scenario = "fig3_oae";
+  spec.trace_file = "/nonexistent/no_such.trace";
+  RunOutcome outcome;
+  std::string err;
+  EXPECT_FALSE(run_experiment(*scenario, spec, outcome, err));
+  EXPECT_NE(err.find("cannot open trace"), std::string::npos) << err;
+  EXPECT_NE(err.find("trace:/nonexistent/no_such.trace"), std::string::npos) << err;
+}
+
+TEST(Runner, DeterministicAnalyticScenario) {
+  // Cheap end-to-end: a fully analytic scenario merges bit-identically too
+  // (single shard degenerate case).
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("sec6_thresholds");
+  ExperimentSpec spec;
+  spec.scenario = "sec6_thresholds";
+  RunOutcome a, b;
+  std::string err;
+  ASSERT_TRUE(run_experiment(*scenario, spec, a, err)) << err;
+  ASSERT_TRUE(run_experiment(*scenario, spec, b, err)) << err;
+  EXPECT_EQ(final_json(*scenario, spec, a.points), final_json(*scenario, spec, b.points));
+
+  std::string merged, merged_scenario;
+  ExperimentSpec sharded = spec;
+  sharded.shard_index = 0;
+  sharded.shard_count = 1;
+  ASSERT_TRUE(merge_shards({shard_json(*scenario, sharded, a)}, merged, merged_scenario,
+                           err))
+      << err;
+  EXPECT_EQ(merged, final_json(*scenario, spec, a.points));
+}
+
+}  // namespace
+}  // namespace stbpu::exp

@@ -1,0 +1,220 @@
+// Experiment-spec and registry coverage: JSON (de)serialization round
+// trips, strict rejection of malformed specs/flags, shard/point parsing,
+// and the built-in scenario set the driver exposes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+#include "exp/scenario.h"
+#include "exp/spec.h"
+
+namespace stbpu::exp {
+namespace {
+
+TEST(Scale, NamedPresets) {
+  const auto quick = Scale::named("quick");
+  ASSERT_TRUE(quick.has_value());
+  EXPECT_FALSE(quick->paper);
+  EXPECT_EQ(quick->trace_branches, 400'000u);
+
+  const auto paper = Scale::named("paper");
+  ASSERT_TRUE(paper.has_value());
+  EXPECT_TRUE(paper->paper);
+  EXPECT_EQ(paper->ooo_instructions, 100'000'000u);
+
+  EXPECT_FALSE(Scale::named("huge").has_value());
+  EXPECT_FALSE(Scale::named("").has_value());
+}
+
+TEST(ExperimentSpec, JsonRoundTrip) {
+  ExperimentSpec spec;
+  spec.scenario = "fig5_smt";
+  spec.scale = *Scale::named("paper");
+  spec.scale.ooo_instructions = 12345;  // explicit override survives
+  spec.jobs = 4;
+  spec.shard_index = 1;
+  spec.shard_count = 3;
+  spec.points = {2, 5, 9};
+  spec.trace_file = "/tmp/trace.bin";
+  spec.seed = 77;
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(spec.to_json(), doc, err)) << err;
+  ExperimentSpec back;
+  ASSERT_TRUE(ExperimentSpec::from_json(doc, back, err)) << err;
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ExperimentSpec, ShardFieldsCanBeOmitted) {
+  ExperimentSpec spec;
+  spec.scenario = "fig3_oae";
+  spec.shard_index = 1;
+  spec.shard_count = 2;
+  // The merged-output serialization drops shard state so it compares equal
+  // to an unsharded run's.
+  EXPECT_EQ(spec.to_json(false).find("shard"), std::string::npos);
+  EXPECT_NE(spec.to_json(true).find("shard"), std::string::npos);
+}
+
+TEST(ExperimentSpec, RejectsUnknownFieldsAndBadScale) {
+  JsonValue doc;
+  std::string err;
+  ExperimentSpec out;
+
+  ASSERT_TRUE(json_parse(R"({"scenario": "x", "typo_field": 1})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("typo_field"), std::string::npos);
+
+  ASSERT_TRUE(json_parse(R"({"scenario": "x", "scale": {"name": "huge"}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("huge"), std::string::npos);
+
+  ASSERT_TRUE(json_parse(R"({"scale": {"name": "quick"}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));  // missing scenario
+}
+
+TEST(ExperimentSpec, ShardSelection) {
+  ExperimentSpec spec;
+  spec.scenario = "x";
+  spec.points = {0, 1, 4, 7};
+  EXPECT_TRUE(spec.selected(1));
+  EXPECT_FALSE(spec.selected(2));
+
+  // Unsharded: the whole selection.
+  EXPECT_EQ(spec.owned_points(10), (std::vector<std::size_t>{0, 1, 4, 7}));
+
+  // Shards stripe the *selection* by ordinal, so an even-only selection
+  // still splits across both shards.
+  spec.points = {0, 2, 4, 6};
+  spec.shard_count = 2;
+  spec.shard_index = 0;
+  EXPECT_EQ(spec.owned_points(10), (std::vector<std::size_t>{0, 4}));
+  spec.shard_index = 1;
+  EXPECT_EQ(spec.owned_points(10), (std::vector<std::size_t>{2, 6}));
+
+  // No selection: shards stripe the grid.
+  spec.points.clear();
+  EXPECT_EQ(spec.owned_points(5), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ParseShard, AcceptsWellFormedRejectsRest) {
+  std::uint32_t index = 9, count = 9;
+  std::string err;
+  ASSERT_TRUE(parse_shard("0/2", index, count, err));
+  EXPECT_EQ(index, 0u);
+  EXPECT_EQ(count, 2u);
+  ASSERT_TRUE(parse_shard("7/8", index, count, err));
+  EXPECT_EQ(index, 7u);
+
+  EXPECT_FALSE(parse_shard("2/2", index, count, err));  // index out of range
+  EXPECT_FALSE(parse_shard("1", index, count, err));
+  EXPECT_FALSE(parse_shard("a/b", index, count, err));
+  EXPECT_FALSE(parse_shard("1/0", index, count, err));
+  EXPECT_FALSE(parse_shard("/2", index, count, err));
+}
+
+TEST(ParsePoints, ListsAndRanges) {
+  std::vector<std::size_t> points;
+  std::string err;
+  ASSERT_TRUE(parse_points("0,3,7-9,3", points, err));
+  EXPECT_EQ(points, (std::vector<std::size_t>{0, 3, 7, 8, 9}));
+
+  EXPECT_FALSE(parse_points("", points, err));
+  EXPECT_FALSE(parse_points("1,x", points, err));
+  EXPECT_FALSE(parse_points("9-7", points, err));
+
+  // Absurd ranges are hard errors, not OOMs/hangs (including the maximal
+  // range whose inclusive loop would wrap).
+  EXPECT_FALSE(parse_points("0-4000000000", points, err));
+  EXPECT_FALSE(parse_points("0-18446744073709551615", points, err));
+  EXPECT_NE(err.find("too large"), std::string::npos) << err;
+}
+
+TEST(ExperimentSpec, RejectsNegativeNumericFields) {
+  JsonValue doc;
+  std::string err;
+  ExperimentSpec out;
+  ASSERT_TRUE(json_parse(R"({"scenario": "x", "seed": -1})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  ASSERT_TRUE(json_parse(
+      R"({"scenario": "x", "scale": {"name": "quick", "trace_branches": -5}})", doc,
+      err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("non-negative"), std::string::npos) << err;
+}
+
+TEST(Registry, BuiltinScenarios) {
+  register_builtin_scenarios();
+  register_builtin_scenarios();  // idempotent
+  const char* expected[] = {"fig2_remapgen",  "fig3_oae",       "fig4_single",
+                            "fig5_smt",       "fig6_rsweep",    "ablation",
+                            "sec6_empirical", "sec6_thresholds", "table1_attack_surface",
+                            "table2_remap_functions", "ooo_engine"};
+  EXPECT_EQ(all_scenarios().size(), 11u);
+  for (const char* name : expected) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_scenario("nope"), nullptr);
+}
+
+TEST(Registry, GridShapes) {
+  register_builtin_scenarios();
+  ExperimentSpec spec;
+  spec.scenario = "fig5_smt";
+  // 31 SMT pairs × 4 direction predictors.
+  EXPECT_EQ(find_scenario("fig5_smt")->point_labels(spec).size(), 124u);
+  // 4 throughput combos + 18 workloads × 4 predictors.
+  EXPECT_EQ(find_scenario("fig4_single")->point_labels(spec).size(), 76u);
+  // A quick-scale fig6: 4 base pairs + 6 r values × 4 pairs.
+  EXPECT_EQ(find_scenario("fig6_rsweep")->point_labels(spec).size(), 28u);
+}
+
+TEST(Json, ParsesAndRejects) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(R"({"a": [1, 2.5e3, "x\n"], "b": {"c": true}})", v, err));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[0].as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_double(), 2500.0);
+  EXPECT_EQ(a->items()[2].text(), "x\n");
+  EXPECT_TRUE(v.find("b")->find("c")->as_bool());
+
+  EXPECT_FALSE(json_parse("{", v, err));
+  EXPECT_FALSE(json_parse("[1,]", v, err));
+  EXPECT_FALSE(json_parse("{\"a\" 1}", v, err));
+  EXPECT_FALSE(json_parse("12 34", v, err));
+}
+
+TEST(Json, DeepNestingIsAParseErrorNotACrash) {
+  // Hostile/corrupt shard or spec files must fail gracefully, not blow the
+  // stack.
+  const std::string deep(200'000, '[');
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse(deep, v, err));
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+
+  // Moderate nesting still parses.
+  std::string ok;
+  for (int i = 0; i < 40; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 40; ++i) ok += ']';
+  EXPECT_TRUE(json_parse(ok, v, err)) << err;
+}
+
+TEST(Json, QuoteRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(json_quote(nasty), v, err)) << err;
+  EXPECT_EQ(v.text(), nasty);
+}
+
+}  // namespace
+}  // namespace stbpu::exp

@@ -1,0 +1,114 @@
+// Engine-typed OoO fan-out equivalence: running the cycle-level core
+// instantiated on the concrete engine type (exp::for_each_engine +
+// sim::run_ooo — zero per-branch virtual dispatch) must produce
+// BIT-IDENTICAL results to driving the same engine through the
+// interface-typed OooCore: every BranchStats field, instruction counts,
+// and the double-precision cycle/IPC numbers. This is the contract that
+// lets the OoO scenarios adopt the typed path without changing Figures
+// 4-6.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/engine_visit.h"
+#include "models/engine.h"
+#include "models/models.h"
+#include "sim/ooo.h"
+#include "trace/instr.h"
+#include "trace/profile.h"
+
+namespace stbpu {
+namespace {
+
+constexpr std::uint64_t kBudget = 20'000;
+constexpr std::uint64_t kWarmup = 2'000;
+
+void expect_identical_results(const sim::OooResult& iface, const sim::OooResult& typed,
+                              const models::ModelSpec& spec) {
+  const auto label =
+      models::to_string(spec.model) + "/" + models::to_string(spec.direction);
+  ASSERT_EQ(iface.threads, typed.threads) << label;
+  for (unsigned t = 0; t < iface.threads; ++t) {
+    EXPECT_EQ(iface.instructions[t], typed.instructions[t]) << label;
+    EXPECT_EQ(iface.cycles[t], typed.cycles[t]) << label;    // bit-exact doubles
+    EXPECT_EQ(iface.ipc[t], typed.ipc[t]) << label;
+    EXPECT_EQ(iface.branch_stats[t], typed.branch_stats[t]) << label;
+  }
+  EXPECT_GT(iface.combined_stats().branches, 0u) << label;
+}
+
+void expect_single_equivalent(const models::ModelSpec& spec) {
+  // Interface-typed reference: the engine driven through IPredictor*.
+  auto engine = models::make_engine(spec);
+  trace::SyntheticInstrGenerator gen(trace::profile_by_name("mcf"));
+  bpu::IPredictor* iface = engine.get();
+  const auto iface_result = sim::run_ooo({}, *iface, {&gen}, kBudget, kWarmup);
+
+  // Engine-typed path: concrete EngineT recovered once, OooCoreT
+  // instantiated on it.
+  sim::OooResult typed_result{};
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
+    trace::SyntheticInstrGenerator typed_gen(trace::profile_by_name("mcf"));
+    typed_result = sim::run_ooo({}, typed_engine, {&typed_gen}, kBudget, kWarmup);
+  })) << "for_each_engine did not dispatch";
+
+  expect_identical_results(iface_result, typed_result, spec);
+}
+
+TEST(OooTypedEquivalence, AllModelsSingleThread) {
+  for (const auto model :
+       {models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
+        models::ModelKind::kUcode2, models::ModelKind::kConservative,
+        models::ModelKind::kStbpu}) {
+    for (const auto dir : {models::DirectionKind::kSklCond, models::DirectionKind::kTage8,
+                           models::DirectionKind::kPerceptron}) {
+      expect_single_equivalent({.model = model, .direction = dir});
+    }
+  }
+}
+
+TEST(OooTypedEquivalence, StbpuSmtPair) {
+  // The SMT configuration (shared BPU, two instruction streams) through
+  // the TAGE-64 STBPU — the combination Figures 5/6 rely on.
+  const models::ModelSpec spec{.model = models::ModelKind::kStbpu,
+                               .direction = models::DirectionKind::kTage64};
+
+  auto engine = models::make_engine(spec);
+  trace::SyntheticInstrGenerator g0(trace::profile_by_name("bwaves"));
+  trace::SyntheticInstrGenerator g1(trace::profile_by_name("mcf"));
+  bpu::IPredictor* iface = engine.get();
+  const auto iface_result = sim::run_ooo({}, *iface, {&g0, &g1}, kBudget, kWarmup);
+
+  sim::OooResult typed_result{};
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
+    trace::SyntheticInstrGenerator t0(trace::profile_by_name("bwaves"));
+    trace::SyntheticInstrGenerator t1(trace::profile_by_name("mcf"));
+    typed_result = sim::run_ooo({}, typed_engine, {&t0, &t1}, kBudget, kWarmup);
+  }));
+
+  expect_identical_results(iface_result, typed_result, spec);
+  EXPECT_EQ(iface_result.threads, 2u);
+  EXPECT_EQ(iface_result.ipc_harmonic_mean(), typed_result.ipc_harmonic_mean());
+}
+
+TEST(OooTypedEquivalence, VisitRecoversConcreteTypeOnce) {
+  // for_each_engine hands the scenario a reference whose static type is the
+  // final EngineT — not IPredictor — so OooCoreT instantiates devirtualized.
+  const models::ModelSpec spec{.model = models::ModelKind::kStbpu,
+                               .direction = models::DirectionKind::kSklCond};
+  bool visited = false;
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& engine) {
+    using Engine = std::decay_t<decltype(engine)>;
+    static_assert(!std::is_same_v<Engine, bpu::IPredictor>);
+    static_assert(std::is_final_v<Engine>);
+    visited = true;
+  }));
+  EXPECT_TRUE(visited);
+
+  // Foreign predictors are reported, not mis-dispatched.
+  auto legacy = models::BpuModel::create(spec);
+  EXPECT_FALSE(models::visit_engine(*legacy, [](auto&) {}));
+}
+
+}  // namespace
+}  // namespace stbpu
