@@ -65,6 +65,21 @@ struct BranchRecord {
   ExecContext ctx;
 };
 
+/// One queued prediction request of the batch-native front-end API: a
+/// branch the front end knows it will access soon, carried as the (ip,
+/// speculative GHR) pair that keys the remapping functions plus the
+/// context that selects the secret token. Engines precompute the keyed
+/// mixes for a whole span of these at once (models::EngineT::precompute);
+/// a request whose speculative GHR turns out wrong simply never matches at
+/// access time — the remap cache's tag check detects and discards it, so
+/// mis-speculated lookaheads cannot pollute prediction statistics.
+struct PredictRequest {
+  std::uint64_t ip = 0;
+  std::uint64_t ghr = 0;  ///< speculative GHR at predict time (R4 key); 0 if unused
+  ExecContext ctx;
+  BranchType type = BranchType::kConditional;
+};
+
 /// What the front end would do with this branch before resolution.
 struct Prediction {
   bool taken = false;           ///< predicted direction (conditionals)

@@ -20,6 +20,17 @@
 #include "bpu/mapping.h"
 #include "util/bits.h"
 
+// The AVX2 rendering of the batched mix kernel: vpshufb IS the hardware
+// S-box (a 16-entry 4-bit table lookup per byte, in registers, no memory),
+// so a full 64-bit substitution layer is two shuffles + nibble glue across
+// four lanes at once — the software analogue of the paper's parallel S-box
+// rows. Functions carry the target("avx2") attribute and are dispatched at
+// runtime, so the binary stays baseline-x86-64 portable.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define STBPU_MIX_AVX2 1
+#include <immintrin.h>
+#endif
+
 namespace stbpu::core {
 
 namespace detail {
@@ -45,6 +56,25 @@ consteval std::array<std::uint8_t, 256> expand_sbox(
 inline constexpr auto kPresentByteLut = expand_sbox(kPresentSbox);
 inline constexpr auto kSpongentByteLut = expand_sbox(kSpongentSbox);
 
+/// Expand a byte LUT into a 16-bit double-byte LUT (four parallel S-boxes),
+/// halving the table reads of a 64-bit substitution layer: eight byte loads
+/// become four 16-bit loads. The 128 KiB table trades L1 residency for load
+/// count — a loss on a single latency-bound mix, a win when several
+/// independent mixes keep the load ports busy (mix_batch below); the
+/// `mix_batch` scenario measures both regimes.
+consteval std::array<std::uint16_t, 65536> expand_sbox16(
+    const std::array<std::uint8_t, 256>& b) {
+  std::array<std::uint16_t, 65536> t{};
+  for (unsigned i = 0; i < 65536; ++i) {
+    t[i] = static_cast<std::uint16_t>(b[i & 0xFF] |
+                                      (static_cast<unsigned>(b[i >> 8]) << 8));
+  }
+  return t;
+}
+
+inline constexpr auto kPresentLut16 = expand_sbox16(kPresentByteLut);
+inline constexpr auto kSpongentLut16 = expand_sbox16(kSpongentByteLut);
+
 template <const std::array<std::uint8_t, 256>& Lut>
 constexpr std::uint64_t sbox_layer(std::uint64_t x) noexcept {
   std::uint64_t r = 0;
@@ -52,6 +82,17 @@ constexpr std::uint64_t sbox_layer(std::uint64_t x) noexcept {
     r |= static_cast<std::uint64_t>(Lut[(x >> (8 * i)) & 0xFF]) << (8 * i);
   }
   return r;
+}
+
+/// 64-bit substitution layer through a 16-bit LUT: four loads instead of
+/// eight. Bit-identical to sbox_layer over the matching byte LUT (the wide
+/// table is that byte LUT applied to both halves of each 16-bit window).
+template <const std::array<std::uint16_t, 65536>& Lut>
+constexpr std::uint64_t sbox_layer16(std::uint64_t x) noexcept {
+  return static_cast<std::uint64_t>(Lut[x & 0xFFFF]) |
+         (static_cast<std::uint64_t>(Lut[(x >> 16) & 0xFFFF]) << 16) |
+         (static_cast<std::uint64_t>(Lut[(x >> 32) & 0xFFFF]) << 32) |
+         (static_cast<std::uint64_t>(Lut[x >> 48]) << 48);
 }
 
 /// Delta swap: exchanges the bit groups selected by `m` with the groups `s`
@@ -105,6 +146,183 @@ constexpr std::uint64_t mix(std::uint64_t lo, std::uint64_t hi, std::uint32_t ps
   return x ^ (x >> 31);
 }
 
+/// Width-N batched mix: N independent (lo, hi) inputs under one (ψ, tweak)
+/// key — the shape every compacted remap-cache miss list has, since one
+/// batch services one R function. The per-stage loops over the lane array
+/// break the single mix's serial dependence: each stage issues N
+/// independent chains, so the out-of-order core overlaps their LUT loads
+/// and the cost per mix moves from the latency of the 3-round chain to the
+/// throughput of the load ports. `UseLut16` selects the double-byte
+/// substitution tables (half the loads per layer, larger footprint); both
+/// renderings are bit-identical to scalar mix() lane by lane
+/// (tests/core/mix_batch_test.cc).
+template <unsigned N, bool UseLut16 = true>
+inline void mix_batch(const std::uint64_t* lo, const std::uint64_t* hi,
+                      std::uint32_t psi, std::uint64_t tweak,
+                      std::uint64_t* out) noexcept {
+  static_assert(N >= 1 && N <= 16, "lane count outside the profitable range");
+  const auto sub_present = [](std::uint64_t v) {
+    if constexpr (UseLut16) {
+      return sbox_layer16<kPresentLut16>(v);
+    } else {
+      return sbox_layer<kPresentByteLut>(v);
+    }
+  };
+  const auto sub_spongent = [](std::uint64_t v) {
+    if constexpr (UseLut16) {
+      return sbox_layer16<kSpongentLut16>(v);
+    } else {
+      return sbox_layer<kSpongentByteLut>(v);
+    }
+  };
+  const std::uint64_t k =
+      (static_cast<std::uint64_t>(psi) << 32 | psi) ^ tweak;
+  const std::uint64_t k13 = util::rotl64(k, 13);
+  const std::uint64_t k37 = util::rotl64(k, 37);
+  std::uint64_t x[N];
+  for (unsigned i = 0; i < N; ++i) x[i] = lo[i] ^ util::rotl64(hi[i], 21) ^ k;
+  for (unsigned i = 0; i < N; ++i) x[i] = sub_present(x[i]);
+  for (unsigned i = 0; i < N; ++i) x[i] = sigma(pbox_a(x[i]), 19, 43);
+  for (unsigned i = 0; i < N; ++i) x[i] ^= util::rotl64(hi[i], 47) ^ k13;
+  for (unsigned i = 0; i < N; ++i) x[i] = sub_spongent(x[i]);
+  for (unsigned i = 0; i < N; ++i) x[i] = sigma(pbox_b(x[i]), 11, 50);
+  for (unsigned i = 0; i < N; ++i) x[i] ^= k37;
+  for (unsigned i = 0; i < N; ++i) x[i] = sub_present(x[i]);
+  for (unsigned i = 0; i < N; ++i) x[i] = sigma(x[i], 29, 39);
+  for (unsigned i = 0; i < N; ++i) out[i] = x[i] ^ (x[i] >> 31);
+}
+
+#if STBPU_MIX_AVX2
+
+/// True once at startup when the host executes AVX2 (the binary itself is
+/// compiled for baseline x86-64; only these attributed functions use it).
+[[nodiscard]] inline bool mix_avx2_available() noexcept {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+namespace avx2 {
+
+/// One substitution layer over four 64-bit lanes: the 4-bit S-box lives in
+/// a register (16 bytes, broadcast per 128-bit lane) and vpshufb applies it
+/// to all 16 nibbles of every lane simultaneously — zero table loads.
+__attribute__((target("avx2"))) inline __m256i sbox_layer(__m256i x,
+                                                          __m256i tbl) noexcept {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(x, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(x, 4), nib);
+  // S[hi] bytes are <= 0x0F, so the 64-bit left shift cannot carry bits
+  // across byte boundaries — no extra mask needed.
+  return _mm256_or_si256(_mm256_shuffle_epi8(tbl, lo),
+                         _mm256_slli_epi64(_mm256_shuffle_epi8(tbl, hi), 4));
+}
+
+__attribute__((target("avx2"))) inline __m256i rotl64(__m256i x,
+                                                      unsigned s) noexcept {
+  return _mm256_or_si256(_mm256_slli_epi64(x, static_cast<int>(s)),
+                         _mm256_srli_epi64(x, static_cast<int>(64 - s)));
+}
+
+__attribute__((target("avx2"))) inline __m256i delta_swap(__m256i x, std::uint64_t m,
+                                                          unsigned s) noexcept {
+  const __m256i mask = _mm256_set1_epi64x(static_cast<long long>(m));
+  const __m256i t = _mm256_and_si256(
+      _mm256_xor_si256(_mm256_srli_epi64(x, static_cast<int>(s)), x), mask);
+  return _mm256_xor_si256(_mm256_xor_si256(x, t),
+                          _mm256_slli_epi64(t, static_cast<int>(s)));
+}
+
+__attribute__((target("avx2"))) inline __m256i pbox_a(__m256i x) noexcept {
+  x = delta_swap(x, 0x00000000FFFF0000ULL, 32);
+  x = delta_swap(x, 0x0000FF000000FF00ULL, 8);
+  x = delta_swap(x, 0x00F000F000F000F0ULL, 4);
+  return rotl64(x, 29);
+}
+
+__attribute__((target("avx2"))) inline __m256i pbox_b(__m256i x) noexcept {
+  x = delta_swap(x, 0x00000000F0F0F0F0ULL, 28);
+  x = delta_swap(x, 0x0000CCCC0000CCCCULL, 14);
+  x = delta_swap(x, 0x0A0A0A0A0A0A0A0AULL, 3);
+  return rotl64(x, 17);
+}
+
+__attribute__((target("avx2"))) inline __m256i sigma(__m256i x, unsigned a,
+                                                     unsigned b) noexcept {
+  return _mm256_xor_si256(_mm256_xor_si256(x, rotl64(x, a)), rotl64(x, b));
+}
+
+}  // namespace avx2
+
+/// AVX2 mix_batch: N/4 vectors of four 64-bit lanes walked stage by stage
+/// (all vectors per stage, for cross-vector ILP), mirroring scalar mix()
+/// statement for statement — bit-identical by construction and asserted by
+/// tests/core/mix_batch_test.cc through the dispatch entry point.
+template <unsigned N>
+__attribute__((target("avx2"))) inline void mix_batch_avx2(
+    const std::uint64_t* lo, const std::uint64_t* hi, std::uint32_t psi,
+    std::uint64_t tweak, std::uint64_t* out) noexcept {
+  static_assert(N % 4 == 0 && N >= 4 && N <= 16);
+  constexpr unsigned V = N / 4;
+  const std::uint64_t k64 =
+      (static_cast<std::uint64_t>(psi) << 32 | psi) ^ tweak;
+  const __m256i k = _mm256_set1_epi64x(static_cast<long long>(k64));
+  const __m256i k13 = avx2::rotl64(k, 13);
+  const __m256i k37 = avx2::rotl64(k, 37);
+  const __m256i present = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(detail::kPresentSbox.data())));
+  const __m256i spongent = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(detail::kSpongentSbox.data())));
+
+  __m256i x[V], h[V];
+  for (unsigned v = 0; v < V; ++v) {
+    h[v] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + 4 * v));
+    x[v] = _mm256_xor_si256(
+        _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + 4 * v)),
+            avx2::rotl64(h[v], 21)),
+        k);
+  }
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sbox_layer(x[v], present);
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sigma(avx2::pbox_a(x[v]), 19, 43);
+  for (unsigned v = 0; v < V; ++v) {
+    x[v] = _mm256_xor_si256(x[v], _mm256_xor_si256(avx2::rotl64(h[v], 47), k13));
+  }
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sbox_layer(x[v], spongent);
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sigma(avx2::pbox_b(x[v]), 11, 50);
+  for (unsigned v = 0; v < V; ++v) x[v] = _mm256_xor_si256(x[v], k37);
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sbox_layer(x[v], present);
+  for (unsigned v = 0; v < V; ++v) x[v] = avx2::sigma(x[v], 29, 39);
+  for (unsigned v = 0; v < V; ++v) {
+    x[v] = _mm256_xor_si256(x[v], _mm256_srli_epi64(x[v], 31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * v), x[v]);
+  }
+}
+
+#else  // !STBPU_MIX_AVX2
+
+[[nodiscard]] inline bool mix_avx2_available() noexcept { return false; }
+
+#endif  // STBPU_MIX_AVX2
+
+/// Production batched-mix entry point: the AVX2 nibble-shuffle kernel when
+/// the host executes it (and the lane count is vectorizable), else the
+/// portable byte-LUT lane kernel. Bit-identical either way; the remap
+/// cache's compacted miss lists go through here.
+template <unsigned N>
+inline void mix_batch_dispatch(const std::uint64_t* lo, const std::uint64_t* hi,
+                               std::uint32_t psi, std::uint64_t tweak,
+                               std::uint64_t* out) noexcept {
+#if STBPU_MIX_AVX2
+  if constexpr (N % 4 == 0) {
+    if (mix_avx2_available()) {
+      mix_batch_avx2<N>(lo, hi, psi, tweak, out);
+      return;
+    }
+  }
+#endif
+  mix_batch<N, /*UseLut16=*/false>(lo, hi, psi, tweak, out);
+}
+
 }  // namespace detail
 
 /// Stateless keyed remapping per Table II. Per-function tweak constants make
@@ -118,10 +336,21 @@ class Remapper {
   static constexpr unsigned kPhtIndexBits = 14;
   static constexpr unsigned kGhrBitsUsed = 16;  ///< STBPU consumes 16 GHR bits
 
-  /// R1(80 ↦ 22): ψ + 48-bit address → BTB set/tag/offset.
-  [[nodiscard]] static bpu::BtbIndex r1(std::uint32_t psi, std::uint64_t ip) noexcept {
-    const std::uint64_t m =
-        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0xB7E151628AED2A6AULL);
+  // Per-function round tweaks (the constants that make R1..R4/Rt/Rp
+  // mutually independent under one ψ). Named so the batched probe/fill
+  // path (core/remap_cache.h) can feed compacted miss lists through
+  // detail::mix_batch with exactly the tweak the scalar function uses.
+  static constexpr std::uint64_t kTweakR1 = 0xB7E151628AED2A6AULL;
+  static constexpr std::uint64_t kTweakR2 = 0x9E3779B97F4A7C15ULL;
+  static constexpr std::uint64_t kTweakR3 = 0x3C6EF372FE94F82BULL;
+  static constexpr std::uint64_t kTweakR4 = 0xA54FF53A5F1D36F1ULL;
+  static constexpr std::uint64_t kTweakRtIndex = 0x510E527FADE682D1ULL;
+  static constexpr std::uint64_t kTweakRtTag = 0x9B05688C2B3E6C1FULL;
+  static constexpr std::uint64_t kTweakRp = 0x1F83D9ABFB41BD6BULL;
+
+  // Output extraction from a finished mix — shared by the scalar functions
+  // and the batch fill path so the bit geometry has one source of truth.
+  [[nodiscard]] static constexpr bpu::BtbIndex r1_from_mix(std::uint64_t m) noexcept {
     // Tag stays in the full 64-bit BtbIndex field (already masked to
     // kBtbTagBits by util::bits) — same width handling as r1_scaled, no
     // narrow-then-rewiden cast.
@@ -132,27 +361,35 @@ class Remapper {
             util::bits(m, kBtbSetBits + kBtbTagBits, kBtbOffsetBits)),
     };
   }
+  [[nodiscard]] static constexpr std::uint32_t pht_from_mix(std::uint64_t m) noexcept {
+    return static_cast<std::uint32_t>(util::bits(m, 0, kPhtIndexBits));
+  }
+  [[nodiscard]] static constexpr std::uint32_t rp_from_mix(std::uint64_t m,
+                                                           unsigned row_bits) noexcept {
+    return static_cast<std::uint32_t>(util::bits(m, 0, row_bits));
+  }
+
+  /// R1(80 ↦ 22): ψ + 48-bit address → BTB set/tag/offset.
+  [[nodiscard]] static bpu::BtbIndex r1(std::uint32_t psi, std::uint64_t ip) noexcept {
+    return r1_from_mix(detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, kTweakR1));
+  }
 
   /// R2(90 ↦ 8): ψ + 58-bit BHB → mode-2 tag component.
   [[nodiscard]] static std::uint32_t r2(std::uint32_t psi, std::uint64_t bhb) noexcept {
-    const std::uint64_t m = detail::mix(bhb, bhb >> 32, psi, 0x9E3779B97F4A7C15ULL);
+    const std::uint64_t m = detail::mix(bhb, bhb >> 32, psi, kTweakR2);
     return static_cast<std::uint32_t>(util::bits(m, 0, kBtbTagBits));
   }
 
   /// R3(80 ↦ 14): ψ + 48-bit address → PHT 1-level index.
   [[nodiscard]] static std::uint32_t r3(std::uint32_t psi, std::uint64_t ip) noexcept {
-    const std::uint64_t m =
-        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0x3C6EF372FE94F82BULL);
-    return static_cast<std::uint32_t>(util::bits(m, 0, kPhtIndexBits));
+    return pht_from_mix(detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, kTweakR3));
   }
 
   /// R4(96 ↦ 14): ψ + 16-bit GHR + 48-bit address → PHT 2-level index.
   [[nodiscard]] static std::uint32_t r4(std::uint32_t psi, std::uint64_t ip,
                                         std::uint64_t ghr) noexcept {
-    const std::uint64_t m = detail::mix(ip & bpu::kVirtualAddressMask,
-                                        util::bits(ghr, 0, kGhrBitsUsed), psi,
-                                        0xA54FF53A5F1D36F1ULL);
-    return static_cast<std::uint32_t>(util::bits(m, 0, kPhtIndexBits));
+    return pht_from_mix(detail::mix(ip & bpu::kVirtualAddressMask,
+                                    util::bits(ghr, 0, kGhrBitsUsed), psi, kTweakR4));
   }
 
   /// Rt(80↑ ↦ 25): ψ + 48-bit address + folded geometric history →
@@ -162,8 +399,7 @@ class Remapper {
                                               unsigned index_bits) noexcept {
     const std::uint64_t m =
         detail::mix(ip & bpu::kVirtualAddressMask,
-                    folded_hist ^ (std::uint64_t{table} << 58), psi,
-                    0x510E527FADE682D1ULL);
+                    folded_hist ^ (std::uint64_t{table} << 58), psi, kTweakRtIndex);
     return static_cast<std::uint32_t>(util::bits(m, 0, index_bits));
   }
   [[nodiscard]] static std::uint32_t rt_tag(std::uint32_t psi, std::uint64_t ip,
@@ -171,8 +407,7 @@ class Remapper {
                                             unsigned tag_bits) noexcept {
     const std::uint64_t m =
         detail::mix(ip & bpu::kVirtualAddressMask,
-                    folded_hist ^ (std::uint64_t{table} << 58), psi,
-                    0x9B05688C2B3E6C1FULL);
+                    folded_hist ^ (std::uint64_t{table} << 58), psi, kTweakRtTag);
     // Tag drawn from a disjoint bit window so index/tag are not correlated.
     return static_cast<std::uint32_t>(util::bits(m, 14, tag_bits));
   }
@@ -180,9 +415,8 @@ class Remapper {
   /// Rp(80 ↦ 10): ψ + 48-bit address → perceptron row.
   [[nodiscard]] static std::uint32_t rp(std::uint32_t psi, std::uint64_t ip,
                                         unsigned row_bits) noexcept {
-    const std::uint64_t m =
-        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0x1F83D9ABFB41BD6BULL);
-    return static_cast<std::uint32_t>(util::bits(m, 0, row_bits));
+    return rp_from_mix(detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, kTweakRp),
+                       row_bits);
   }
 
   /// R1 with parameterized output geometry — used by the scaled-down
@@ -193,7 +427,7 @@ class Remapper {
                                                unsigned set_bits, unsigned tag_bits,
                                                unsigned offset_bits) noexcept {
     const std::uint64_t m =
-        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, 0xB7E151628AED2A6AULL);
+        detail::mix(ip & bpu::kVirtualAddressMask, 0, psi, kTweakR1);
     return bpu::BtbIndex{
         .set = static_cast<std::uint32_t>(util::bits(m, 0, set_bits)),
         .tag = util::bits(m, set_bits, tag_bits),

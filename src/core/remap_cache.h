@@ -27,9 +27,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bpu/mapping.h"
+#include "bpu/types.h"
 #include "core/remap.h"
 #include "core/secret_token.h"
 #include "util/bits.h"
@@ -45,9 +47,26 @@ struct RemapCacheStats {
   std::uint64_t fn_hits[kFnCount] = {};
   std::uint64_t fn_misses[kFnCount] = {};
 
+  // Batch probe/fill accounting (CachedStbpuMapping::precompute). Demand
+  // hits/misses above stay pure demand-side counters: an entry filled by
+  // precompute and later consumed counts one batch_fill here and one
+  // demand hit there — which is exactly the attribution the --cache-stats
+  // side-channel wants.
+  std::uint64_t batch_requests = 0;    ///< PredictRequests offered
+  std::uint64_t batch_drops = 0;       ///< dropped (foreign ctx / no token yet)
+  std::uint64_t batch_probe_hits = 0;  ///< probes already resident
+  std::uint64_t batch_fills = 0;       ///< compacted misses computed + filled
+  std::uint64_t fn_batch_fills[kFnCount] = {};
+
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  [[nodiscard]] static const char* fn_name(unsigned f) {
+    constexpr const char* kNames[kFnCount] = {"r1",       "r2",     "r3", "r4",
+                                              "rt_index", "rt_tag", "rp", "r34"};
+    return f < kFnCount ? kNames[f] : "?";
   }
 };
 
@@ -66,9 +85,15 @@ class CachedStbpuMapping {
   // (R4/Rt/R2) see a new key whenever the history pattern is new — their
   // reuse is the immediate predict→update / lookup→train double call plus
   // loop-periodic patterns, which small caches capture without streaming
-  // dirty lines through the hardware L2.
+  // dirty lines through the hardware L2. The fused R3+R4 cache is the
+  // exception: it doubles as the staging buffer of the batch-precompute
+  // window, so it must hold a whole precompute chunk with low self-
+  // eviction (a fill that is overwritten before its demand access wastes a
+  // batched mix AND pays the scalar recompute) — 4096 entries keeps the
+  // per-key eviction probability under ~12% at the 512-record window.
   static constexpr unsigned kSiteBits = 12;   ///< R1/R3/Rp: 4096 entries
   static constexpr unsigned kHistBits = 10;   ///< R2/R4: 1024 entries
+  static constexpr unsigned kR34Bits = 12;    ///< fused R3+R4: 4096 entries
   static constexpr unsigned kTageBits = 11;   ///< Rt index/tag: 2048 entries
 
   explicit CachedStbpuMapping(STManager* stm)
@@ -77,26 +102,31 @@ class CachedStbpuMapping {
         r2_(std::size_t{1} << kHistBits),
         r3_(std::size_t{1} << kSiteBits),
         r4_(std::size_t{1} << kHistBits),
-        r34_(std::size_t{1} << kHistBits),
+        r34_(std::size_t{1} << kR34Bits),
         rt_index_(std::size_t{1} << kTageBits),
         rt_tag_(std::size_t{1} << kTageBits),
         rp_(std::size_t{1} << kSiteBits) {}
 
-  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
-                                        const bpu::ExecContext& ctx) const {
-    const std::uint32_t psi = token(ctx).psi;
-    // R1 output packs into 22 bits (9 set + 8 tag + 5 offset) — stored as
-    // one word so the hot entry stays 24 bytes.
-    const std::uint32_t packed =
-        memo1<kSiteBits, RemapCacheStats::kR1>(r1_, ip & bpu::kVirtualAddressMask, psi,
-                         [psi](std::uint64_t k0) {
-                           const bpu::BtbIndex idx = Remapper::r1(psi, k0);
-                           return idx.set | (static_cast<std::uint32_t>(idx.tag) << 9) |
-                                  (idx.offset << 17);
-                         });
+  // R1 output packs into 22 bits (9 set + 8 tag + 5 offset) — stored as
+  // one word so the hot entry stays 24 bytes.
+  [[nodiscard]] static constexpr std::uint32_t pack_r1(const bpu::BtbIndex& idx) noexcept {
+    return idx.set | (static_cast<std::uint32_t>(idx.tag) << 9) | (idx.offset << 17);
+  }
+  [[nodiscard]] static constexpr bpu::BtbIndex unpack_r1(std::uint32_t packed) noexcept {
     return bpu::BtbIndex{.set = packed & 0x1FFu,
                          .tag = (packed >> 9) & 0xFFu,
                          .offset = packed >> 17};
+  }
+
+  [[nodiscard]] bpu::BtbIndex btb_mode1(std::uint64_t ip,
+                                        const bpu::ExecContext& ctx) const {
+    const std::uint32_t psi = token(ctx).psi;
+    const std::uint32_t packed =
+        memo1<kSiteBits, RemapCacheStats::kR1>(r1_, ip & bpu::kVirtualAddressMask, psi,
+                         [psi](std::uint64_t k0) {
+                           return pack_r1(Remapper::r1(psi, k0));
+                         });
+    return unpack_r1(packed);
   }
 
   [[nodiscard]] std::uint32_t btb_mode2_tag(std::uint64_t bhb,
@@ -138,7 +168,7 @@ class CachedStbpuMapping {
     const std::uint32_t psi = token(ctx).psi;
     const std::uint64_t k0 = ip & bpu::kVirtualAddressMask;
     const std::uint64_t k1 = util::bits(ghr, 0, Remapper::kGhrBitsUsed);
-    const std::uint64_t packed = memo2<kHistBits, RemapCacheStats::kR34>(
+    const std::uint64_t packed = memo2<kR34Bits, RemapCacheStats::kR34>(
         r34_, k0, k1, psi, [&](std::uint64_t, std::uint64_t) {
           const std::uint32_t i1 =
               memo1<kSiteBits, RemapCacheStats::kR3>(r3_, k0, psi, [psi](std::uint64_t a) {
@@ -198,6 +228,96 @@ class CachedStbpuMapping {
     });
   }
 
+  // -------------------------------------------------------------------------
+  // Batch probe/fill (the batch-native prediction API's mapping layer).
+  // -------------------------------------------------------------------------
+
+  /// Which R functions a precompute pass should warm — the engine sets this
+  /// from its direction-predictor type at compile time (SKLCond reads the
+  /// fused R3+R4 probe, the perceptron reads Rp, every branch reads R1).
+  struct PrecomputeSelect {
+    bool r1 = true;
+    bool r34 = false;        ///< fused PHT indexes; consumes PredictRequest::ghr
+    bool rp = false;         ///< perceptron row
+    unsigned rp_row_bits = 0;
+  };
+
+  /// Lane width of the compacted miss list: enough independent mix chains
+  /// to saturate the load ports (the mix_batch scenario measures the knee).
+  static constexpr unsigned kMixLanes = 8;
+
+  /// Probe the selected per-function caches for every request and compute
+  /// the compacted miss list through detail::mix_batch — one batched kernel
+  /// invocation per kMixLanes genuinely fresh keys instead of one
+  /// latency-bound mix() per access. Entries filled here are bit-identical
+  /// to what the demand path would compute (same Remapper extraction from
+  /// the same mix), so warming is invisible to prediction statistics.
+  ///
+  /// Never fetches a secret token: STManager materializes tokens lazily
+  /// from a shared PRNG, so creation *order* is architectural state a
+  /// lookahead must not perturb. Requests for any entity other than the one
+  /// the demand path has already established are dropped (counted), as is
+  /// the whole span when a token mutation is pending — the demand path
+  /// handles those cases exactly as before.
+  void precompute(std::span<const bpu::PredictRequest> reqs,
+                  const PrecomputeSelect& sel) const {
+    stats_.batch_requests += reqs.size();
+    if (!token_valid_ || stm_->mutations() != mutation_snapshot_) {
+      stats_.batch_drops += reqs.size();
+      return;
+    }
+    const std::uint32_t psi = token_.psi;
+    MissLanes r1l, r34l, rpl;
+    for (const bpu::PredictRequest& q : reqs) {
+      if (q.ctx.pid != token_pid_ || q.ctx.kernel != token_kernel_) {
+        ++stats_.batch_drops;
+        continue;
+      }
+      const std::uint64_t a = q.ip & bpu::kVirtualAddressMask;
+      if (sel.r1) {
+        const std::size_t s = slot1<kSiteBits>(a);
+        const Entry1<std::uint32_t>& e = r1_[s];
+        if ((e.gen == generation_ && e.psi == psi && e.k0 == a) ||
+            r1l.pending(a, 0, s)) {
+          ++stats_.batch_probe_hits;
+        } else {
+          r1l.add(a, 0, a, 0, s);
+          if (r1l.n == kMixLanes) flush_r1(r1l, psi);
+        }
+      }
+      if (q.type == bpu::BranchType::kConditional) {
+        if (sel.r34) {
+          const std::uint64_t g = util::bits(q.ghr, 0, Remapper::kGhrBitsUsed);
+          const std::size_t s = slot2<kR34Bits>(a, g);
+          const Entry2<std::uint64_t>& e = r34_[s];
+          if ((e.gen == generation_ && e.psi == psi && e.k0 == a && e.k1 == g) ||
+              r34l.pending(a, g, s)) {
+            ++stats_.batch_probe_hits;
+          } else {
+            r34l.add(a, g, a, g, s);
+            if (r34l.n == kMixLanes) flush_r34(r34l, psi);
+          }
+        }
+        if (sel.rp) {
+          const std::uint64_t k0 =
+              a | (std::uint64_t{sel.rp_row_bits} << 48);
+          const std::size_t s = slot1<kSiteBits>(k0);
+          const Entry1<std::uint32_t>& e = rp_[s];
+          if ((e.gen == generation_ && e.psi == psi && e.k0 == k0) ||
+              rpl.pending(k0, 0, s)) {
+            ++stats_.batch_probe_hits;
+          } else {
+            rpl.add(a, 0, k0, 0, s);
+            if (rpl.n == kMixLanes) flush_rp(rpl, psi, sel.rp_row_bits);
+          }
+        }
+      }
+    }
+    flush_r1(r1l, psi);
+    flush_r34(r34l, psi);
+    flush_rp(rpl, psi, sel.rp_row_bits);
+  }
+
   /// Empty every cached entry (O(1) generation bump). Called by the engine
   /// on context switches; token mutations are also caught automatically.
   void invalidate_all() const {
@@ -252,6 +372,130 @@ class CachedStbpuMapping {
   static std::size_t slot2(std::uint64_t k0, std::uint64_t k1) noexcept {
     const std::uint64_t h = (k0 * 0x9E3779B97F4A7C15ULL) ^ (k1 * 0xC2B2AE3D27D4EB4FULL);
     return static_cast<std::size_t>(h >> (64 - Bits));
+  }
+
+  /// Compacted miss list of one precompute pass: mix inputs plus the entry
+  /// keys/slots needed to fill the cache once the batched kernel returns.
+  struct MissLanes {
+    std::uint64_t lo[kMixLanes];
+    std::uint64_t hi[kMixLanes];
+    std::uint64_t k0[kMixLanes];
+    std::uint64_t k1[kMixLanes];
+    std::size_t slot[kMixLanes];
+    unsigned n = 0;
+
+    void add(std::uint64_t lo_v, std::uint64_t hi_v, std::uint64_t k0_v,
+             std::uint64_t k1_v, std::size_t slot_v) noexcept {
+      lo[n] = lo_v;
+      hi[n] = hi_v;
+      k0[n] = k0_v;
+      k1[n] = k1_v;
+      slot[n] = slot_v;
+      ++n;
+    }
+
+    /// True when the same key is already queued (cache entries only fill
+    /// at flush, so a repeated key — e.g. one hot branch saturating the
+    /// GHR slice — would otherwise probe-miss per occurrence and burn a
+    /// mix lane recomputing the identical value). n <= kMixLanes keeps
+    /// this a trivial scan, and it only runs on the probe-miss path.
+    [[nodiscard]] bool pending(std::uint64_t k0_v, std::uint64_t k1_v,
+                               std::size_t slot_v) const noexcept {
+      for (unsigned i = 0; i < n; ++i) {
+        if (slot[i] == slot_v && k0[i] == k0_v && k1[i] == k1_v) return true;
+      }
+      return false;
+    }
+  };
+
+  /// Mix every pending lane under one (ψ, tweak): full batches go through
+  /// the interleaved kernel, remainders through scalar mix() — identical
+  /// outputs either way, so fills are indistinguishable from demand fills.
+  template <std::uint64_t Tweak>
+  void mix_lanes(const MissLanes& l, std::uint32_t psi,
+                 std::uint64_t (&m)[kMixLanes]) const {
+    if (l.n == kMixLanes) {
+      // Dispatches to the AVX2 nibble-shuffle kernel when the host has it,
+      // else byte-LUT lanes — NOT the 16-bit LUT: in isolation LUT16
+      // batches are ~28% faster (mix_batch scenario), but their 256 KiB of
+      // tables evict the predictor/PHT working set in-context, while the
+      // byte LUTs stay resident in 512 bytes and the AVX2 S-boxes live in
+      // registers outright.
+      detail::mix_batch_dispatch<kMixLanes>(l.lo, l.hi, psi, Tweak, m);
+    } else {
+      for (unsigned i = 0; i < l.n; ++i) {
+        m[i] = detail::mix(l.lo[i], l.hi[i], psi, Tweak);
+      }
+    }
+  }
+
+  void flush_r1(MissLanes& l, std::uint32_t psi) const {
+    if (l.n == 0) return;
+    std::uint64_t m[kMixLanes];
+    mix_lanes<Remapper::kTweakR1>(l, psi, m);
+    for (unsigned i = 0; i < l.n; ++i) {
+      Entry1<std::uint32_t>& e = r1_[l.slot[i]];
+      e.k0 = l.k0[i];
+      e.psi = psi;
+      e.gen = generation_;
+      e.value = pack_r1(Remapper::r1_from_mix(m[i]));
+    }
+    stats_.batch_fills += l.n;
+    stats_.fn_batch_fills[RemapCacheStats::kR1] += l.n;
+    l.n = 0;
+  }
+
+  void flush_r34(MissLanes& l, std::uint32_t psi) const {
+    if (l.n == 0) return;
+    std::uint64_t m[kMixLanes];
+    mix_lanes<Remapper::kTweakR4>(l, psi, m);
+    for (unsigned i = 0; i < l.n; ++i) {
+      // Mirror the fused demand miss: R3 comes through its own (address-
+      // keyed, almost-always-hot) cache; only the genuinely fresh R4 was
+      // worth a batched mix lane. Probed inline rather than via memo1 so
+      // the demand-side hit/miss counters stay pure demand attribution —
+      // an R3 computed here counts as a batch fill, not a demand miss.
+      const std::uint64_t a = l.k0[i];
+      Entry1<std::uint32_t>& r3e = r3_[slot1<kSiteBits>(a)];
+      std::uint32_t i1;
+      if (r3e.gen == generation_ && r3e.psi == psi && r3e.k0 == a) {
+        i1 = r3e.value;
+      } else {
+        i1 = Remapper::r3(psi, a);
+        r3e.k0 = a;
+        r3e.psi = psi;
+        r3e.gen = generation_;
+        r3e.value = i1;
+        ++stats_.batch_fills;
+        ++stats_.fn_batch_fills[RemapCacheStats::kR3];
+      }
+      Entry2<std::uint64_t>& e = r34_[l.slot[i]];
+      e.k0 = a;
+      e.k1 = l.k1[i];
+      e.psi = psi;
+      e.gen = generation_;
+      e.value = static_cast<std::uint64_t>(i1) |
+                (static_cast<std::uint64_t>(Remapper::pht_from_mix(m[i])) << 32);
+    }
+    stats_.batch_fills += l.n;
+    stats_.fn_batch_fills[RemapCacheStats::kR34] += l.n;
+    l.n = 0;
+  }
+
+  void flush_rp(MissLanes& l, std::uint32_t psi, unsigned row_bits) const {
+    if (l.n == 0) return;
+    std::uint64_t m[kMixLanes];
+    mix_lanes<Remapper::kTweakRp>(l, psi, m);
+    for (unsigned i = 0; i < l.n; ++i) {
+      Entry1<std::uint32_t>& e = rp_[l.slot[i]];
+      e.k0 = l.k0[i];
+      e.psi = psi;
+      e.gen = generation_;
+      e.value = Remapper::rp_from_mix(m[i], row_bits);
+    }
+    stats_.batch_fills += l.n;
+    stats_.fn_batch_fills[RemapCacheStats::kRp] += l.n;
+    l.n = 0;
   }
 
   template <unsigned Bits, RemapCacheStats::Fn F, class V, class Fn>

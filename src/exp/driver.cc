@@ -37,6 +37,9 @@ void print_usage(std::FILE* to) {
                "  --trace=PATH               replay an on-disk branch trace (trace-replay\n"
                "                             scenarios)\n"
                "  --seed=N                   model seed override (0 = scenario default)\n"
+               "  --cache-stats              attach remap memo-cache per-function\n"
+               "                             hit/miss/batch-fill counters to measurement\n"
+               "                             points (JSON side-channel fields)\n"
                "  --trace-branches=N --trace-warmup=N\n"
                "  --ooo-instructions=N --ooo-warmup=N\n"
                "                             individual budget overrides\n"
@@ -134,6 +137,8 @@ bool parse_run_flags(const std::vector<std::string>& args, RunOptions& out,
       out.spec.trace_file = arg.substr(8);
     } else if (starts_with(arg, "--seed=")) {
       if (!parse_u64_flag(arg.c_str(), "--seed=", out.spec.seed, err)) return false;
+    } else if (arg == "--cache-stats") {
+      out.spec.cache_stats = true;
     } else if (starts_with(arg, "--trace-branches=")) {
       if (!parse_u64_flag(arg.c_str(), "--trace-branches=", out.spec.scale.trace_branches,
                           err)) {

@@ -15,8 +15,14 @@ std::string format_double(double d, const char* fmt) {
 }
 
 std::vector<const Scenario*>& registry() {
-  static std::vector<const Scenario*> scenarios;
-  return scenarios;
+  // Deliberately immortal (never-destroyed) singleton: scenarios register
+  // once and live for the whole process, and keeping the vector itself
+  // alive through exit keeps every registered Scenario* reachable — so
+  // LeakSanitizer sees "still reachable", not a leak. A plain static
+  // vector would run its destructor before the leak check and orphan the
+  // registry's contents.
+  static auto* scenarios = new std::vector<const Scenario*>();
+  return *scenarios;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@ void register_builtin_scenarios() {
     scenarios::register_trace();
     scenarios::register_ooo();
     scenarios::register_attacks();
+    scenarios::register_mix();
     return true;
   }();
   (void)once;

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/remap_cache.h"
 #include "exp/scenario.h"
 
 namespace stbpu::exp {
@@ -35,11 +36,31 @@ inline std::vector<std::size_t> selected_indices(const ExperimentSpec& spec,
   return out;
 }
 
+/// The `--cache-stats` side channel: per-function remap memo-cache counters
+/// attached to a measurement point, so a BENCH_*.json consumer can
+/// attribute batching wins (probe hits, compacted-miss batch fills, drops)
+/// instead of inferring them from throughput deltas.
+inline void append_cache_stats(PointResult& p, const core::RemapCacheStats& s) {
+  p.set("cache_hits", s.hits)
+      .set("cache_misses", s.misses)
+      .set("cache_invalidations", s.invalidations)
+      .set("cache_batch_requests", s.batch_requests)
+      .set("cache_batch_drops", s.batch_drops)
+      .set("cache_batch_probe_hits", s.batch_probe_hits)
+      .set("cache_batch_fills", s.batch_fills);
+  for (unsigned f = 0; f < core::RemapCacheStats::kFnCount; ++f) {
+    const std::string base = std::string("cache_") + core::RemapCacheStats::fn_name(f);
+    p.set(base + "_hits", s.fn_hits[f]).set(base + "_misses", s.fn_misses[f]);
+    if (s.fn_batch_fills[f] != 0) p.set(base + "_batch_fills", s.fn_batch_fills[f]);
+  }
+}
+
 namespace scenarios {
 void register_analysis();  // fig2_remapgen, sec6_thresholds, table2_remap_functions
 void register_attacks();   // table1_attack_surface, ablation, sec6_empirical
 void register_trace();     // fig3_oae
 void register_ooo();       // fig4_single, fig5_smt, fig6_rsweep, ooo_engine
+void register_mix();       // mix_batch (keyed-mix kernel study)
 }  // namespace scenarios
 
 }  // namespace stbpu::exp

@@ -141,7 +141,7 @@ class Fig4Scenario final : public ScenarioBase {
       // Interleave repetitions of both paths and keep each path's best
       // time; every repetition rebuilds its model so both start cold.
       double legacy_secs = 1e300, devirt_secs = 1e300;
-      double cache_hit_rate = 0.0;
+      core::RemapCacheStats cache_stats;
       sim::BranchStats legacy_stats, devirt_stats;
       for (unsigned rep = 0; rep < 3; ++rep) {
         stream.reset();
@@ -156,7 +156,7 @@ class Fig4Scenario final : public ScenarioBase {
         devirt_stats = models::replay_engine(*engine, stream, opt);
         devirt_secs = std::min(devirt_secs, std::max(sw.seconds(), 1e-9));
         if (rep == 0) {
-          cache_hit_rate = models::engine_remap_cache_stats(*engine).hit_rate();
+          cache_stats = models::engine_remap_cache_stats(*engine);
         }
       }
       const double legacy_bps = branches / legacy_secs;
@@ -166,8 +166,9 @@ class Fig4Scenario final : public ScenarioBase {
           .set("devirt_branches_per_sec", devirt_bps)
           .set("branches_per_sec", devirt_bps)
           .set("speedup", devirt_bps / legacy_bps)
-          .set("remap_cache_hit_rate", cache_hit_rate)
+          .set("remap_cache_hit_rate", cache_stats.hit_rate())
           .set("identical_stats", legacy_stats == devirt_stats ? "true" : "false");
+      if (spec.cache_stats) append_cache_stats(p, cache_stats);
       return p;
     }
 
@@ -443,9 +444,12 @@ class OooEngineScenario final : public ScenarioBase {
 
     // Interleaved best-of-3 (fresh engine + generator per repetition):
     // the interface-typed OooCore vs the core instantiated on the concrete
-    // engine type through for_each_engine.
-    double iface_secs = 1e300, typed_secs = 1e300;
-    sim::OooResult iface_result{}, typed_result{};
+    // engine type through for_each_engine — the latter both with its
+    // lookahead front end (the shipping configuration) and without it
+    // (attributing the front-end batching separately from devirtualization).
+    double iface_secs = 1e300, typed_secs = 1e300, nola_secs = 1e300;
+    sim::OooResult iface_result{}, typed_result{}, nola_result{};
+    core::RemapCacheStats cache_stats;
     for (unsigned rep = 0; rep < 3; ++rep) {
       {
         auto engine = models::make_engine(mspec);
@@ -462,23 +466,41 @@ class OooEngineScenario final : public ScenarioBase {
         typed_result = sim::run_ooo({}, engine, {&gen}, spec.scale.ooo_instructions,
                                     spec.scale.ooo_warmup);
         typed_secs = std::min(typed_secs, std::max(sw.seconds(), 1e-9));
+        if (rep == 0) {
+          cache_stats = models::engine_remap_cache_stats(engine);
+        }
+      });
+      for_each_engine(mspec, [&](auto& engine) {
+        trace::SyntheticInstrGenerator gen(profile);
+        sim::OooConfig cfg;
+        cfg.lookahead = false;
+        Stopwatch sw;
+        nola_result = sim::run_ooo(cfg, engine, {&gen}, spec.scale.ooo_instructions,
+                                   spec.scale.ooo_warmup);
+        nola_secs = std::min(nola_secs, std::max(sw.seconds(), 1e-9));
       });
     }
     const double branches = static_cast<double>(typed_result.combined_stats().branches);
     const double iface_bps = branches / iface_secs;
     const double typed_bps = branches / typed_secs;
+    const double nola_bps = branches / nola_secs;
     const bool identical =
         iface_result.combined_stats() == typed_result.combined_stats() &&
         iface_result.instructions == typed_result.instructions &&
-        iface_result.cycles == typed_result.cycles;
+        iface_result.cycles == typed_result.cycles &&
+        nola_result.combined_stats() == typed_result.combined_stats() &&
+        nola_result.cycles == typed_result.cycles;
     PointResult p;
     p.set("iface_branches_per_sec", iface_bps)
         .set("typed_branches_per_sec", typed_bps)
+        .set("typed_nolookahead_branches_per_sec", nola_bps)
         .set("branches_per_sec", typed_bps)
         .set("speedup", typed_bps / iface_bps)
+        .set("lookahead_speedup", typed_bps / nola_bps)
         .set("measured_branches", std::uint64_t{typed_result.combined_stats().branches})
         .set("ipc", typed_result.ipc[0])
         .set("identical_stats", identical ? "true" : "false");
+    if (spec.cache_stats) append_cache_stats(p, cache_stats);
     return p;
   }
 

@@ -58,6 +58,7 @@ std::string ExperimentSpec::to_json(bool with_shard) const {
   }
   if (!trace_file.empty()) out += ", \"trace_file\": " + json_quote(trace_file);
   if (seed != 0) out += ", \"seed\": " + std::to_string(seed);
+  if (cache_stats) out += ", \"cache_stats\": true";
   out += "}";
   return out;
 }
@@ -163,6 +164,12 @@ bool ExperimentSpec::from_json(const JsonValue& v, ExperimentSpec& out, std::str
       out.trace_file = val.text();
     } else if (key == "seed") {
       if (!want_u64(val, out.seed, "seed", err)) return false;
+    } else if (key == "cache_stats") {
+      if (!val.is_bool()) {
+        err = "'cache_stats' must be a boolean";
+        return false;
+      }
+      out.cache_stats = val.as_bool();
     } else {
       err = "unknown spec field '" + key + "'";
       return false;

@@ -46,6 +46,10 @@ struct ExperimentSpec {
   /// instead of their synthetic workloads (trace::FileStream).
   std::string trace_file;
   std::uint64_t seed = 0;  ///< 0 = scenario defaults
+  /// Attach the remap memo-cache's per-function hit/miss/batch-fill
+  /// counters to measurement points (JSON side-channel fields), so batching
+  /// wins are attributable instead of inferred (`--cache-stats`).
+  bool cache_stats = false;
 
   [[nodiscard]] bool sharded() const noexcept { return shard_count > 1; }
   /// True when grid point `index` is selected (before sharding).

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bpu/predictor.h"
@@ -41,6 +42,27 @@ struct OooConfig {
   unsigned lat_div = 20;
   unsigned lat_fp = 4;
   unsigned lat_branch = 2;
+
+  /// Decoupled lookahead front end (batch-capable BPUs only): the core
+  /// buffers frontend_depth × width upcoming instructions per thread and
+  /// issues one batched precompute for the branches in the window, so the
+  /// per-branch access() below finds its keyed mixes already resident —
+  /// the fetch-directed-predictor structure modern cores use to run the
+  /// BPU ahead of the backend. Purely a simulator-throughput feature:
+  /// results are bit-identical with it on or off
+  /// (tests/integration/ooo_typed_equivalence_test.cc).
+  bool lookahead = true;
+};
+
+/// BPU types whose batch-native precompute actually does work
+/// (models::EngineT with kBatchPrecompute — STBPU + GHR-keyed direction).
+/// Engines whose precompute is a compile-time no-op are excluded so they
+/// never pay the window-buffering overhead; the interface-typed core
+/// (Bpu = bpu::IPredictor) never sees this path either.
+template <class Bpu>
+concept LookaheadBpu = requires(Bpu& b, std::span<const bpu::BranchRecord> s) {
+  b.precompute_records(s);
+  requires Bpu::kBatchPrecompute;
 };
 
 struct OooResult {
@@ -101,9 +123,22 @@ class OooCoreT {
     std::uint64_t measured = 0;
     bool done = false;
     double finish_time = 0.0;
+    // Lookahead front end (batch-capable BPUs): buffered upcoming
+    // instructions and the branch scratch handed to precompute_records.
+    std::vector<trace::InstrRecord> window;
+    std::size_t window_pos = 0;
+    std::vector<bpu::BranchRecord> window_branches;
   };
 
   void step(ThreadState& t);
+  /// Pull the next instruction, through the lookahead window when enabled.
+  bool fetch_instr(ThreadState& t, trace::InstrRecord& out);
+  /// Refill the drained window and precompute its branches' keyed mixes.
+  /// The window only refills when empty, so every branch the engine has
+  /// already processed is reflected in the predictor's live GHR — the
+  /// speculative GHR walk inside precompute_records is exact unless ψ
+  /// re-keys mid-window (then the stale entries are tag-discarded).
+  void refill_window(ThreadState& t);
 
   OooConfig cfg_;
   Bpu* bpu_;
@@ -145,9 +180,47 @@ OooCoreT<Bpu>::OooCoreT(const OooConfig& cfg, Bpu* bpu,
 }
 
 template <class Bpu>
+bool OooCoreT<Bpu>::fetch_instr(ThreadState& t, trace::InstrRecord& out) {
+  if constexpr (LookaheadBpu<Bpu>) {
+    if (cfg_.lookahead) {
+      if (t.window_pos >= t.window.size()) refill_window(t);
+      if (t.window_pos < t.window.size()) {
+        out = t.window[t.window_pos++];
+        return true;
+      }
+      return false;
+    }
+  }
+  return t.stream->next(out);
+}
+
+template <class Bpu>
+void OooCoreT<Bpu>::refill_window(ThreadState& t) {
+  t.window.clear();
+  t.window_pos = 0;
+  const std::size_t depth =
+      std::max<std::size_t>(1, std::size_t{cfg_.frontend_depth} * cfg_.width);
+  trace::InstrRecord ins;
+  while (t.window.size() < depth && t.stream->next(ins)) t.window.push_back(ins);
+  if constexpr (LookaheadBpu<Bpu>) {
+    t.window_branches.clear();
+    for (const trace::InstrRecord& r : t.window) {
+      if (r.kind == trace::InstrRecord::Kind::kBranch) {
+        bpu::BranchRecord br = r.branch;
+        br.ctx.hart = t.hart;  // the core assigns harts, mirroring step()
+        t.window_branches.push_back(br);
+      }
+    }
+    if (!t.window_branches.empty()) {
+      bpu_->precompute_records(std::span<const bpu::BranchRecord>(t.window_branches));
+    }
+  }
+}
+
+template <class Bpu>
 void OooCoreT<Bpu>::step(ThreadState& t) {
   trace::InstrRecord ins;
-  if (!t.stream->next(ins)) {
+  if (!fetch_instr(t, ins)) {
     t.done = true;
     t.finish_time = t.last_commit;
     return;

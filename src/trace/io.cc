@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define STBPU_HAS_MMAP 1
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace stbpu::trace {
 
@@ -98,20 +106,88 @@ std::vector<bpu::BranchRecord> read_trace(const std::string& path) {
   return out;
 }
 
-FileStream::FileStream(std::string path) : path_(std::move(path)) {
-  file_.reset(open_trace(path_, count_).release());
+FileStream::FileStream(std::string path, FileStreamMode mode)
+    : path_(std::move(path)), mode_(mode) {
+  open_and_map();
   buffer_.reserve(kDefaultBatch);
+}
+
+FileStream::~FileStream() { unmap(); }
+
+void FileStream::open_and_map() {
+  file_.reset(open_trace(path_, count_).release());
+#if STBPU_HAS_MMAP
+  if (mode_ != FileStreamMode::kBuffered) {
+    // Map the whole file read-only; refills then unpack straight from the
+    // mapping with no syscalls, and the kernel pages cold regions out
+    // under memory pressure — the property that makes very large on-disk
+    // traces replayable without a resident copy.
+    struct stat st{};
+    if (fstat(fileno(file_.get()), &st) != 0) {
+      if (mode_ == FileStreamMode::kMmap) {
+        throw std::runtime_error("cannot stat trace: " + path_);
+      }
+      return;  // kAuto: fall back to buffered reads
+    }
+    // The header over-promises: fail now instead of faulting mid-replay
+    // (the fread path reports the same file as truncated read-by-read).
+    // Division form — `16 + count * 24` could wrap for a hostile 64-bit
+    // count and slip past a `size < need` comparison.
+    constexpr std::uint64_t kHeaderBytes = sizeof(std::uint32_t) * 4;
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size < kHeaderBytes ||
+        count_ > (size - kHeaderBytes) / sizeof(PackedRecord)) {
+      throw std::runtime_error("truncated trace: " + path_);
+    }
+    void* base = mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fileno(file_.get()), 0);
+    if (base == MAP_FAILED) {
+      if (mode_ == FileStreamMode::kMmap) {
+        throw std::runtime_error("cannot mmap trace: " + path_);
+      }
+      return;  // kAuto fallback
+    }
+    map_base_ = base;
+    map_len_ = static_cast<std::size_t>(st.st_size);
+  }
+#else
+  if (mode_ == FileStreamMode::kMmap) {
+    throw std::runtime_error("mmap unavailable on this platform: " + path_);
+  }
+#endif
+}
+
+void FileStream::unmap() {
+#if STBPU_HAS_MMAP
+  if (map_base_ != nullptr) munmap(map_base_, map_len_);
+#endif
+  map_base_ = nullptr;
+  map_len_ = 0;
 }
 
 std::size_t FileStream::refill() {
   if (buffer_pos_ < buffer_.size()) return buffer_.size() - buffer_pos_;
   buffer_.clear();
   buffer_pos_ = 0;
-  // Everything buffered so far has been consumed, so the file cursor is at
+  // Everything buffered so far has been consumed, so the read cursor is at
   // record `consumed_`.
   const std::uint64_t remaining = count_ - consumed_;
   const std::size_t target =
       static_cast<std::size_t>(std::min<std::uint64_t>(remaining, kDefaultBatch));
+  if (map_base_ != nullptr) {
+    // mmap path: unpack records straight out of the mapping. memcpy per
+    // record keeps the access well-defined regardless of mapping alignment
+    // guarantees; compilers lower it to plain loads.
+    const unsigned char* src = static_cast<const unsigned char*>(map_base_) +
+                               sizeof(std::uint32_t) * 4 +
+                               consumed_ * sizeof(PackedRecord);
+    for (std::size_t i = 0; i < target; ++i) {
+      PackedRecord p;
+      std::memcpy(&p, src + i * sizeof(PackedRecord), sizeof(PackedRecord));
+      buffer_.push_back(unpack(p));
+    }
+    return target;
+  }
   PackedRecord block[512];
   std::size_t filled = 0;
   while (filled < target) {
@@ -134,11 +210,10 @@ bool FileStream::next(bpu::BranchRecord& out) {
 }
 
 void FileStream::reset() {
-  // Re-validate the header on rewind (the file may have been replaced).
-  std::uint64_t count = 0;
-  FilePtr fresh = open_trace(path_, count);
-  file_.reset(fresh.release());
-  count_ = count;
+  // Re-validate the header on rewind (the file may have been replaced);
+  // the mapping is rebuilt against the fresh file in mmap mode.
+  unmap();
+  open_and_map();
   consumed_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;

@@ -23,15 +23,34 @@ bool write_trace(const std::string& path, const std::vector<bpu::BranchRecord>& 
 /// Read records from `path`. Throws std::runtime_error on malformed input.
 std::vector<bpu::BranchRecord> read_trace(const std::string& path);
 
+/// How FileStream reads the trace bytes.
+enum class FileStreamMode : std::uint8_t {
+  kAuto,      ///< mmap when the platform supports it, else buffered fread
+  kMmap,      ///< require mmap; throws where unavailable
+  kBuffered,  ///< block-buffered fread (the portable fallback)
+};
+
 /// File-backed branch stream with block-buffered reads: records are pulled
 /// from disk kDefaultBatch at a time and unpacked into a resident buffer,
 /// so next() never touches the file per branch and borrow_run() hands
 /// sim::replay contiguous already-materialized runs (the SoA fast path) —
 /// without materializing the whole trace like read_trace + VectorStream.
-/// Throws std::runtime_error on open/header failure or truncated reads.
+///
+/// Very large traces should be mapped, not read: in mmap mode the whole
+/// file is mapped read-only once (the kernel pages it in on demand and can
+/// evict cold pages under pressure, so a 100 GB trace needs no resident
+/// copy) and refills unpack straight from the mapping with zero syscalls.
+/// Record unpacking — and therefore every statistic — is identical across
+/// modes (tests/trace/file_stream_test.cc asserts mmap ≡ fread ≡ memory).
+/// Throws std::runtime_error on open/header/size failure or truncated
+/// reads.
 class FileStream final : public BranchStream {
  public:
-  explicit FileStream(std::string path);
+  explicit FileStream(std::string path, FileStreamMode mode = FileStreamMode::kAuto);
+  ~FileStream() override;
+
+  FileStream(const FileStream&) = delete;
+  FileStream& operator=(const FileStream&) = delete;
 
   bool next(bpu::BranchRecord& out) override;
   void reset() override;
@@ -40,6 +59,8 @@ class FileStream final : public BranchStream {
 
   /// Total records in the trace file.
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// True when refills unpack from an mmap'ed region instead of fread.
+  [[nodiscard]] bool mmap_active() const noexcept { return map_base_ != nullptr; }
 
  private:
   struct FileCloser {
@@ -48,16 +69,24 @@ class FileStream final : public BranchStream {
     }
   };
 
-  /// Refill the buffer from disk (up to kDefaultBatch records). Returns the
-  /// number of buffered records available.
+  /// (Re)open the file, validate the header, and establish the configured
+  /// read mode (mapping the file in mmap mode).
+  void open_and_map();
+  void unmap();
+
+  /// Refill the buffer (up to kDefaultBatch records) from the mapping or
+  /// from disk. Returns the number of buffered records available.
   std::size_t refill();
 
   std::string path_;
+  FileStreamMode mode_;
   std::unique_ptr<std::FILE, FileCloser> file_;
   std::uint64_t count_ = 0;      ///< records in the file
   std::uint64_t consumed_ = 0;   ///< records handed to the caller
   std::vector<bpu::BranchRecord> buffer_;
   std::size_t buffer_pos_ = 0;
+  void* map_base_ = nullptr;     ///< whole-file mapping (mmap mode)
+  std::size_t map_len_ = 0;
 };
 
 }  // namespace stbpu::trace

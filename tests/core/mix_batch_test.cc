@@ -1,0 +1,163 @@
+// Bit-identity properties of the batched mix kernels: every rendering of
+// the substitution layers (byte LUT, 16-bit double-byte LUT) and every
+// lane count of detail::mix_batch must reproduce scalar detail::mix
+// exactly, over random and adversarial inputs and across ψ re-keys —
+// that identity is what lets the remap cache fill entries from batched
+// kernels without the equivalence tests ever noticing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/remap.h"
+#include "util/rng.h"
+
+namespace stbpu::core {
+namespace {
+
+using detail::kPresentByteLut;
+using detail::kPresentLut16;
+using detail::kSpongentByteLut;
+using detail::kSpongentLut16;
+
+std::vector<std::uint64_t> adversarial_words() {
+  return {0x0ULL,
+          ~0x0ULL,
+          0x0101010101010101ULL,
+          0x8080808080808080ULL,
+          0xAAAAAAAAAAAAAAAAULL,
+          0x5555555555555555ULL,
+          0x00000000FFFFFFFFULL,
+          0xFFFFFFFF00000000ULL,
+          0x0000FFFF0000FFFFULL,
+          0xF0F0F0F0F0F0F0F0ULL,
+          0x0123456789ABCDEFULL,
+          0xFEDCBA9876543210ULL};
+}
+
+TEST(MixBatch, Lut16SboxLayerMatchesByteLut) {
+  util::Xoshiro256 rng(0x51B0);
+  auto check = [](std::uint64_t x) {
+    EXPECT_EQ(detail::sbox_layer16<kPresentLut16>(x),
+              detail::sbox_layer<kPresentByteLut>(x))
+        << std::hex << x;
+    EXPECT_EQ(detail::sbox_layer16<kSpongentLut16>(x),
+              detail::sbox_layer<kSpongentByteLut>(x))
+        << std::hex << x;
+  };
+  for (const std::uint64_t x : adversarial_words()) check(x);
+  for (int i = 0; i < 20000; ++i) check(rng());
+}
+
+TEST(MixBatch, Lut16TableIsTheByteTableOnBothHalves) {
+  // Structural identity, checked exhaustively: entry i of the wide table
+  // is the byte LUT applied independently to i's two bytes.
+  for (unsigned i = 0; i < 65536; ++i) {
+    const std::uint16_t expect = static_cast<std::uint16_t>(
+        kPresentByteLut[i & 0xFF] | (unsigned{kPresentByteLut[i >> 8]} << 8));
+    ASSERT_EQ(kPresentLut16[i], expect) << i;
+    const std::uint16_t expect_s = static_cast<std::uint16_t>(
+        kSpongentByteLut[i & 0xFF] | (unsigned{kSpongentByteLut[i >> 8]} << 8));
+    ASSERT_EQ(kSpongentLut16[i], expect_s) << i;
+  }
+}
+
+template <unsigned N, bool UseLut16>
+void expect_lanes_match_scalar(std::uint32_t psi, std::uint64_t tweak,
+                               const std::uint64_t* lo, const std::uint64_t* hi) {
+  std::uint64_t out[N];
+  detail::mix_batch<N, UseLut16>(lo, hi, psi, tweak, out);
+  for (unsigned i = 0; i < N; ++i) {
+    EXPECT_EQ(out[i], detail::mix(lo[i], hi[i], psi, tweak))
+        << "lane " << i << " of N=" << N << " lut16=" << UseLut16;
+  }
+  // The production dispatch entry point (AVX2 nibble-shuffle kernel when
+  // the host supports it, byte-LUT lanes otherwise) must match too.
+  std::uint64_t dout[N];
+  detail::mix_batch_dispatch<N>(lo, hi, psi, tweak, dout);
+  for (unsigned i = 0; i < N; ++i) {
+    EXPECT_EQ(dout[i], detail::mix(lo[i], hi[i], psi, tweak))
+        << "dispatch lane " << i << " of N=" << N
+        << " avx2=" << detail::mix_avx2_available();
+  }
+}
+
+template <unsigned N>
+void run_property(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::uint64_t lo[N], hi[N];
+
+  // Random inputs under random keys.
+  for (int round = 0; round < 2000; ++round) {
+    const std::uint32_t psi = static_cast<std::uint32_t>(rng());
+    const std::uint64_t tweak = rng();
+    for (unsigned i = 0; i < N; ++i) {
+      lo[i] = rng();
+      hi[i] = rng();
+    }
+    expect_lanes_match_scalar<N, false>(psi, tweak, lo, hi);
+    expect_lanes_match_scalar<N, true>(psi, tweak, lo, hi);
+  }
+
+  // Adversarial lane contents: all-zeros, all-ones, and every adversarial
+  // word replicated across lanes, under the real per-function tweaks.
+  const auto words = adversarial_words();
+  for (const std::uint64_t w : words) {
+    for (unsigned i = 0; i < N; ++i) {
+      lo[i] = w;
+      hi[i] = words[(i + 1) % words.size()];
+    }
+    for (const std::uint64_t tweak :
+         {Remapper::kTweakR1, Remapper::kTweakR4, Remapper::kTweakRp}) {
+      expect_lanes_match_scalar<N, false>(0u, tweak, lo, hi);
+      expect_lanes_match_scalar<N, true>(0u, tweak, lo, hi);
+      expect_lanes_match_scalar<N, false>(~0u, tweak, lo, hi);
+      expect_lanes_match_scalar<N, true>(~0u, tweak, lo, hi);
+    }
+  }
+
+  // ψ re-key: the same lane inputs under two different keys must track the
+  // scalar function under each key independently (no key state leaks
+  // between invocations of the kernel).
+  for (unsigned i = 0; i < N; ++i) {
+    lo[i] = rng();
+    hi[i] = rng();
+  }
+  const std::uint32_t psi_a = static_cast<std::uint32_t>(rng());
+  const std::uint32_t psi_b = ~psi_a;
+  expect_lanes_match_scalar<N, true>(psi_a, Remapper::kTweakR4, lo, hi);
+  expect_lanes_match_scalar<N, true>(psi_b, Remapper::kTweakR4, lo, hi);
+  expect_lanes_match_scalar<N, false>(psi_a, Remapper::kTweakR4, lo, hi);
+  expect_lanes_match_scalar<N, false>(psi_b, Remapper::kTweakR4, lo, hi);
+}
+
+TEST(MixBatch, Lanes1MatchScalar) { run_property<1>(0xA1); }
+TEST(MixBatch, Lanes4MatchScalar) { run_property<4>(0xA4); }
+TEST(MixBatch, Lanes8MatchScalar) { run_property<8>(0xA8); }
+
+TEST(MixBatch, RemapperHelpersMatchScalarFunctions) {
+  // The from_mix extraction helpers must reproduce the public R functions
+  // when fed the function's own mix — the invariant the batch fill path
+  // (core/remap_cache.h) rests on.
+  util::Xoshiro256 rng(0xBEE5);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t psi = static_cast<std::uint32_t>(rng());
+    const std::uint64_t ip = rng() & bpu::kVirtualAddressMask;
+    const std::uint64_t ghr = rng();
+
+    const std::uint64_t m1 = detail::mix(ip, 0, psi, Remapper::kTweakR1);
+    EXPECT_EQ(Remapper::r1_from_mix(m1), Remapper::r1(psi, ip));
+
+    const std::uint64_t m4 =
+        detail::mix(ip, util::bits(ghr, 0, Remapper::kGhrBitsUsed), psi,
+                    Remapper::kTweakR4);
+    EXPECT_EQ(Remapper::pht_from_mix(m4), Remapper::r4(psi, ip, ghr));
+
+    const std::uint64_t mp = detail::mix(ip, 0, psi, Remapper::kTweakRp);
+    EXPECT_EQ(Remapper::rp_from_mix(mp, 10), Remapper::rp(psi, ip, 10));
+  }
+}
+
+}  // namespace
+}  // namespace stbpu::core

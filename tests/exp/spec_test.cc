@@ -39,6 +39,7 @@ TEST(ExperimentSpec, JsonRoundTrip) {
   spec.points = {2, 5, 9};
   spec.trace_file = "/tmp/trace.bin";
   spec.seed = 77;
+  spec.cache_stats = true;
 
   JsonValue doc;
   std::string err;
@@ -152,8 +153,8 @@ TEST(Registry, BuiltinScenarios) {
   const char* expected[] = {"fig2_remapgen",  "fig3_oae",       "fig4_single",
                             "fig5_smt",       "fig6_rsweep",    "ablation",
                             "sec6_empirical", "sec6_thresholds", "table1_attack_surface",
-                            "table2_remap_functions", "ooo_engine"};
-  EXPECT_EQ(all_scenarios().size(), 11u);
+                            "table2_remap_functions", "ooo_engine", "mix_batch"};
+  EXPECT_EQ(all_scenarios().size(), 12u);
   for (const char* name : expected) {
     EXPECT_NE(find_scenario(name), nullptr) << name;
   }

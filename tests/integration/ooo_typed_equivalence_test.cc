@@ -38,14 +38,16 @@ void expect_identical_results(const sim::OooResult& iface, const sim::OooResult&
 }
 
 void expect_single_equivalent(const models::ModelSpec& spec) {
-  // Interface-typed reference: the engine driven through IPredictor*.
+  // Interface-typed reference: the engine driven through IPredictor* (this
+  // path has no lookahead front end by construction).
   auto engine = models::make_engine(spec);
   trace::SyntheticInstrGenerator gen(trace::profile_by_name("mcf"));
   bpu::IPredictor* iface = engine.get();
   const auto iface_result = sim::run_ooo({}, *iface, {&gen}, kBudget, kWarmup);
 
-  // Engine-typed path: concrete EngineT recovered once, OooCoreT
-  // instantiated on it.
+  // Engine-typed path with the lookahead front end on (the default):
+  // concrete EngineT recovered once, OooCoreT instantiated on it, windowed
+  // fetch + batched precompute ahead of every access.
   sim::OooResult typed_result{};
   ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
     trace::SyntheticInstrGenerator typed_gen(trace::profile_by_name("mcf"));
@@ -53,18 +55,51 @@ void expect_single_equivalent(const models::ModelSpec& spec) {
   })) << "for_each_engine did not dispatch";
 
   expect_identical_results(iface_result, typed_result, spec);
+
+  // And with the lookahead disabled — the window and precompute must be
+  // pure mechanics with zero observable effect.
+  sim::OooConfig no_lookahead;
+  no_lookahead.lookahead = false;
+  sim::OooResult nola_result{};
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
+    trace::SyntheticInstrGenerator typed_gen(trace::profile_by_name("mcf"));
+    nola_result =
+        sim::run_ooo(no_lookahead, typed_engine, {&typed_gen}, kBudget, kWarmup);
+  }));
+  expect_identical_results(iface_result, nola_result, spec);
 }
 
 TEST(OooTypedEquivalence, AllModelsSingleThread) {
+  // All 20 model × direction combos; every one runs the lookahead front
+  // end on the typed path (STBPU engines batch keyed mixes through it,
+  // the others exercise the windowed fetch with a no-op precompute).
   for (const auto model :
        {models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
         models::ModelKind::kUcode2, models::ModelKind::kConservative,
         models::ModelKind::kStbpu}) {
     for (const auto dir : {models::DirectionKind::kSklCond, models::DirectionKind::kTage8,
+                           models::DirectionKind::kTage64,
                            models::DirectionKind::kPerceptron}) {
       expect_single_equivalent({.model = model, .direction = dir});
     }
   }
+}
+
+TEST(OooTypedEquivalence, LookaheadActuallyBatches) {
+  // The windowed front end must genuinely drive the batch probe/fill layer
+  // on STBPU engines — otherwise the equivalence above is vacuous.
+  const models::ModelSpec spec{.model = models::ModelKind::kStbpu,
+                               .direction = models::DirectionKind::kSklCond};
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& engine) {
+    trace::SyntheticInstrGenerator gen(trace::profile_by_name("mcf"));
+    (void)sim::run_ooo({}, engine, {&gen}, kBudget, kWarmup);
+    const auto cache = models::engine_remap_cache_stats(engine);
+    EXPECT_GT(cache.batch_requests, 0u);
+    EXPECT_GT(cache.batch_fills, 0u);
+    // SKLCond lookahead speculates the GHR: the fused R3+R4 probe must be
+    // among the warmed functions, not just the address-keyed R1.
+    EXPECT_GT(cache.fn_batch_fills[core::RemapCacheStats::kR34], 0u);
+  }));
 }
 
 TEST(OooTypedEquivalence, StbpuSmtPair) {

@@ -96,7 +96,7 @@ TEST_F(FileStreamTest, ResetRewindsToTheFirstRecord) {
 
 TEST_F(FileStreamTest, ReplayMatchesInMemoryStream) {
   // The disk path must be a pure transport: identical stats to VectorStream
-  // on the same records, through both the legacy and devirtualized engines.
+  // on the same records, through both read modes (mmap and buffered fread).
   const sim::BpuSimOptions opt{.max_branches = records_.size() - 1000,
                                .warmup_branches = 1000};
   for (const auto kind : {models::ModelKind::kUnprotected, models::ModelKind::kStbpu}) {
@@ -106,14 +106,74 @@ TEST_F(FileStreamTest, ReplayMatchesInMemoryStream) {
     auto memory_engine = models::make_engine(spec);
     const auto memory_stats = models::replay_engine(*memory_engine, memory, opt);
 
-    trace::FileStream file(path_);
+    trace::FileStream file(path_, trace::FileStreamMode::kBuffered);
+    EXPECT_FALSE(file.mmap_active());
     auto file_engine = models::make_engine(spec);
     const auto file_stats = models::replay_engine(*file_engine, file, opt);
 
     EXPECT_EQ(memory_stats, file_stats) << models::to_string(kind);
     EXPECT_GT(file_stats.branches, 0u);
+
+#if defined(__unix__) || defined(__APPLE__)
+    trace::FileStream mapped(path_, trace::FileStreamMode::kMmap);
+    EXPECT_TRUE(mapped.mmap_active());
+    auto mapped_engine = models::make_engine(spec);
+    const auto mapped_stats = models::replay_engine(*mapped_engine, mapped, opt);
+    EXPECT_EQ(memory_stats, mapped_stats) << models::to_string(kind) << " (mmap)";
+#endif
   }
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(FileStreamTest, MmapModeReproducesEveryConsumptionPath) {
+  trace::FileStream stream(path_, trace::FileStreamMode::kMmap);
+  ASSERT_TRUE(stream.mmap_active());
+  EXPECT_EQ(stream.count(), records_.size());
+
+  // next() record for record.
+  bpu::BranchRecord r;
+  for (const auto& expected : records_) {
+    ASSERT_TRUE(stream.next(r));
+    ASSERT_TRUE(same_record(r, expected));
+  }
+  EXPECT_FALSE(stream.next(r));
+
+  // reset() rewinds and re-establishes the mapping.
+  stream.reset();
+  ASSERT_TRUE(stream.mmap_active());
+
+  // borrow_run() after reset: the SoA fast path out of the mapping.
+  std::size_t off = 0, n = 0;
+  while (const bpu::BranchRecord* run = stream.borrow_run(trace::kDefaultBatch / 5, n)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_record(run[i], records_[off + i]));
+    }
+    off += n;
+  }
+  EXPECT_EQ(off, records_.size());
+
+  // Auto mode picks mmap where supported.
+  trace::FileStream auto_stream(path_, trace::FileStreamMode::kAuto);
+  EXPECT_TRUE(auto_stream.mmap_active());
+}
+
+TEST(FileStreamErrors, MmapRejectsHeaderThatOverpromises) {
+  // A header claiming more records than the file holds must fail at open
+  // in mmap mode (the fread path reports the same file as truncated later).
+  const std::string path = ::testing::TempDir() + "overpromise.trace";
+  trace::SyntheticWorkloadGenerator gen(trace::profile_by_name("mcf"));
+  ASSERT_TRUE(trace::write_trace(path, trace::collect(gen, 100)));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const std::uint32_t bogus_count = 1'000'000;
+  std::fseek(f, 8, SEEK_SET);  // header[2] = low word of the record count
+  std::fwrite(&bogus_count, sizeof(bogus_count), 1, f);
+  std::fclose(f);
+  EXPECT_THROW(trace::FileStream(path, trace::FileStreamMode::kMmap),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+#endif
 
 TEST(FileStreamErrors, MissingAndMalformedFiles) {
   EXPECT_THROW(trace::FileStream("/nonexistent/trace.bin"), std::runtime_error);
