@@ -40,6 +40,9 @@ void print_usage(std::FILE* to) {
                "  --cache-stats              attach remap memo-cache per-function\n"
                "                             hit/miss/batch-fill counters to measurement\n"
                "                             points (JSON side-channel fields)\n"
+               "  --stall-stats              attach the OoO core's per-thread stall\n"
+               "                             attribution (fetch-bandwidth / redirect /\n"
+               "                             ROB/IQ/LQ/SQ cycles) to cycle-level points\n"
                "  --trace-branches=N --trace-warmup=N\n"
                "  --ooo-instructions=N --ooo-warmup=N\n"
                "                             individual budget overrides\n"
@@ -139,6 +142,8 @@ bool parse_run_flags(const std::vector<std::string>& args, RunOptions& out,
       if (!parse_u64_flag(arg.c_str(), "--seed=", out.spec.seed, err)) return false;
     } else if (arg == "--cache-stats") {
       out.spec.cache_stats = true;
+    } else if (arg == "--stall-stats") {
+      out.spec.stall_stats = true;
     } else if (starts_with(arg, "--trace-branches=")) {
       if (!parse_u64_flag(arg.c_str(), "--trace-branches=", out.spec.scale.trace_branches,
                           err)) {

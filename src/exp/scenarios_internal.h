@@ -9,6 +9,7 @@
 
 #include "core/remap_cache.h"
 #include "exp/scenario.h"
+#include "sim/ooo.h"
 
 namespace stbpu::exp {
 
@@ -52,6 +53,24 @@ inline void append_cache_stats(PointResult& p, const core::RemapCacheStats& s) {
     const std::string base = std::string("cache_") + core::RemapCacheStats::fn_name(f);
     p.set(base + "_hits", s.fn_hits[f]).set(base + "_misses", s.fn_misses[f]);
     if (s.fn_batch_fills[f] != 0) p.set(base + "_batch_fills", s.fn_batch_fills[f]);
+  }
+}
+
+/// The `--stall-stats` side channel: the tick core's per-thread stall
+/// attribution attached to a cycle-level measurement point — where the
+/// simulated machine's cycles went (shared fetch port, branch redirects,
+/// ROB/IQ/LQ/SQ occupancy), so IPC deltas between configurations are
+/// attributable to a pipeline structure instead of inferred.
+inline void append_stall_stats(PointResult& p, const sim::OooResult& r) {
+  for (unsigned t = 0; t < r.threads; ++t) {
+    const sim::OooThreadStalls& s = r.stalls[t];
+    const std::string base = "t" + std::to_string(t) + "_stall_";
+    p.set(base + "fetch_bandwidth_cycles", s.fetch_bandwidth)
+        .set(base + "redirect_cycles", s.redirect)
+        .set(base + "rob_cycles", s.rob)
+        .set(base + "iq_cycles", s.iq)
+        .set(base + "lq_cycles", s.lq)
+        .set(base + "sq_cycles", s.sq);
   }
 }
 

@@ -421,8 +421,9 @@ class OooEngineScenario final : public ScenarioBase {
  public:
   OooEngineScenario()
       : ScenarioBase("ooo_engine",
-                     "Engine-typed OoO fan-out: devirtualized cycle-level "
-                     "core vs IPredictor dispatch") {}
+                     "Cycle-level core study: integer-tick SoA core vs the "
+                     "double-precision reference, typed vs IPredictor "
+                     "dispatch") {}
 
   std::vector<std::string> point_labels(const ExperimentSpec&) const override {
     std::vector<std::string> labels;
@@ -442,13 +443,15 @@ class OooEngineScenario final : public ScenarioBase {
         {.model = kThroughputModels[index], .direction = kThroughputDirs[index]}, spec);
     const auto profile = trace::profile_by_name("mcf");
 
-    // Interleaved best-of-3 (fresh engine + generator per repetition):
-    // the interface-typed OooCore vs the core instantiated on the concrete
-    // engine type through for_each_engine — the latter both with its
-    // lookahead front end (the shipping configuration) and without it
-    // (attributing the front-end batching separately from devirtualization).
-    double iface_secs = 1e300, typed_secs = 1e300, nola_secs = 1e300;
-    sim::OooResult iface_result{}, typed_result{}, nola_result{};
+    // Interleaved best-of-3 (fresh engine + generator per repetition), four
+    // arms: the interface-typed tick core, the engine-typed tick core
+    // through for_each_engine — with its lookahead front end (the shipping
+    // configuration) and without it (attributing the front-end batching
+    // separately from devirtualization) — and the engine-typed
+    // double-precision reference core (OooCoreRefT), the controlled A/B for
+    // the integer-tick + SoA rewrite (`int_speedup`).
+    double iface_secs = 1e300, typed_secs = 1e300, nola_secs = 1e300, ref_secs = 1e300;
+    sim::OooResult iface_result{}, typed_result{}, nola_result{}, ref_result{};
     core::RemapCacheStats cache_stats;
     for (unsigned rep = 0; rep < 3; ++rep) {
       {
@@ -479,28 +482,42 @@ class OooEngineScenario final : public ScenarioBase {
                                    spec.scale.ooo_warmup);
         nola_secs = std::min(nola_secs, std::max(sw.seconds(), 1e-9));
       });
+      for_each_engine(mspec, [&](auto& engine) {
+        trace::SyntheticInstrGenerator gen(profile);
+        Stopwatch sw;
+        ref_result = sim::run_ooo_ref({}, engine, {&gen}, spec.scale.ooo_instructions,
+                                      spec.scale.ooo_warmup);
+        ref_secs = std::min(ref_secs, std::max(sw.seconds(), 1e-9));
+      });
     }
     const double branches = static_cast<double>(typed_result.combined_stats().branches);
     const double iface_bps = branches / iface_secs;
     const double typed_bps = branches / typed_secs;
     const double nola_bps = branches / nola_secs;
+    const double ref_bps = branches / ref_secs;
     const bool identical =
         iface_result.combined_stats() == typed_result.combined_stats() &&
         iface_result.instructions == typed_result.instructions &&
         iface_result.cycles == typed_result.cycles &&
         nola_result.combined_stats() == typed_result.combined_stats() &&
-        nola_result.cycles == typed_result.cycles;
+        nola_result.cycles == typed_result.cycles &&
+        ref_result.combined_stats() == typed_result.combined_stats() &&
+        ref_result.instructions == typed_result.instructions &&
+        ref_result.cycles == typed_result.cycles;
     PointResult p;
     p.set("iface_branches_per_sec", iface_bps)
         .set("typed_branches_per_sec", typed_bps)
         .set("typed_nolookahead_branches_per_sec", nola_bps)
+        .set("ref_double_branches_per_sec", ref_bps)
         .set("branches_per_sec", typed_bps)
         .set("speedup", typed_bps / iface_bps)
         .set("lookahead_speedup", typed_bps / nola_bps)
+        .set("int_speedup", typed_bps / ref_bps)
         .set("measured_branches", std::uint64_t{typed_result.combined_stats().branches})
         .set("ipc", typed_result.ipc[0])
         .set("identical_stats", identical ? "true" : "false");
     if (spec.cache_stats) append_cache_stats(p, cache_stats);
+    if (spec.stall_stats) append_stall_stats(p, typed_result);
     return p;
   }
 

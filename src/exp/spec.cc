@@ -59,6 +59,7 @@ std::string ExperimentSpec::to_json(bool with_shard) const {
   if (!trace_file.empty()) out += ", \"trace_file\": " + json_quote(trace_file);
   if (seed != 0) out += ", \"seed\": " + std::to_string(seed);
   if (cache_stats) out += ", \"cache_stats\": true";
+  if (stall_stats) out += ", \"stall_stats\": true";
   out += "}";
   return out;
 }
@@ -170,6 +171,12 @@ bool ExperimentSpec::from_json(const JsonValue& v, ExperimentSpec& out, std::str
         return false;
       }
       out.cache_stats = val.as_bool();
+    } else if (key == "stall_stats") {
+      if (!val.is_bool()) {
+        err = "'stall_stats' must be a boolean";
+        return false;
+      }
+      out.stall_stats = val.as_bool();
     } else {
       err = "unknown spec field '" + key + "'";
       return false;

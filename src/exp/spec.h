@@ -50,6 +50,11 @@ struct ExperimentSpec {
   /// counters to measurement points (JSON side-channel fields), so batching
   /// wins are attributable instead of inferred (`--cache-stats`).
   bool cache_stats = false;
+  /// Attach the OoO core's per-thread stall attribution (cycles lost to
+  /// fetch bandwidth, branch redirects, ROB/IQ/LQ/SQ occupancy) to
+  /// cycle-level measurement points (`--stall-stats`), the same style of
+  /// opt-in side channel as cache_stats.
+  bool stall_stats = false;
 
   [[nodiscard]] bool sharded() const noexcept { return shard_count > 1; }
   /// True when grid point `index` is selected (before sharding).

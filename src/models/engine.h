@@ -80,8 +80,9 @@ class EngineT final : public bpu::IPredictor {
   static constexpr bool kGhrLookahead =
       std::is_same_v<Direction, bpu::SklCondPredictorT<Mapping>>;
   /// True when this engine's precompute actually does work — the gate
-  /// front ends (sim::OooCoreT's lookahead window, sim::replay's chunked
-  /// walk) use to skip buffering/request-building on the 18 of 20
+  /// front ends (the integer-tick sim::OooCoreT's lookahead window and its
+  /// double-precision reference OooCoreRefT, sim::replay's chunked walk)
+  /// use to skip buffering/request-building on the 18 of 20
   /// model×direction combos where precompute compiles to a no-op and the
   /// bookkeeping would be pure per-record overhead.
   static constexpr bool kBatchPrecompute = kBatchMapping && kGhrLookahead;
@@ -257,8 +258,9 @@ bool visit_engine_mapping(bpu::IPredictor& engine, Fn&& fn) {
 /// Typed-dispatch visitor over every engine make_engine can assemble: one
 /// dynamic_cast chain per run recovers the concrete EngineT<Mapping,
 /// Direction>, after which `fn`'s body compiles against the final type —
-/// callers that instantiate sim::OooCoreT (or sim::replay) on it get a
-/// fully devirtualized per-branch path. Returns false when `engine` is a
+/// callers that instantiate the integer-tick sim::OooCoreT (or sim::replay,
+/// or the reference sim::OooCoreRefT) on it get a fully devirtualized
+/// per-branch path. Returns false when `engine` is a
 /// foreign predictor (e.g. the legacy BpuModel); callers then fall back to
 /// the interface-typed path.
 template <class Fn>

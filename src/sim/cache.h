@@ -4,6 +4,7 @@
 // misses arise naturally.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -24,14 +25,26 @@ class CacheLevel {
   explicit CacheLevel(const CacheLevelConfig& cfg)
       : cfg_(cfg),
         sets_(cfg.size_kb * 1024 / kLineBytes / cfg.ways),
+        set_shift_(std::has_single_bit(sets_) ? std::countr_zero(sets_) : 0),
         tags_(std::size_t{sets_} * cfg.ways, kInvalid),
         lru_(std::size_t{sets_} * cfg.ways, 0) {}
 
   /// True on hit; on miss the line is filled (LRU victim).
   bool access(std::uint64_t addr) {
     const std::uint64_t line = addr / kLineBytes;
-    const std::uint32_t set = static_cast<std::uint32_t>(line % sets_);
-    const std::uint64_t tag = line / sets_;
+    // Every Table IV geometry has a power-of-two set count, so the set/tag
+    // split is a shift+mask on the hot path; the divide stays as the exact
+    // fallback for odd configs (identical values either way — this is the
+    // cycle-level simulator's hottest function, see ROADMAP).
+    std::uint32_t set;
+    std::uint64_t tag;
+    if (set_shift_ != 0 || sets_ == 1) {
+      set = static_cast<std::uint32_t>(line & (sets_ - 1));
+      tag = line >> set_shift_;
+    } else {
+      set = static_cast<std::uint32_t>(line % sets_);
+      tag = line / sets_;
+    }
     const std::size_t base = std::size_t{set} * cfg_.ways;
     std::size_t victim = base;
     std::uint64_t oldest = ~std::uint64_t{0};
@@ -64,6 +77,7 @@ class CacheLevel {
   static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
   CacheLevelConfig cfg_;
   std::uint32_t sets_;
+  std::uint32_t set_shift_;  ///< log2(sets_) when sets_ is a power of two, else 0
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint64_t> lru_;
   std::uint64_t clock_ = 0;

@@ -2,8 +2,10 @@
 
 namespace stbpu::sim {
 
-// Legacy dynamic-dispatch instantiation; concrete-engine instantiations
-// happen wherever a bench names the engine type.
+// Legacy dynamic-dispatch instantiations (production tick core + the
+// double-precision reference core); concrete-engine instantiations happen
+// wherever a bench names the engine type.
 template class OooCoreT<>;
+template class OooCoreRefT<>;
 
 }  // namespace stbpu::sim

@@ -11,10 +11,29 @@
 //   * register dataflow dependencies and cache-hierarchy load latencies.
 // Wrong-path execution is approximated by the redirect penalty, the
 // standard trace-driven simplification (documented in DESIGN.md §5).
+//
+// Two implementations share the interface:
+//   * OooCoreT — the production core. Event times are u64 *ticks*, one tick
+//     = the 1/width issue quantum, so a cycle is exactly `width` ticks and
+//     every max/+ in the timing recurrence is exact integer arithmetic (all
+//     OooConfig latencies are unsigned; 1/width is the only fractional
+//     quantum in the model). Pipeline state is structure-of-arrays: flat
+//     tick rings with power-of-two masks, parallel per-thread scalar
+//     arrays. It also attributes stall cycles (fetch bandwidth, redirects,
+//     ROB/IQ/LQ/SQ occupancy) per thread.
+//   * OooCoreRefT — the retained double-precision reference core, the
+//     original AoS implementation kept verbatim so equivalence is asserted,
+//     not assumed: for power-of-two widths every double the reference
+//     computes is an exact multiple of 1/width, so the tick core's
+//     cycles/IPC match it bit-for-bit and BranchStats are identical by
+//     construction (tests/integration/ooo_typed_equivalence_test.cc,
+//     tests/sim/ooo_core_test.cc).
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,6 +44,22 @@
 #include "trace/instr.h"
 
 namespace stbpu::sim {
+
+/// Architectural integer register count (RISC-style x1..x32; index 0 in a
+/// trace record means "no register dependency", so scoreboards carry
+/// kNumArchRegs + 1 slots). Trace records are bounds-checked against this
+/// in Debug builds — a corrupt on-disk trace must fail an assert, not
+/// scribble past the scoreboard.
+inline constexpr unsigned kNumArchRegs = 32;
+
+/// The model supports at most 2-way SMT (Table IV; OooResult arrays and the
+/// per-hart BPU structures are sized for it).
+inline constexpr unsigned kMaxSmtThreads = 2;
+
+/// Integer event time: 1 tick = 1/width of a cycle (the issue quantum), so
+/// a cycle is exactly `width` ticks. u64 ticks overflow after ~2^64/width
+/// cycles — unreachable for any simulated budget.
+using Tick = std::uint64_t;
 
 struct OooConfig {
   unsigned width = 8;           ///< fetch/issue/commit width
@@ -65,12 +100,36 @@ concept LookaheadBpu = requires(Bpu& b, std::span<const bpu::BranchRecord> s) {
   requires Bpu::kBatchPrecompute;
 };
 
+/// Where a thread's instructions lost time — the ordered attribution of
+/// every stall the timing recurrence models. Each constraint is blamed
+/// for the delay it adds *after* the previous ones applied, in pipeline
+/// order: redirect → shared fetch port at the front end, then
+/// ROB → IQ → LQ → SQ at dispatch, so one instruction's delay is never
+/// double-counted. Counters accumulate per instruction over the measured
+/// window; in-flight instructions overlap, so a counter can exceed
+/// wall-clock cycles — divide by the instruction count for the average
+/// per-instruction (CPI-stack-style) contribution. Reported in cycles
+/// (exact: reconstructed from integer ticks).
+struct OooThreadStalls {
+  double fetch_bandwidth = 0.0;  ///< shared fetch port busy (SMT sibling or own width)
+  double redirect = 0.0;         ///< front end squashed by a branch mispredict
+  double rob = 0.0;              ///< reorder buffer full at dispatch
+  double iq = 0.0;               ///< issue queue full at dispatch
+  double lq = 0.0;               ///< load queue full at dispatch
+  double sq = 0.0;               ///< store queue full at dispatch
+
+  friend bool operator==(const OooThreadStalls&, const OooThreadStalls&) = default;
+};
+
 struct OooResult {
   unsigned threads = 1;
-  std::array<std::uint64_t, 2> instructions{};
-  std::array<double, 2> cycles{};
-  std::array<double, 2> ipc{};
-  std::array<BranchStats, 2> branch_stats{};
+  std::array<std::uint64_t, kMaxSmtThreads> instructions{};
+  std::array<double, kMaxSmtThreads> cycles{};
+  std::array<double, kMaxSmtThreads> ipc{};
+  std::array<BranchStats, kMaxSmtThreads> branch_stats{};
+  /// Stall attribution (tick core only; the double reference core leaves
+  /// these zero — it predates the counters and stays the unadorned spec).
+  std::array<OooThreadStalls, kMaxSmtThreads> stalls{};
 
   [[nodiscard]] double ipc_harmonic_mean() const {
     if (threads == 1) return ipc[0];
@@ -84,9 +143,23 @@ struct OooResult {
   }
 };
 
+/// The production cycle-level core: integer fixed-point event timing over
+/// structure-of-arrays pipeline state.
+///
 /// Template over the BPU type: with the default interface type this is the
 /// classic polymorphic core; instantiated with a concrete engine type the
 /// per-branch access() devirtualizes like the trace replay loop.
+///
+/// Timing state is u64 ticks (1 tick = 1/width cycle): thread fetch/commit
+/// clocks, the shared SMT fetch/issue clocks, ring entries and the register
+/// scoreboard. Ring buffers live in one flat allocation per core —
+/// per thread a contiguous [ROB | IQ | LQ | SQ] block — with power-of-two
+/// capacities indexed by mask. Logical occupancy is preserved exactly: an
+/// entry for instruction n is written at (n & mask) and the occupancy
+/// constraint reads (n - logical_size) & mask, which is the commit/issue
+/// time written logical_size instructions ago (or the initial 0 while the
+/// structure is still filling) — bit-identical to the reference core's
+/// `ring[n % logical_size]` modulo rings.
 template <class Bpu = bpu::IPredictor>
 class OooCoreT {
  public:
@@ -96,6 +169,405 @@ class OooCoreT {
 
   /// Simulate `instr_budget` committed instructions per thread after
   /// `warmup` warm-up instructions per thread.
+  OooResult run(std::uint64_t instr_budget, std::uint64_t warmup);
+
+  [[nodiscard]] const CacheHierarchy& caches() const noexcept { return caches_; }
+
+ private:
+  /// Geometry of one ring structure: logical size (the architectural
+  /// occupancy limit) and a power-of-two storage mask.
+  struct RingGeom {
+    Tick offset = 0;   ///< within a thread's ring block
+    Tick size = 0;     ///< logical occupancy (architectural share)
+    Tick mask = 0;     ///< pow2 storage capacity - 1
+  };
+
+  void step(unsigned t);
+  /// Pull the next instruction: a pointer into the lookahead window when
+  /// enabled (no copy — window records are stable until the next refill),
+  /// into `scratch` otherwise; nullptr when the stream is exhausted.
+  const trace::InstrRecord* fetch_instr(unsigned t, trace::InstrRecord& scratch);
+  /// Refill the drained window and precompute its branches' keyed mixes.
+  /// The window only refills when empty, so every branch the engine has
+  /// already processed is reflected in the predictor's live GHR — the
+  /// speculative GHR walk inside precompute_records is exact unless ψ
+  /// re-keys mid-window (then the stale entries are tag-discarded).
+  void refill_window(unsigned t);
+
+  [[nodiscard]] Tick* ring(unsigned t) noexcept {
+    return rings_.data() + std::size_t{t} * ring_stride_;
+  }
+
+  OooConfig cfg_;
+  Bpu* bpu_;
+  CacheHierarchy caches_;
+  unsigned nthreads_ = 1;
+
+  // Precomputed tick constants (cycles × width). lat_ticks_ slots 0-3 are
+  // indexed by InstrRecord::Kind directly (execute-stage lookup); branches
+  // take a separate slot since their Kind value overlaps kLoad's, which
+  // never reads the table. Pinned by static_asserts in the constructor.
+  static constexpr unsigned kBranchLatSlot = 4;
+  Tick depth_ticks_ = 0;
+  Tick penalty_ticks_ = 0;
+  Tick lat_ticks_[kBranchLatSlot + 1] = {};
+
+  // --- SoA pipeline state: parallel arrays indexed by thread -------------
+  std::array<trace::InstrStream*, kMaxSmtThreads> streams_{};
+  std::array<Tick, kMaxSmtThreads> next_fetch_{};
+  std::array<Tick, kMaxSmtThreads> redirect_until_{};
+  std::array<Tick, kMaxSmtThreads> last_commit_{};
+  std::array<Tick, kMaxSmtThreads> finish_tick_{};
+  std::array<Tick, kMaxSmtThreads> measure_start_{};
+  std::array<std::uint64_t, kMaxSmtThreads> count_{};
+  std::array<std::uint64_t, kMaxSmtThreads> loads_{};
+  std::array<std::uint64_t, kMaxSmtThreads> stores_{};
+  std::array<std::uint64_t, kMaxSmtThreads> measured_{};
+  std::array<bool, kMaxSmtThreads> done_{};
+  std::array<bool, kMaxSmtThreads> measuring_{};
+  std::array<bool, kMaxSmtThreads> has_ctx_{};
+  std::array<bpu::ExecContext, kMaxSmtThreads> last_ctx_{};
+  std::array<BranchStats, kMaxSmtThreads> stats_{};
+
+  /// Register scoreboard: ready tick per architectural register (slot 0 is
+  /// the "no dependency" register and stays 0 forever).
+  std::array<std::array<Tick, kNumArchRegs + 1>, kMaxSmtThreads> reg_ready_{};
+
+  /// Measured-window stall attribution, in ticks.
+  struct StallTicks {
+    Tick fetch_bw = 0, redirect = 0, rob = 0, iq = 0, lq = 0, sq = 0;
+  };
+  std::array<StallTicks, kMaxSmtThreads> stall_ticks_{};
+
+  /// All ring buffers, one flat allocation: thread t's block starts at
+  /// t × ring_stride_ and holds [ROB | IQ | LQ | SQ] back to back.
+  std::vector<Tick> rings_;
+  Tick ring_stride_ = 0;
+  RingGeom rob_, iq_, lq_, sq_;
+
+  // Shared SMT clocks (one fetch port, one issue port, width per cycle).
+  Tick shared_fetch_tick_ = 0;
+  Tick shared_issue_tick_ = 0;
+
+  // Lookahead front end (batch-capable BPUs): per-thread window segments in
+  // one flat buffer + one shared branch scratch (a refill is consumed
+  // before the next one starts, so the scratch never overlaps).
+  std::vector<trace::InstrRecord> window_;
+  std::size_t window_cap_ = 0;
+  std::array<std::size_t, kMaxSmtThreads> window_pos_{};
+  std::array<std::size_t, kMaxSmtThreads> window_size_{};
+  std::vector<bpu::BranchRecord> window_branches_;
+};
+
+/// Legacy dynamic-dispatch instantiation (compiled once in ooo.cc).
+using OooCore = OooCoreT<>;
+
+// ---------------------------------------------------------------------------
+// Implementation (template — shared verbatim by every instantiation).
+// ---------------------------------------------------------------------------
+
+template <class Bpu>
+OooCoreT<Bpu>::OooCoreT(const OooConfig& cfg, Bpu* bpu,
+                        std::vector<trace::InstrStream*> threads)
+    : cfg_(cfg), bpu_(bpu), caches_(cfg.caches) {
+  assert(cfg_.width >= 1 && "OooConfig::width must be at least 1");
+  assert(!threads.empty() && threads.size() <= kMaxSmtThreads &&
+         "the core models 1..kMaxSmtThreads hardware threads");
+  nthreads_ = static_cast<unsigned>(threads.size());
+
+  // The Kind-indexed latency slots and the branch slot must not collide;
+  // a reordered Kind enum breaks here at compile time, not in cycle counts.
+  using Kind = trace::InstrRecord::Kind;
+  static_assert(static_cast<unsigned>(Kind::kAlu) == 0 &&
+                    static_cast<unsigned>(Kind::kMul) == 1 &&
+                    static_cast<unsigned>(Kind::kDiv) == 2 &&
+                    static_cast<unsigned>(Kind::kFp) == 3,
+                "execute-stage lookup indexes lat_ticks_ by Kind");
+  static_assert(static_cast<unsigned>(Kind::kLoad) == kBranchLatSlot,
+                "loads never read lat_ticks_, so their Kind value doubles as "
+                "the branch latency slot");
+
+  const Tick w = cfg_.width;
+  depth_ticks_ = Tick{cfg_.frontend_depth} * w;
+  penalty_ticks_ = Tick{cfg_.mispredict_penalty} * w;
+  lat_ticks_[static_cast<unsigned>(Kind::kAlu)] = Tick{cfg_.lat_alu} * w;
+  lat_ticks_[static_cast<unsigned>(Kind::kMul)] = Tick{cfg_.lat_mul} * w;
+  lat_ticks_[static_cast<unsigned>(Kind::kDiv)] = Tick{cfg_.lat_div} * w;
+  lat_ticks_[static_cast<unsigned>(Kind::kFp)] = Tick{cfg_.lat_fp} * w;
+  lat_ticks_[kBranchLatSlot] = Tick{cfg_.lat_branch} * w;
+
+  // Per-thread shares of the shared structures (same floor as the
+  // reference core), stored with power-of-two capacity so the hot path
+  // masks instead of dividing.
+  const auto share = [&](unsigned total, unsigned floor_sz) {
+    return std::max(floor_sz, total / nthreads_);
+  };
+  const auto geom = [](unsigned logical, Tick offset) {
+    RingGeom g;
+    g.offset = offset;
+    g.size = logical;
+    g.mask = std::bit_ceil(std::uint64_t{logical}) - 1;
+    return g;
+  };
+  rob_ = geom(share(cfg_.rob, 8), 0);
+  iq_ = geom(share(cfg_.iq, 4), rob_.mask + 1);
+  lq_ = geom(share(cfg_.lq, 4), iq_.offset + iq_.mask + 1);
+  sq_ = geom(share(cfg_.sq, 4), lq_.offset + lq_.mask + 1);
+  ring_stride_ = sq_.offset + sq_.mask + 1;
+  rings_.assign(std::size_t{ring_stride_} * nthreads_, Tick{0});
+
+  for (unsigned t = 0; t < nthreads_; ++t) streams_[t] = threads[t];
+
+  window_cap_ = std::max<std::size_t>(1, std::size_t{cfg_.frontend_depth} * cfg_.width);
+  if constexpr (LookaheadBpu<Bpu>) {
+    if (cfg_.lookahead) window_.resize(window_cap_ * nthreads_);
+  }
+}
+
+template <class Bpu>
+const trace::InstrRecord* OooCoreT<Bpu>::fetch_instr(const unsigned t,
+                                                     trace::InstrRecord& scratch) {
+  if constexpr (LookaheadBpu<Bpu>) {
+    if (cfg_.lookahead) {
+      if (window_pos_[t] >= window_size_[t]) refill_window(t);
+      if (window_pos_[t] < window_size_[t]) {
+        return window_.data() + std::size_t{t} * window_cap_ + window_pos_[t]++;
+      }
+      return nullptr;
+    }
+  }
+  return streams_[t]->next(scratch) ? &scratch : nullptr;
+}
+
+template <class Bpu>
+void OooCoreT<Bpu>::refill_window(const unsigned t) {
+  trace::InstrRecord* seg = window_.data() + std::size_t{t} * window_cap_;
+  std::size_t n = 0;
+  while (n < window_cap_ && streams_[t]->next(seg[n])) ++n;  // fill in place
+  window_pos_[t] = 0;
+  window_size_[t] = n;
+  if constexpr (LookaheadBpu<Bpu>) {
+    window_branches_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seg[i].kind == trace::InstrRecord::Kind::kBranch) {
+        bpu::BranchRecord br = seg[i].branch;
+        br.ctx.hart = static_cast<std::uint8_t>(t);  // the core assigns harts
+        window_branches_.push_back(br);
+      }
+    }
+    if (!window_branches_.empty()) {
+      bpu_->precompute_records(std::span<const bpu::BranchRecord>(window_branches_));
+    }
+  }
+}
+
+template <class Bpu>
+void OooCoreT<Bpu>::step(const unsigned t) {
+  trace::InstrRecord scratch;
+  const trace::InstrRecord* rec = fetch_instr(t, scratch);
+  if (rec == nullptr) {
+    done_[t] = true;
+    finish_tick_[t] = last_commit_[t];
+    return;
+  }
+  const trace::InstrRecord& ins = *rec;
+  const bool measuring = measuring_[t];
+  StallTicks& stall = stall_ticks_[t];
+
+  // --- fetch: thread redirect stall + shared fetch bandwidth -------------
+  Tick fetch = next_fetch_[t];
+  if (redirect_until_[t] > fetch) {
+    if (measuring) stall.redirect += redirect_until_[t] - fetch;
+    fetch = redirect_until_[t];
+  }
+  if (shared_fetch_tick_ > fetch) {
+    if (measuring) stall.fetch_bw += shared_fetch_tick_ - fetch;
+    fetch = shared_fetch_tick_;
+  }
+  shared_fetch_tick_ = fetch + 1;
+  next_fetch_[t] = fetch;
+
+  // --- dispatch: ROB / IQ / LQ / SQ occupancy -----------------------------
+  // Each constraint is blamed for the delay it adds after the previous ones
+  // (pipeline order ROB → IQ → LQ → SQ), so the counters sum to the total
+  // dispatch stall without double counting.
+  Tick* rings = ring(t);
+  const std::uint64_t n = count_[t];
+  Tick dispatch = fetch + depth_ticks_;
+  {
+    const Tick v = rings[rob_.offset + ((n - rob_.size) & rob_.mask)];
+    if (v > dispatch) {
+      if (measuring) stall.rob += v - dispatch;
+      dispatch = v;
+    }
+  }
+  {
+    const Tick v = rings[iq_.offset + ((n - iq_.size) & iq_.mask)];
+    if (v > dispatch) {
+      if (measuring) stall.iq += v - dispatch;
+      dispatch = v;
+    }
+  }
+  const bool is_load = ins.kind == trace::InstrRecord::Kind::kLoad;
+  const bool is_store = ins.kind == trace::InstrRecord::Kind::kStore;
+  if (is_load) {
+    const Tick v = rings[lq_.offset + ((loads_[t] - lq_.size) & lq_.mask)];
+    if (v > dispatch) {
+      if (measuring) stall.lq += v - dispatch;
+      dispatch = v;
+    }
+  }
+  if (is_store) {
+    const Tick v = rings[sq_.offset + ((stores_[t] - sq_.size) & sq_.mask)];
+    if (v > dispatch) {
+      if (measuring) stall.sq += v - dispatch;
+      dispatch = v;
+    }
+  }
+
+  // --- issue: dataflow + shared issue bandwidth ---------------------------
+  assert(ins.dst <= kNumArchRegs && ins.src1 <= kNumArchRegs &&
+         ins.src2 <= kNumArchRegs && "trace register index exceeds kNumArchRegs");
+  const std::array<Tick, kNumArchRegs + 1>& regs = reg_ready_[t];
+  Tick ready = dispatch;
+  if (ins.src1 != 0) ready = std::max(ready, regs[ins.src1]);
+  if (ins.src2 != 0) ready = std::max(ready, regs[ins.src2]);
+  const Tick issue = std::max(ready, shared_issue_tick_);
+  shared_issue_tick_ = issue + 1;
+  rings[iq_.offset + (n & iq_.mask)] = issue;
+
+  // --- execute ------------------------------------------------------------
+  Tick lat = lat_ticks_[0];
+  bool mispredicted = false;
+  bpu::AccessResult access{};
+  switch (ins.kind) {
+    case trace::InstrRecord::Kind::kAlu:
+    case trace::InstrRecord::Kind::kMul:
+    case trace::InstrRecord::Kind::kDiv:
+    case trace::InstrRecord::Kind::kFp:
+      lat = lat_ticks_[static_cast<unsigned>(ins.kind)];
+      break;
+    case trace::InstrRecord::Kind::kLoad:
+      lat = Tick{caches_.load_latency(ins.mem_addr, ins.streaming)} * cfg_.width;
+      break;
+    case trace::InstrRecord::Kind::kStore:
+      lat = Tick{1} * cfg_.width;  // data captured; line written back post-commit
+      caches_.load_latency(ins.mem_addr, ins.streaming);  // allocate-on-write
+      break;
+    case trace::InstrRecord::Kind::kBranch: {
+      lat = lat_ticks_[kBranchLatSlot];
+      bpu::BranchRecord br = ins.branch;
+      br.ctx.hart = static_cast<std::uint8_t>(t);  // hart assigned by the core
+      if (has_ctx_[t] && !(last_ctx_[t] == br.ctx)) {
+        bpu_->on_switch(last_ctx_[t], br.ctx);
+        if (measuring) {
+          if (last_ctx_[t].pid != br.ctx.pid) {
+            ++stats_[t].context_switches;
+          } else {
+            ++stats_[t].mode_switches;
+          }
+        }
+      }
+      last_ctx_[t] = br.ctx;
+      has_ctx_[t] = true;
+      access = bpu_->access(br);
+      mispredicted = !access.overall_correct;
+      if (measuring) stats_[t].absorb(br, access);
+      break;
+    }
+  }
+  const Tick complete = issue + lat;
+  if (ins.dst != 0) reg_ready_[t][ins.dst] = complete;
+  if (is_load) {
+    rings[lq_.offset + (loads_[t] & lq_.mask)] = complete;
+    ++loads_[t];
+  }
+
+  // --- resolve branches ----------------------------------------------------
+  if (mispredicted) {
+    // Squash: the front end refills from the correct path once the branch
+    // resolves; younger wrong-path work is abandoned (penalty-modelled).
+    redirect_until_[t] = std::max(redirect_until_[t], complete + penalty_ticks_);
+  }
+
+  // --- commit: in order, width per cycle ----------------------------------
+  const Tick commit = std::max(complete, last_commit_[t] + 1);
+  last_commit_[t] = commit;
+  rings[rob_.offset + (n & rob_.mask)] = commit;
+  if (is_store) {
+    rings[sq_.offset + (stores_[t] & sq_.mask)] = commit;
+    ++stores_[t];
+  }
+  ++count_[t];
+  if (measuring) ++measured_[t];
+}
+
+template <class Bpu>
+OooResult OooCoreT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
+  OooResult result;
+  result.threads = nthreads_;
+
+  // Warm up all threads (round-robin so SMT contention is realistic).
+  for (std::uint64_t i = 0; i < warmup; ++i) {
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      if (!done_[t]) step(t);
+    }
+  }
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    measuring_[t] = true;
+    measure_start_[t] = last_commit_[t];
+  }
+
+  // Measured window: run each thread to its budget. Fine-grain round-robin
+  // keeps the shared-BPU access interleaving honest while both run.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (unsigned t = 0; t < nthreads_; ++t) {
+      if (!done_[t] && measured_[t] < instr_budget) {
+        step(t);
+        progress = true;
+      } else if (!done_[t] && finish_tick_[t] == 0) {
+        finish_tick_[t] = last_commit_[t];
+      }
+    }
+  }
+
+  // Report: cycles/IPC reconstructed from ticks. For power-of-two widths
+  // tick/width is an exact double, so these match the reference core
+  // bit-for-bit; for other widths the tick numbers are the *more* exact
+  // ones (the reference accumulates 1/width rounding).
+  const double scale = static_cast<double>(cfg_.width);
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    if (finish_tick_[t] == 0) finish_tick_[t] = last_commit_[t];
+    const Tick ticks = finish_tick_[t] - measure_start_[t];
+    const double cycles = std::max(1.0, static_cast<double>(ticks) / scale);
+    result.instructions[t] = measured_[t];
+    result.cycles[t] = cycles;
+    result.ipc[t] = static_cast<double>(measured_[t]) / cycles;
+    result.branch_stats[t] = stats_[t];
+    const StallTicks& s = stall_ticks_[t];
+    result.stalls[t] = {.fetch_bandwidth = static_cast<double>(s.fetch_bw) / scale,
+                        .redirect = static_cast<double>(s.redirect) / scale,
+                        .rob = static_cast<double>(s.rob) / scale,
+                        .iq = static_cast<double>(s.iq) / scale,
+                        .lq = static_cast<double>(s.lq) / scale,
+                        .sq = static_cast<double>(s.sq) / scale};
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// OooCoreRefT — the double-precision reference core (retained AoS
+// implementation). This is the executable specification the tick core is
+// checked against; it has no stall counters and no SoA layout on purpose.
+// ---------------------------------------------------------------------------
+
+template <class Bpu = bpu::IPredictor>
+class OooCoreRefT {
+ public:
+  OooCoreRefT(const OooConfig& cfg, Bpu* bpu, std::vector<trace::InstrStream*> threads);
+
   OooResult run(std::uint64_t instr_budget, std::uint64_t warmup);
 
   [[nodiscard]] const CacheHierarchy& caches() const noexcept { return caches_; }
@@ -113,7 +585,7 @@ class OooCoreT {
     std::vector<double> iq_issue;      ///< ring: issue time by instr index
     std::vector<double> lq_complete;   ///< ring per load
     std::vector<double> sq_commit;     ///< ring per store
-    std::array<double, 33> reg_ready{};
+    std::array<double, kNumArchRegs + 1> reg_ready{};
     bool has_ctx = false;
     bpu::ExecContext last_ctx;
     // Measurement window.
@@ -131,13 +603,7 @@ class OooCoreT {
   };
 
   void step(ThreadState& t);
-  /// Pull the next instruction, through the lookahead window when enabled.
   bool fetch_instr(ThreadState& t, trace::InstrRecord& out);
-  /// Refill the drained window and precompute its branches' keyed mixes.
-  /// The window only refills when empty, so every branch the engine has
-  /// already processed is reflected in the predictor's live GHR — the
-  /// speculative GHR walk inside precompute_records is exact unless ψ
-  /// re-keys mid-window (then the stale entries are tag-discarded).
   void refill_window(ThreadState& t);
 
   OooConfig cfg_;
@@ -148,17 +614,14 @@ class OooCoreT {
   double shared_issue_time_ = 0.0;
 };
 
-/// Legacy dynamic-dispatch instantiation (compiled once in ooo.cc).
-using OooCore = OooCoreT<>;
-
-// ---------------------------------------------------------------------------
-// Implementation (template — shared verbatim by every instantiation).
-// ---------------------------------------------------------------------------
+/// Interface-typed reference instantiation (compiled once in ooo.cc).
+using OooCoreRef = OooCoreRefT<>;
 
 template <class Bpu>
-OooCoreT<Bpu>::OooCoreT(const OooConfig& cfg, Bpu* bpu,
-                        std::vector<trace::InstrStream*> threads)
+OooCoreRefT<Bpu>::OooCoreRefT(const OooConfig& cfg, Bpu* bpu,
+                              std::vector<trace::InstrStream*> threads)
     : cfg_(cfg), bpu_(bpu), caches_(cfg.caches) {
+  assert(!threads.empty() && threads.size() <= kMaxSmtThreads);
   threads_.resize(threads.size());
   const unsigned rob_share =
       std::max<unsigned>(8, cfg_.rob / static_cast<unsigned>(threads.size()));
@@ -180,7 +643,7 @@ OooCoreT<Bpu>::OooCoreT(const OooConfig& cfg, Bpu* bpu,
 }
 
 template <class Bpu>
-bool OooCoreT<Bpu>::fetch_instr(ThreadState& t, trace::InstrRecord& out) {
+bool OooCoreRefT<Bpu>::fetch_instr(ThreadState& t, trace::InstrRecord& out) {
   if constexpr (LookaheadBpu<Bpu>) {
     if (cfg_.lookahead) {
       if (t.window_pos >= t.window.size()) refill_window(t);
@@ -195,7 +658,7 @@ bool OooCoreT<Bpu>::fetch_instr(ThreadState& t, trace::InstrRecord& out) {
 }
 
 template <class Bpu>
-void OooCoreT<Bpu>::refill_window(ThreadState& t) {
+void OooCoreRefT<Bpu>::refill_window(ThreadState& t) {
   t.window.clear();
   t.window_pos = 0;
   const std::size_t depth =
@@ -218,7 +681,7 @@ void OooCoreT<Bpu>::refill_window(ThreadState& t) {
 }
 
 template <class Bpu>
-void OooCoreT<Bpu>::step(ThreadState& t) {
+void OooCoreRefT<Bpu>::step(ThreadState& t) {
   trace::InstrRecord ins;
   if (!fetch_instr(t, ins)) {
     t.done = true;
@@ -247,6 +710,8 @@ void OooCoreT<Bpu>::step(ThreadState& t) {
   }
 
   // --- issue: dataflow + shared issue bandwidth ---------------------------
+  assert(ins.dst <= kNumArchRegs && ins.src1 <= kNumArchRegs &&
+         ins.src2 <= kNumArchRegs && "trace register index exceeds kNumArchRegs");
   double ready = dispatch;
   if (ins.src1 != 0) ready = std::max(ready, t.reg_ready[ins.src1]);
   if (ins.src2 != 0) ready = std::max(ready, t.reg_ready[ins.src2]);
@@ -328,7 +793,7 @@ void OooCoreT<Bpu>::step(ThreadState& t) {
 }
 
 template <class Bpu>
-OooResult OooCoreT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
+OooResult OooCoreRefT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
   OooResult result;
   result.threads = static_cast<unsigned>(threads_.size());
 
@@ -370,8 +835,9 @@ OooResult OooCoreT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
   return result;
 }
 
-/// The legacy instantiation is compiled once in ooo.cc.
+/// The legacy instantiations are compiled once in ooo.cc.
 extern template class OooCoreT<>;
+extern template class OooCoreRefT<>;
 
 /// Engine-typed fan-out entry point: run a cycle-level core instantiated on
 /// the concrete BPU type. With `Bpu` a final engine from
@@ -382,6 +848,17 @@ template <class Bpu>
 OooResult run_ooo(const OooConfig& cfg, Bpu& bpu, std::vector<trace::InstrStream*> threads,
                   std::uint64_t instr_budget, std::uint64_t warmup) {
   OooCoreT<Bpu> core(cfg, &bpu, std::move(threads));
+  return core.run(instr_budget, warmup);
+}
+
+/// Same entry point over the double-precision reference core — the A/B
+/// partner for run_ooo (the ooo_engine scenario's `int_speedup` field) and
+/// the oracle the equivalence tests compare against.
+template <class Bpu>
+OooResult run_ooo_ref(const OooConfig& cfg, Bpu& bpu,
+                      std::vector<trace::InstrStream*> threads,
+                      std::uint64_t instr_budget, std::uint64_t warmup) {
+  OooCoreRefT<Bpu> core(cfg, &bpu, std::move(threads));
   return core.run(instr_budget, warmup);
 }
 

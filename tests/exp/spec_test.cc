@@ -40,6 +40,7 @@ TEST(ExperimentSpec, JsonRoundTrip) {
   spec.trace_file = "/tmp/trace.bin";
   spec.seed = 77;
   spec.cache_stats = true;
+  spec.stall_stats = true;
 
   JsonValue doc;
   std::string err;

@@ -1,11 +1,19 @@
-// Engine-typed OoO fan-out equivalence: running the cycle-level core
-// instantiated on the concrete engine type (exp::for_each_engine +
-// sim::run_ooo — zero per-branch virtual dispatch) must produce
-// BIT-IDENTICAL results to driving the same engine through the
-// interface-typed OooCore: every BranchStats field, instruction counts,
-// and the double-precision cycle/IPC numbers. This is the contract that
-// lets the OoO scenarios adopt the typed path without changing Figures
-// 4-6.
+// Cycle-level core equivalence, two axes at once:
+//
+//  1. Engine-typed fan-out: the core instantiated on the concrete engine
+//     type (exp::for_each_engine + sim::run_ooo — zero per-branch virtual
+//     dispatch) must produce BIT-IDENTICAL results to driving the same
+//     engine through the interface-typed core. This is the contract that
+//     lets the OoO scenarios adopt the typed path without changing
+//     Figures 4-6.
+//  2. Integer-tick vs double-precision: the production OooCoreT runs on
+//     u64 ticks (1 tick = 1/width cycle) with SoA ring state; the retained
+//     OooCoreRefT is the original double/AoS implementation. With the
+//     default power-of-two width every double the reference computes is an
+//     exact multiple of 1/width, so cycles and IPC (reconstructed from
+//     ticks at report time) must match bit-for-bit — not approximately —
+//     and BranchStats/instruction counts are identical by construction.
+//     Asserted across all 20 model×direction combos and the SMT config.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -38,12 +46,20 @@ void expect_identical_results(const sim::OooResult& iface, const sim::OooResult&
 }
 
 void expect_single_equivalent(const models::ModelSpec& spec) {
-  // Interface-typed reference: the engine driven through IPredictor* (this
+  // Interface-typed baseline: the engine driven through IPredictor* (this
   // path has no lookahead front end by construction).
   auto engine = models::make_engine(spec);
   trace::SyntheticInstrGenerator gen(trace::profile_by_name("mcf"));
   bpu::IPredictor* iface = engine.get();
   const auto iface_result = sim::run_ooo({}, *iface, {&gen}, kBudget, kWarmup);
+
+  // Double-precision reference core on a fresh identical engine: the
+  // integer-tick core must reproduce its cycles/IPC bit-for-bit.
+  auto ref_engine = models::make_engine(spec);
+  trace::SyntheticInstrGenerator ref_gen(trace::profile_by_name("mcf"));
+  bpu::IPredictor* ref_iface = ref_engine.get();
+  const auto ref_result = sim::run_ooo_ref({}, *ref_iface, {&ref_gen}, kBudget, kWarmup);
+  expect_identical_results(ref_result, iface_result, spec);
 
   // Engine-typed path with the lookahead front end on (the default):
   // concrete EngineT recovered once, OooCoreT instantiated on it, windowed
@@ -67,6 +83,15 @@ void expect_single_equivalent(const models::ModelSpec& spec) {
         sim::run_ooo(no_lookahead, typed_engine, {&typed_gen}, kBudget, kWarmup);
   }));
   expect_identical_results(iface_result, nola_result, spec);
+
+  // Engine-typed double reference (lookahead on) vs the engine-typed tick
+  // core: the integerization must be exact on the devirtualized path too.
+  sim::OooResult ref_typed{};
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
+    trace::SyntheticInstrGenerator typed_gen(trace::profile_by_name("mcf"));
+    ref_typed = sim::run_ooo_ref({}, typed_engine, {&typed_gen}, kBudget, kWarmup);
+  }));
+  expect_identical_results(ref_typed, typed_result, spec);
 }
 
 TEST(OooTypedEquivalence, AllModelsSingleThread) {
@@ -124,6 +149,18 @@ TEST(OooTypedEquivalence, StbpuSmtPair) {
   expect_identical_results(iface_result, typed_result, spec);
   EXPECT_EQ(iface_result.threads, 2u);
   EXPECT_EQ(iface_result.ipc_harmonic_mean(), typed_result.ipc_harmonic_mean());
+
+  // SMT through the double reference core: the shared fetch/issue tick
+  // clocks must interleave the two threads exactly as the shared double
+  // clocks did — thread ordering, context switches, and both threads'
+  // cycles bit-identical.
+  auto ref_engine = models::make_engine(spec);
+  trace::SyntheticInstrGenerator r0(trace::profile_by_name("bwaves"));
+  trace::SyntheticInstrGenerator r1(trace::profile_by_name("mcf"));
+  bpu::IPredictor* ref_iface = ref_engine.get();
+  const auto ref_result = sim::run_ooo_ref({}, *ref_iface, {&r0, &r1}, kBudget, kWarmup);
+  expect_identical_results(ref_result, typed_result, spec);
+  EXPECT_EQ(ref_result.ipc_harmonic_mean(), typed_result.ipc_harmonic_mean());
 }
 
 TEST(OooTypedEquivalence, VisitRecoversConcreteTypeOnce) {
