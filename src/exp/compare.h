@@ -1,0 +1,54 @@
+// BENCH_*.json comparison — the CI perf-regression gate's core logic
+// (`stbpu_bench compare OLD.json NEW.json`). The gate's contract follows
+// the repo's honest-measurement discipline: correctness fields must never
+// drift silently, throughput may (machines differ), so
+//   * string fields (identical_stats, sections, modes) and integer fields
+//     (stat counters: measured branches, cache hits/misses, thresholds,
+//     rerandomization counts) are CORRECTNESS — any difference on a row +
+//     key present in both files is a fatal regression;
+//   * floating-point fields (branches/sec, speedups, rates, IPC) are
+//     THROUGHPUT/measurement — deltas are reported, never fatal;
+//   * rows or keys present in only one file are advisory notes (scenario
+//     grids legitimately evolve between PRs), as is a scale mismatch note
+//     when the two files were produced at different --scale presets (then
+//     nothing is comparable and the files are only inventoried).
+// Field classes are recovered from the JSON literals themselves (the
+// writer preserves number text: integers render without '.'/exponent).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stbpu::exp {
+
+struct CompareOptions {
+  /// Keys excluded from the fatal check (escape hatch for a PR that
+  /// intentionally changes a counter's meaning: `--ignore=key,key`).
+  std::vector<std::string> ignore_keys;
+};
+
+struct CompareFinding {
+  std::string row;        ///< row label ("" for top-level meta fields)
+  std::string key;
+  std::string old_value;  ///< raw JSON literal text
+  std::string new_value;
+  double delta_frac = 0.0;  ///< new/old - 1 (numeric advisory findings)
+};
+
+struct CompareReport {
+  std::string bench;                        ///< scenario name (from NEW)
+  std::vector<CompareFinding> regressions;  ///< fatal correctness mismatches
+  std::vector<CompareFinding> deltas;       ///< advisory numeric deltas
+  std::vector<std::string> notes;           ///< grid drift, scale mismatch, ...
+  std::size_t compared_fields = 0;          ///< fields checked on matched rows
+
+  [[nodiscard]] bool ok() const noexcept { return regressions.empty(); }
+};
+
+/// Compare two BENCH_*.json texts. Returns false (with `err`) only on
+/// malformed input or mismatched scenarios — a correctness regression is a
+/// successful comparison with report.ok() == false.
+bool compare_bench(const std::string& old_text, const std::string& new_text,
+                   const CompareOptions& opt, CompareReport& out, std::string& err);
+
+}  // namespace stbpu::exp

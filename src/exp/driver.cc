@@ -1,11 +1,13 @@
 #include "exp/driver.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "exp/compare.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
 
@@ -24,6 +26,10 @@ void print_usage(std::FILE* to) {
                "  describe <scenario>        show a scenario's point grid\n"
                "  run <scenario> [options]   execute a scenario\n"
                "  merge <shard.json>...      union shard files into BENCH_<name>.json\n"
+               "  compare OLD.json NEW.json  diff two same-scenario BENCH files: exits\n"
+               "                             nonzero when a correctness field (string or\n"
+               "                             integer stat counter) regressed; throughput\n"
+               "                             (floating-point) deltas are reported only\n"
                "\n"
                "run/describe options:\n"
                "  --scale=quick|paper        simulation budgets (default quick)\n"
@@ -48,7 +54,12 @@ void print_usage(std::FILE* to) {
                "                             individual budget overrides\n"
                "\n"
                "merge options:\n"
-               "  --json=PATH                output path (default BENCH_<name>.json)\n");
+               "  --json=PATH                output path (default BENCH_<name>.json)\n"
+               "\n"
+               "compare options:\n"
+               "  --ignore=KEY[,KEY]         exclude fields from the correctness check\n"
+               "                             (for a PR that intentionally changes a\n"
+               "                             counter's meaning)\n");
 }
 
 int usage_error(const std::string& message) {
@@ -309,6 +320,77 @@ int cmd_merge(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_compare(const std::vector<std::string>& args) {
+  CompareOptions opt;
+  std::vector<std::string> paths;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--ignore=", 0) == 0) {
+      std::string list = arg.substr(9);
+      std::size_t at = 0;
+      while (at <= list.size()) {
+        const std::size_t comma = list.find(',', at);
+        const std::string key = list.substr(at, comma - at);
+        if (!key.empty()) opt.ignore_keys.push_back(key);
+        if (comma == std::string::npos) break;
+        at = comma + 1;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage_error("unknown argument '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return usage_error("compare needs exactly OLD.json NEW.json");
+
+  std::string old_text, new_text, err;
+  if (!read_file(paths[0], old_text)) {
+    std::fprintf(stderr, "stbpu_bench: cannot read %s\n", paths[0].c_str());
+    return 1;
+  }
+  if (!read_file(paths[1], new_text)) {
+    std::fprintf(stderr, "stbpu_bench: cannot read %s\n", paths[1].c_str());
+    return 1;
+  }
+  CompareReport report;
+  if (!compare_bench(old_text, new_text, opt, report, err)) {
+    std::fprintf(stderr, "stbpu_bench: compare failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("== compare %s: %s -> %s ==\n", report.bench.c_str(), paths[0].c_str(),
+              paths[1].c_str());
+  for (const std::string& note : report.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const CompareFinding& d : report.deltas) {
+    if (std::isfinite(d.delta_frac)) {
+      std::printf("%-32s | %s: %s -> %s (%+.2f%%)\n",
+                  d.row.empty() ? "(meta)" : d.row.c_str(), d.key.c_str(),
+                  d.old_value.c_str(), d.new_value.c_str(), d.delta_frac * 100.0);
+    } else {
+      std::printf("%-32s | %s: %s -> %s (delta n/a: zero baseline)\n",
+                  d.row.empty() ? "(meta)" : d.row.c_str(), d.key.c_str(),
+                  d.old_value.c_str(), d.new_value.c_str());
+    }
+  }
+  for (const CompareFinding& r : report.regressions) {
+    std::printf("CORRECTNESS REGRESSION %-9s | %s: %s != %s\n",
+                r.row.empty() ? "(meta)" : r.row.c_str(), r.key.c_str(),
+                r.old_value.c_str(), r.new_value.c_str());
+  }
+  std::printf(
+      "%zu fields compared: %zu correctness regression(s), %zu throughput delta(s), "
+      "%zu note(s)\n",
+      report.compared_fields, report.regressions.size(), report.deltas.size(),
+      report.notes.size());
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "stbpu_bench: correctness fields regressed (throughput deltas alone "
+                 "never fail the gate)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int driver_main(int argc, char** argv) {
@@ -333,6 +415,7 @@ int driver_main(int argc, char** argv) {
     return command == "run" ? cmd_run(name, args) : cmd_describe(name, args);
   }
   if (command == "merge") return cmd_merge(args);
+  if (command == "compare") return cmd_compare(args);
   if (command == "help" || command == "--help" || command == "-h") {
     print_usage(stdout);
     return 0;

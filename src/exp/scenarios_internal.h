@@ -64,7 +64,11 @@ inline void append_cache_stats(PointResult& p, const core::RemapCacheStats& s) {
 inline void append_stall_stats(PointResult& p, const sim::OooResult& r) {
   for (unsigned t = 0; t < r.threads; ++t) {
     const sim::OooThreadStalls& s = r.stalls[t];
-    const std::string base = "t" + std::to_string(t) + "_stall_";
+    // Split concatenation (GCC 12 -Wrestrict false positive on
+    // `"lit" + std::string&&` chains, as in runner.cc).
+    std::string base = "t";
+    base += std::to_string(t);
+    base += "_stall_";
     p.set(base + "fetch_bandwidth_cycles", s.fetch_bandwidth)
         .set(base + "redirect_cycles", s.redirect)
         .set(base + "rob_cycles", s.rob)

@@ -6,6 +6,7 @@
 // equivalent of models::replay_engine).
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/monitor.h"
@@ -18,12 +19,55 @@
 #include "sim/ooo.h"
 #include "trace/generator.h"
 #include "trace/instr.h"
+#include "trace/pregen.h"
 #include "trace/profile.h"
 #include "trace/stream.h"
 
 namespace stbpu::exp {
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Instruction sources. Every cycle-level point replays a deterministic
+// (profile, seed) instruction stream; at CI/quick scales the stream is a
+// pregenerated whole-run SoA artifact shared across arms, repetitions and
+// sweep points (trace::shared_instr_trace — generated once per process),
+// which the cores consume zero-copy through their lookahead windows. Very
+// large budgets fall back to on-the-fly generation (a paper-scale 100M
+// instruction artifact would be several GB); records are bit-identical
+// either way, so the fallback changes wall-clock only.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kPregenMaxInstrs = 4'000'000;
+
+std::uint64_t pregen_instr_count(const ExperimentSpec& spec) {
+  // Upper bound on per-thread consumption: warm-up + measured budget plus
+  // the lookahead window's prefetch slack (frontend_depth × width, far
+  // below 4096 for any config used here). The cores stop at their budgets,
+  // so a stream at least this long is indistinguishable from an infinite
+  // generator.
+  return spec.scale.ooo_warmup + spec.scale.ooo_instructions + 4096;
+}
+
+bool pregen_enabled(const ExperimentSpec& spec) {
+  return pregen_instr_count(spec) <= kPregenMaxInstrs;
+}
+
+/// Hand `fn` an InstrStream positioned at the start of `profile`'s stream:
+/// a fresh cursor over the shared pregenerated artifact when the budget
+/// fits the pregen cap, a fresh generator otherwise.
+template <class Fn>
+void with_instr_stream(const ExperimentSpec& spec, const trace::WorkloadProfile& profile,
+                       Fn&& fn) {
+  if (pregen_enabled(spec)) {
+    trace::InstrTraceStream stream(
+        trace::shared_instr_trace(profile, pregen_instr_count(spec)));
+    fn(stream);
+  } else {
+    trace::SyntheticInstrGenerator gen(profile);
+    fn(gen);
+  }
+}
 
 constexpr models::DirectionKind kDirs[] = {
     models::DirectionKind::kPerceptron, models::DirectionKind::kSklCond,
@@ -51,12 +95,13 @@ OooCell run_single_cell(const ExperimentSpec& spec, const trace::WorkloadProfile
          .direction = dir},
         spec);
     for_each_engine(mspec, [&](auto& engine) {
-      trace::SyntheticInstrGenerator gen(profile);
-      const auto r = sim::run_ooo({}, engine, {&gen}, spec.scale.ooo_instructions,
-                                  spec.scale.ooo_warmup);
-      dirr[st] = r.branch_stats[0].direction_rate();
-      tgt[st] = r.branch_stats[0].target_rate();
-      ipc[st] = r.ipc[0];
+      with_instr_stream(spec, profile, [&](trace::InstrStream& stream) {
+        const auto r = sim::run_ooo({}, engine, {&stream}, spec.scale.ooo_instructions,
+                                    spec.scale.ooo_warmup);
+        dirr[st] = r.branch_stats[0].direction_rate();
+        tgt[st] = r.branch_stats[0].target_rate();
+        ipc[st] = r.ipc[0];
+      });
     });
   }
   return {.dred = dirr[0] - dirr[1],
@@ -74,13 +119,16 @@ OooCell run_smt_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& p
          .direction = dir},
         spec);
     for_each_engine(mspec, [&](auto& engine) {
-      trace::SyntheticInstrGenerator g0(p0), g1(p1);
-      const auto r = sim::run_ooo({}, engine, {&g0, &g1}, spec.scale.ooo_instructions,
-                                  spec.scale.ooo_warmup);
-      const auto combined = r.combined_stats();
-      dirr[st] = combined.direction_rate();
-      tgt[st] = combined.target_rate();
-      hipc[st] = r.ipc_harmonic_mean();
+      with_instr_stream(spec, p0, [&](trace::InstrStream& s0) {
+        with_instr_stream(spec, p1, [&](trace::InstrStream& s1) {
+          const auto r = sim::run_ooo({}, engine, {&s0, &s1},
+                                      spec.scale.ooo_instructions, spec.scale.ooo_warmup);
+          const auto combined = r.combined_stats();
+          dirr[st] = combined.direction_rate();
+          tgt[st] = combined.target_rate();
+          hipc[st] = r.ipc_harmonic_mean();
+        });
+      });
     });
   }
   return {.dred = dirr[0] - dirr[1],
@@ -342,9 +390,11 @@ class Fig6Scenario final : public ScenarioBase {
     PointResult out;
     const auto run_pair = [&](unsigned p, const models::ModelSpec& mspec) {
       for_each_engine(mspec, [&](auto& engine) {
-        trace::SyntheticInstrGenerator g0(trace::profile_by_name(kFig6Pairs[p][0]));
-        trace::SyntheticInstrGenerator g1(trace::profile_by_name(kFig6Pairs[p][1]));
-        const auto res = sim::run_ooo({}, engine, {&g0, &g1},
+        with_instr_stream(spec, trace::profile_by_name(kFig6Pairs[p][0]),
+                          [&](trace::InstrStream& s0) {
+        with_instr_stream(spec, trace::profile_by_name(kFig6Pairs[p][1]),
+                          [&](trace::InstrStream& s1) {
+        const auto res = sim::run_ooo({}, engine, {&s0, &s1},
                                       spec.scale.ooo_instructions, spec.scale.ooo_warmup);
         if (mspec.model == models::ModelKind::kUnprotected) {
           out.set("ipc_harmonic", res.ipc_harmonic_mean());
@@ -357,6 +407,8 @@ class Fig6Scenario final : public ScenarioBase {
               .set("ipc_harmonic", res.ipc_harmonic_mean())
               .set("rerandomizations", rerands);
         }
+        });
+        });
       });
     };
     if (index < npairs) {
@@ -423,7 +475,7 @@ class OooEngineScenario final : public ScenarioBase {
       : ScenarioBase("ooo_engine",
                      "Cycle-level core study: integer-tick SoA core vs the "
                      "double-precision reference, typed vs IPredictor "
-                     "dispatch") {}
+                     "dispatch, pregenerated vs on-the-fly streams") {}
 
   std::vector<std::string> point_labels(const ExperimentSpec&) const override {
     std::vector<std::string> labels;
@@ -443,16 +495,29 @@ class OooEngineScenario final : public ScenarioBase {
         {.model = kThroughputModels[index], .direction = kThroughputDirs[index]}, spec);
     const auto profile = trace::profile_by_name("mcf");
 
-    // Interleaved best-of-3 (fresh engine + generator per repetition), four
+    // Interleaved best-of-3 (fresh engine + stream per repetition), five
     // arms: the interface-typed tick core, the engine-typed tick core
     // through for_each_engine — with its lookahead front end (the shipping
     // configuration) and without it (attributing the front-end batching
-    // separately from devirtualization) — and the engine-typed
-    // double-precision reference core (OooCoreRefT), the controlled A/B for
-    // the integer-tick + SoA rewrite (`int_speedup`).
-    double iface_secs = 1e300, typed_secs = 1e300, nola_secs = 1e300, ref_secs = 1e300;
-    sim::OooResult iface_result{}, typed_result{}, nola_result{}, ref_result{};
+    // separately from devirtualization) — the engine-typed double-precision
+    // reference core (OooCoreRefT), the controlled A/B for the integer-tick
+    // + SoA rewrite (`int_speedup`), and the pregenerated-stream arm: the
+    // identical engine-typed tick core fed by a cursor over the shared
+    // whole-run SoA artifact instead of the on-the-fly generator
+    // (`gen_speedup` — the generation cost every other arm pays per run is
+    // exactly what pregeneration removes; the artifact itself is built once
+    // per process, outside every stopwatch, and reused across arms, reps
+    // and sweep points).
+    double iface_secs = 1e300, typed_secs = 1e300, nola_secs = 1e300, ref_secs = 1e300,
+           pregen_secs = 1e300;
+    sim::OooResult iface_result{}, typed_result{}, nola_result{}, ref_result{},
+        pregen_result{};
     core::RemapCacheStats cache_stats;
+    const bool pregen = pregen_enabled(spec);
+    std::shared_ptr<const trace::InstrTrace> pregen_trace;
+    if (pregen) {
+      pregen_trace = trace::shared_instr_trace(profile, pregen_instr_count(spec));
+    }
     for (unsigned rep = 0; rep < 3; ++rep) {
       {
         auto engine = models::make_engine(mspec);
@@ -489,32 +554,76 @@ class OooEngineScenario final : public ScenarioBase {
                                       spec.scale.ooo_warmup);
         ref_secs = std::min(ref_secs, std::max(sw.seconds(), 1e-9));
       });
+      for_each_engine(mspec, [&](auto& engine) {
+        // Generator fallback keeps the arm honest at budgets beyond the
+        // pregen cap: gen_speedup is then ~1.0 by construction.
+        if (pregen) {
+          trace::InstrTraceStream stream(pregen_trace);
+          Stopwatch sw;
+          pregen_result = sim::run_ooo({}, engine, {&stream},
+                                       spec.scale.ooo_instructions,
+                                       spec.scale.ooo_warmup);
+          pregen_secs = std::min(pregen_secs, std::max(sw.seconds(), 1e-9));
+        } else {
+          trace::SyntheticInstrGenerator gen(profile);
+          Stopwatch sw;
+          pregen_result = sim::run_ooo({}, engine, {&gen},
+                                       spec.scale.ooo_instructions,
+                                       spec.scale.ooo_warmup);
+          pregen_secs = std::min(pregen_secs, std::max(sw.seconds(), 1e-9));
+        }
+      });
     }
     const double branches = static_cast<double>(typed_result.combined_stats().branches);
     const double iface_bps = branches / iface_secs;
     const double typed_bps = branches / typed_secs;
     const double nola_bps = branches / nola_secs;
     const double ref_bps = branches / ref_secs;
+    const double pregen_bps = branches / pregen_secs;
+    // Every arm must be bit-identical in everything the simulation
+    // computes: BranchStats, instruction counts, cycles, the cache
+    // hierarchy's demand counters, and — among the tick-core arms — the
+    // stall attribution (the double reference predates the counters and
+    // leaves them zero by design).
     const bool identical =
         iface_result.combined_stats() == typed_result.combined_stats() &&
         iface_result.instructions == typed_result.instructions &&
         iface_result.cycles == typed_result.cycles &&
+        iface_result.cache == typed_result.cache &&
+        iface_result.stalls == typed_result.stalls &&
         nola_result.combined_stats() == typed_result.combined_stats() &&
         nola_result.cycles == typed_result.cycles &&
+        nola_result.cache == typed_result.cache &&
+        nola_result.stalls == typed_result.stalls &&
         ref_result.combined_stats() == typed_result.combined_stats() &&
         ref_result.instructions == typed_result.instructions &&
-        ref_result.cycles == typed_result.cycles;
+        ref_result.cycles == typed_result.cycles &&
+        ref_result.cache == typed_result.cache &&
+        pregen_result.combined_stats() == typed_result.combined_stats() &&
+        pregen_result.instructions == typed_result.instructions &&
+        pregen_result.cycles == typed_result.cycles &&
+        pregen_result.cache == typed_result.cache &&
+        pregen_result.stalls == typed_result.stalls;
     PointResult p;
     p.set("iface_branches_per_sec", iface_bps)
         .set("typed_branches_per_sec", typed_bps)
         .set("typed_nolookahead_branches_per_sec", nola_bps)
         .set("ref_double_branches_per_sec", ref_bps)
+        .set("pregen_branches_per_sec", pregen_bps)
         .set("branches_per_sec", typed_bps)
         .set("speedup", typed_bps / iface_bps)
         .set("lookahead_speedup", typed_bps / nola_bps)
         .set("int_speedup", typed_bps / ref_bps)
+        .set("gen_speedup", pregen_bps / typed_bps)
+        .set("pregen_mode", pregen ? "artifact" : "generator-fallback")
         .set("measured_branches", std::uint64_t{typed_result.combined_stats().branches})
         .set("ipc", typed_result.ipc[0])
+        .set("l1d_hits", typed_result.cache.l1d_hits)
+        .set("l1d_misses", typed_result.cache.l1d_misses)
+        .set("l2_hits", typed_result.cache.l2_hits)
+        .set("l2_misses", typed_result.cache.l2_misses)
+        .set("llc_hits", typed_result.cache.llc_hits)
+        .set("llc_misses", typed_result.cache.llc_misses)
         .set("identical_stats", identical ? "true" : "false");
     if (spec.cache_stats) append_cache_stats(p, cache_stats);
     if (spec.stall_stats) append_stall_stats(p, typed_result);

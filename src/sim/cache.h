@@ -2,9 +2,30 @@
 // 8-way, L2 256KB 4-way, LLC 4MB 16-way). LRU replacement, 64-byte lines,
 // inclusive fills. Shared between SMT threads, so cross-thread conflict
 // misses arise naturally.
+//
+// Metadata layout: each set is ONE interleaved array of packed words —
+// entry = (tag << kRankBits) | rank — instead of the former two parallel
+// tag/LRU arrays. A set scan therefore touches one contiguous run (an
+// associativity-8 set is exactly one 64-byte cache line, the same trick as
+// the SoA BTB's packed match keys), and the metadata footprint halves
+// (8 bytes per line instead of tag + u64 LRU clock). The rank field is the
+// entry's exact LRU position within its set (0 = least recent), which
+// reproduces the former global-clock LRU decisions bit for bit:
+//   * the old victim was the set's minimum clock value, scan order breaking
+//     ties among never-touched ways (all clock 0) — i.e. exactly the
+//     rank-0 way, with untouched ways holding the lowest ranks in way
+//     order (promotions preserve the relative order of the rest);
+//   * a hit/fill promoted the way to the set maximum — i.e. rank ways-1,
+//     every rank above the old position sliding down by one;
+//   * flush() invalidated tags but kept clocks, so the post-flush victim
+//     order was the pre-flush recency order — ranks are simply kept.
+// tests/sim/cache_test.cc replays adversarial (mcf-like miss-heavy) access
+// sequences against a retained reference implementation of the old layout
+// and asserts hit/miss sequences and counters are identical.
 #pragma once
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -21,13 +42,27 @@ struct CacheLevelConfig {
 class CacheLevel {
  public:
   static constexpr std::uint32_t kLineBytes = 64;
+  /// Rank bits in a packed entry (supports up to 64 ways, leaving 58 tag
+  /// bits — every line address below 2^58 is representable, i.e. the whole
+  /// byte-address space; the top tag value is reserved as "invalid").
+  static constexpr std::uint32_t kRankBits = 6;
+  static constexpr std::uint64_t kRankMask = (std::uint64_t{1} << kRankBits) - 1;
+  static constexpr std::uint64_t kInvalidTag =
+      (std::uint64_t{1} << (64 - kRankBits)) - 1;
 
   explicit CacheLevel(const CacheLevelConfig& cfg)
       : cfg_(cfg),
         sets_(cfg.size_kb * 1024 / kLineBytes / cfg.ways),
         set_shift_(std::has_single_bit(sets_) ? std::countr_zero(sets_) : 0),
-        tags_(std::size_t{sets_} * cfg.ways, kInvalid),
-        lru_(std::size_t{sets_} * cfg.ways, 0) {}
+        entries_(std::size_t{sets_} * cfg.ways) {
+    assert(cfg.ways >= 1 && cfg.ways <= kRankMask + 1 &&
+           "packed rank field supports up to 64 ways");
+    // Invalid tags everywhere; initial ranks in way order, so the first
+    // misses fill way 0, 1, ... — the old clock scheme's tie-break.
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      entries_[i] = (kInvalidTag << kRankBits) | (i % cfg.ways);
+    }
+  }
 
   /// True on hit; on miss the line is filled (LRU victim).
   bool access(std::uint64_t addr) {
@@ -45,28 +80,40 @@ class CacheLevel {
       set = static_cast<std::uint32_t>(line % sets_);
       tag = line / sets_;
     }
-    const std::size_t base = std::size_t{set} * cfg_.ways;
-    std::size_t victim = base;
-    std::uint64_t oldest = ~std::uint64_t{0};
-    for (std::size_t w = 0; w < cfg_.ways; ++w) {
-      if (tags_[base + w] == tag) {
-        lru_[base + w] = ++clock_;
+    assert(tag < kInvalidTag && "address exceeds the packed-tag range");
+    std::uint64_t* e = entries_.data() + std::size_t{set} * cfg_.ways;
+    const std::uint64_t ways = cfg_.ways;
+    const std::uint64_t key = tag << kRankBits;
+
+    std::uint64_t victim = 0;
+    for (std::uint64_t w = 0; w < ways; ++w) {
+      if ((e[w] & ~kRankMask) == key) {
+        // Promote to most-recent: ranks above the old position slide down.
+        const std::uint64_t r = e[w] & kRankMask;
+        for (std::uint64_t v = 0; v < ways; ++v) {
+          if ((e[v] & kRankMask) > r) --e[v];
+        }
+        e[w] = key | (ways - 1);
         ++hits_;
         return true;
       }
-      if (lru_[base + w] < oldest) {
-        oldest = lru_[base + w];
-        victim = base + w;
-      }
+      if ((e[w] & kRankMask) == 0) victim = w;
     }
-    tags_[victim] = tag;
-    lru_[victim] = ++clock_;
+    // Miss: evict the rank-0 (least recent) way, fill as most-recent.
+    for (std::uint64_t v = 0; v < ways; ++v) {
+      if ((e[v] & kRankMask) != 0) --e[v];
+    }
+    e[victim] = key | (ways - 1);
     ++misses_;
     return false;
   }
 
   void flush() {
-    std::fill(tags_.begin(), tags_.end(), kInvalid);
+    // Invalidate tags but keep recency ranks (the old layout kept the LRU
+    // clocks), so the post-flush fill order is the pre-flush LRU order.
+    for (std::uint64_t& e : entries_) {
+      e = (kInvalidTag << kRankBits) | (e & kRankMask);
+    }
   }
 
   [[nodiscard]] std::uint32_t latency() const noexcept { return cfg_.latency; }
@@ -74,13 +121,11 @@ class CacheLevel {
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
 
  private:
-  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
   CacheLevelConfig cfg_;
   std::uint32_t sets_;
   std::uint32_t set_shift_;  ///< log2(sets_) when sets_ is a power of two, else 0
-  std::vector<std::uint64_t> tags_;
-  std::vector<std::uint64_t> lru_;
-  std::uint64_t clock_ = 0;
+  /// Interleaved per-set metadata: sets_ × ways packed (tag | rank) words.
+  std::vector<std::uint64_t> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };
@@ -90,6 +135,20 @@ struct CacheHierarchyConfig {
   CacheLevelConfig l2{.size_kb = 256, .ways = 4, .latency = 14};
   CacheLevelConfig llc{.size_kb = 4096, .ways = 16, .latency = 42};
   std::uint32_t memory_latency = 220;
+};
+
+/// Demand hit/miss counters of all three levels — the cycle-level
+/// simulator's cache-behaviour fingerprint. Surfaced in OooResult so
+/// equivalence checks (and the CI compare gate) can assert the cache
+/// simulation itself is bit-identical across core variants, not just the
+/// IPC it produces.
+struct CacheHierarchyCounters {
+  std::uint64_t l1d_hits = 0, l1d_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+  std::uint64_t llc_hits = 0, llc_misses = 0;
+
+  friend bool operator==(const CacheHierarchyCounters&,
+                         const CacheHierarchyCounters&) = default;
 };
 
 class CacheHierarchy {
@@ -124,6 +183,15 @@ class CacheHierarchy {
   [[nodiscard]] const CacheLevel& l1d() const noexcept { return l1d_; }
   [[nodiscard]] const CacheLevel& l2() const noexcept { return l2_; }
   [[nodiscard]] const CacheLevel& llc() const noexcept { return llc_; }
+
+  [[nodiscard]] CacheHierarchyCounters counters() const noexcept {
+    return {.l1d_hits = l1d_.hits(),
+            .l1d_misses = l1d_.misses(),
+            .l2_hits = l2_.hits(),
+            .l2_misses = l2_.misses(),
+            .llc_hits = llc_.hits(),
+            .llc_misses = llc_.misses()};
+  }
 
  private:
   CacheHierarchyConfig cfg_;

@@ -78,12 +78,17 @@ struct OooConfig {
   unsigned lat_fp = 4;
   unsigned lat_branch = 2;
 
-  /// Decoupled lookahead front end (batch-capable BPUs only): the core
-  /// buffers frontend_depth × width upcoming instructions per thread and
-  /// issues one batched precompute for the branches in the window, so the
-  /// per-branch access() below finds its keyed mixes already resident —
-  /// the fetch-directed-predictor structure modern cores use to run the
-  /// BPU ahead of the backend. Purely a simulator-throughput feature:
+  /// Decoupled lookahead front end: the core buffers frontend_depth × width
+  /// upcoming instructions per thread as an SoA InstrBlock window —
+  /// borrowed zero-copy from materialized streams (trace::InstrTraceStream
+  /// lends pointers into the pregenerated arrays), block-filled otherwise —
+  /// and, for batch-capable BPUs, issues one batched precompute for the
+  /// branches in the window so the per-branch access() below finds its
+  /// keyed mixes already resident — the fetch-directed-predictor structure
+  /// modern cores use to run the BPU ahead of the backend. Engines without
+  /// batch precompute use the window only when the stream is contiguous
+  /// (the buffering is then free); with on-the-fly generators they keep
+  /// the direct per-record fetch. Purely a simulator-throughput feature:
   /// results are bit-identical with it on or off
   /// (tests/integration/ooo_typed_equivalence_test.cc).
   bool lookahead = true;
@@ -130,6 +135,11 @@ struct OooResult {
   /// Stall attribution (tick core only; the double reference core leaves
   /// these zero — it predates the counters and stays the unadorned spec).
   std::array<OooThreadStalls, kMaxSmtThreads> stalls{};
+  /// Demand hit/miss counters of the core's cache hierarchy over the whole
+  /// run (warm-up included) — the cache simulation's fingerprint, asserted
+  /// bit-equal across core variants by the ooo_engine scenario and watched
+  /// by the CI compare gate.
+  CacheHierarchyCounters cache{};
 
   [[nodiscard]] double ipc_harmonic_mean() const {
     if (threads == 1) return ipc[0];
@@ -182,13 +192,27 @@ class OooCoreT {
     Tick mask = 0;     ///< pow2 storage capacity - 1
   };
 
+  /// SoA view of the fetched instruction — filled from the window block's
+  /// parallel arrays (pointer consumption, no InstrRecord reassembly) or
+  /// from the per-record scratch on the direct path. `branch` points into
+  /// the block's compacted branch payloads (or at scratch.branch) and is
+  /// valid until the next fetch.
+  struct Fetched {
+    trace::InstrRecord::Kind kind;
+    std::uint8_t dst, src1, src2;
+    bool streaming;
+    std::uint64_t mem_addr;
+    const bpu::BranchRecord* branch;  ///< non-null iff kind == kBranch
+  };
+
   void step(unsigned t);
-  /// Pull the next instruction: a pointer into the lookahead window when
-  /// enabled (no copy — window records are stable until the next refill),
-  /// into `scratch` otherwise; nullptr when the stream is exhausted.
-  const trace::InstrRecord* fetch_instr(unsigned t, trace::InstrRecord& scratch);
-  /// Refill the drained window and precompute its branches' keyed mixes.
-  /// The window only refills when empty, so every branch the engine has
+  /// Pull the next instruction into the SoA view; false when the stream is
+  /// exhausted.
+  bool fetch_instr(unsigned t, trace::InstrRecord& scratch, Fetched& out);
+  /// Refill the drained window — borrowing the stream's own SoA block when
+  /// it has one (pregenerated traces), block-filling the core's otherwise —
+  /// and precompute its branches' keyed mixes (batch-capable BPUs). The
+  /// window only refills when empty, so every branch the engine has
   /// already processed is reflected in the predictor's live GHR — the
   /// speculative GHR walk inside precompute_records is exact unless ψ
   /// re-keys mid-window (then the stale entries are tag-discarded).
@@ -249,11 +273,17 @@ class OooCoreT {
   Tick shared_fetch_tick_ = 0;
   Tick shared_issue_tick_ = 0;
 
-  // Lookahead front end (batch-capable BPUs): per-thread window segments in
-  // one flat buffer + one shared branch scratch (a refill is consumed
+  // Lookahead front end: per-thread SoA window blocks. `window_blk_` points
+  // at the live block — the stream's own storage when it lends one
+  // (borrow_block, zero copy), this core's `window_own_` after a block
+  // fill — with the window spanning [window_base_, window_base_ +
+  // window_size_) of it. One shared branch scratch (a refill is consumed
   // before the next one starts, so the scratch never overlaps).
-  std::vector<trace::InstrRecord> window_;
   std::size_t window_cap_ = 0;
+  std::array<bool, kMaxSmtThreads> use_window_{};
+  std::array<trace::InstrBlock, kMaxSmtThreads> window_own_;
+  std::array<const trace::InstrBlock*, kMaxSmtThreads> window_blk_{};
+  std::array<std::size_t, kMaxSmtThreads> window_base_{};
   std::array<std::size_t, kMaxSmtThreads> window_pos_{};
   std::array<std::size_t, kMaxSmtThreads> window_size_{};
   std::vector<bpu::BranchRecord> window_branches_;
@@ -319,38 +349,71 @@ OooCoreT<Bpu>::OooCoreT(const OooConfig& cfg, Bpu* bpu,
   for (unsigned t = 0; t < nthreads_; ++t) streams_[t] = threads[t];
 
   window_cap_ = std::max<std::size_t>(1, std::size_t{cfg_.frontend_depth} * cfg_.width);
-  if constexpr (LookaheadBpu<Bpu>) {
-    if (cfg_.lookahead) window_.resize(window_cap_ * nthreads_);
+  for (unsigned t = 0; t < nthreads_; ++t) {
+    // Batch-capable BPUs always buffer (the window feeds their precompute);
+    // other engines take the window only when the stream serves blocks from
+    // materialized storage, where the windowed fetch is pure pointer
+    // consumption — never pay buffering that buys nothing.
+    use_window_[t] =
+        cfg_.lookahead && (LookaheadBpu<Bpu> || streams_[t]->contiguous());
+    if (use_window_[t]) window_own_[t].reserve(window_cap_);
   }
 }
 
 template <class Bpu>
-const trace::InstrRecord* OooCoreT<Bpu>::fetch_instr(const unsigned t,
-                                                     trace::InstrRecord& scratch) {
-  if constexpr (LookaheadBpu<Bpu>) {
-    if (cfg_.lookahead) {
-      if (window_pos_[t] >= window_size_[t]) refill_window(t);
-      if (window_pos_[t] < window_size_[t]) {
-        return window_.data() + std::size_t{t} * window_cap_ + window_pos_[t]++;
-      }
-      return nullptr;
-    }
+bool OooCoreT<Bpu>::fetch_instr(const unsigned t, trace::InstrRecord& scratch,
+                                Fetched& out) {
+  if (use_window_[t]) {
+    if (window_pos_[t] >= window_size_[t]) refill_window(t);
+    const std::size_t p = window_pos_[t];
+    if (p >= window_size_[t]) return false;
+    ++window_pos_[t];
+    const trace::InstrBlock& b = *window_blk_[t];
+    const std::size_t i = window_base_[t] + p;
+    out.kind = static_cast<trace::InstrRecord::Kind>(b.kind[i]);
+    out.dst = b.dst[i];
+    out.src1 = b.src1[i];
+    out.src2 = b.src2[i];
+    out.streaming = b.streaming[i] != 0;
+    out.mem_addr = b.mem_addr[i];
+    out.branch = out.kind == trace::InstrRecord::Kind::kBranch
+                     ? &b.branches[b.branch_before[i]]
+                     : nullptr;
+    return true;
   }
-  return streams_[t]->next(scratch) ? &scratch : nullptr;
+  if (!streams_[t]->next(scratch)) return false;
+  out.kind = scratch.kind;
+  out.dst = scratch.dst;
+  out.src1 = scratch.src1;
+  out.src2 = scratch.src2;
+  out.streaming = scratch.streaming;
+  out.mem_addr = scratch.mem_addr;
+  out.branch =
+      scratch.kind == trace::InstrRecord::Kind::kBranch ? &scratch.branch : nullptr;
+  return true;
 }
 
 template <class Bpu>
 void OooCoreT<Bpu>::refill_window(const unsigned t) {
-  trace::InstrRecord* seg = window_.data() + std::size_t{t} * window_cap_;
+  std::size_t start = 0;
   std::size_t n = 0;
-  while (n < window_cap_ && streams_[t]->next(seg[n])) ++n;  // fill in place
+  const trace::InstrBlock* b = streams_[t]->borrow_block(window_cap_, start, n);
+  if (b == nullptr) {
+    n = streams_[t]->next_block(window_own_[t], window_cap_);
+    b = &window_own_[t];
+    start = 0;
+  }
+  window_blk_[t] = b;
+  window_base_[t] = start;
   window_pos_[t] = 0;
   window_size_[t] = n;
   if constexpr (LookaheadBpu<Bpu>) {
     window_branches_.clear();
-    for (std::size_t i = 0; i < n; ++i) {
-      if (seg[i].kind == trace::InstrRecord::Kind::kBranch) {
-        bpu::BranchRecord br = seg[i].branch;
+    if (n > 0) {
+      const std::size_t lo = b->branch_before[start];
+      const std::size_t hi = b->branch_count_through(start + n);
+      for (std::size_t i = lo; i < hi; ++i) {
+        bpu::BranchRecord br = b->branches[i];
         br.ctx.hart = static_cast<std::uint8_t>(t);  // the core assigns harts
         window_branches_.push_back(br);
       }
@@ -364,13 +427,12 @@ void OooCoreT<Bpu>::refill_window(const unsigned t) {
 template <class Bpu>
 void OooCoreT<Bpu>::step(const unsigned t) {
   trace::InstrRecord scratch;
-  const trace::InstrRecord* rec = fetch_instr(t, scratch);
-  if (rec == nullptr) {
+  Fetched ins;
+  if (!fetch_instr(t, scratch, ins)) {
     done_[t] = true;
     finish_tick_[t] = last_commit_[t];
     return;
   }
-  const trace::InstrRecord& ins = *rec;
   const bool measuring = measuring_[t];
   StallTicks& stall = stall_ticks_[t];
 
@@ -456,7 +518,7 @@ void OooCoreT<Bpu>::step(const unsigned t) {
       break;
     case trace::InstrRecord::Kind::kBranch: {
       lat = lat_ticks_[kBranchLatSlot];
-      bpu::BranchRecord br = ins.branch;
+      bpu::BranchRecord br = *ins.branch;
       br.ctx.hart = static_cast<std::uint8_t>(t);  // hart assigned by the core
       if (has_ctx_[t] && !(last_ctx_[t] == br.ctx)) {
         bpu_->on_switch(last_ctx_[t], br.ctx);
@@ -554,6 +616,7 @@ OooResult OooCoreT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup) {
                         .lq = static_cast<double>(s.lq) / scale,
                         .sq = static_cast<double>(s.sq) / scale};
   }
+  result.cache = caches_.counters();
   return result;
 }
 
@@ -595,10 +658,15 @@ class OooCoreRefT {
     std::uint64_t measured = 0;
     bool done = false;
     double finish_time = 0.0;
-    // Lookahead front end (batch-capable BPUs): buffered upcoming
-    // instructions and the branch scratch handed to precompute_records.
-    std::vector<trace::InstrRecord> window;
+    // Lookahead front end: the SoA window block (borrowed from the stream
+    // or block-filled into window_own) and the branch scratch handed to
+    // precompute_records. Same consumption policy as the tick core.
+    bool use_window = false;
+    trace::InstrBlock window_own;
+    const trace::InstrBlock* window_blk = nullptr;
+    std::size_t window_base = 0;
     std::size_t window_pos = 0;
+    std::size_t window_size = 0;
     std::vector<bpu::BranchRecord> window_branches;
   };
 
@@ -639,37 +707,47 @@ OooCoreRefT<Bpu>::OooCoreRefT(const OooConfig& cfg, Bpu* bpu,
     t.iq_issue.assign(iq_share, 0.0);
     t.lq_complete.assign(lq_share, 0.0);
     t.sq_commit.assign(sq_share, 0.0);
+    t.use_window =
+        cfg_.lookahead && (LookaheadBpu<Bpu> || t.stream->contiguous());
   }
 }
 
 template <class Bpu>
 bool OooCoreRefT<Bpu>::fetch_instr(ThreadState& t, trace::InstrRecord& out) {
-  if constexpr (LookaheadBpu<Bpu>) {
-    if (cfg_.lookahead) {
-      if (t.window_pos >= t.window.size()) refill_window(t);
-      if (t.window_pos < t.window.size()) {
-        out = t.window[t.window_pos++];
-        return true;
-      }
-      return false;
+  if (t.use_window) {
+    if (t.window_pos >= t.window_size) refill_window(t);
+    if (t.window_pos < t.window_size) {
+      out = t.window_blk->record(t.window_base + t.window_pos++);
+      return true;
     }
+    return false;
   }
   return t.stream->next(out);
 }
 
 template <class Bpu>
 void OooCoreRefT<Bpu>::refill_window(ThreadState& t) {
-  t.window.clear();
-  t.window_pos = 0;
   const std::size_t depth =
       std::max<std::size_t>(1, std::size_t{cfg_.frontend_depth} * cfg_.width);
-  trace::InstrRecord ins;
-  while (t.window.size() < depth && t.stream->next(ins)) t.window.push_back(ins);
+  std::size_t start = 0;
+  std::size_t n = 0;
+  const trace::InstrBlock* b = t.stream->borrow_block(depth, start, n);
+  if (b == nullptr) {
+    n = t.stream->next_block(t.window_own, depth);
+    b = &t.window_own;
+    start = 0;
+  }
+  t.window_blk = b;
+  t.window_base = start;
+  t.window_pos = 0;
+  t.window_size = n;
   if constexpr (LookaheadBpu<Bpu>) {
     t.window_branches.clear();
-    for (const trace::InstrRecord& r : t.window) {
-      if (r.kind == trace::InstrRecord::Kind::kBranch) {
-        bpu::BranchRecord br = r.branch;
+    if (n > 0) {
+      const std::size_t lo = b->branch_before[start];
+      const std::size_t hi = b->branch_count_through(start + n);
+      for (std::size_t i = lo; i < hi; ++i) {
+        bpu::BranchRecord br = b->branches[i];
         br.ctx.hart = t.hart;  // the core assigns harts, mirroring step()
         t.window_branches.push_back(br);
       }
@@ -832,6 +910,7 @@ OooResult OooCoreRefT<Bpu>::run(std::uint64_t instr_budget, std::uint64_t warmup
     result.ipc[i] = static_cast<double>(t.measured) / cycles;
     result.branch_stats[i] = t.stats;
   }
+  result.cache = caches_.counters();
   return result;
 }
 

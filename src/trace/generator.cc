@@ -416,4 +416,14 @@ bool SyntheticWorkloadGenerator::next(bpu::BranchRecord& out) {
   return true;
 }
 
+std::size_t SyntheticWorkloadGenerator::next_batch(BranchBatch& out, std::size_t limit) {
+  // The class is final, so the next() calls below devirtualize: the whole
+  // batch is emitted behind ONE virtual dispatch, each record pushed
+  // straight onto the SoA arrays.
+  out.clear();
+  bpu::BranchRecord r;
+  while (out.size() < limit && next(r)) out.push_back(r);
+  return out.size();
+}
+
 }  // namespace stbpu::trace

@@ -39,6 +39,12 @@ class SyntheticWorkloadGenerator final : public BranchStream {
   bool next(bpu::BranchRecord& out) override;
   void reset() override;
 
+  /// Block API: the identical per-record emission sequence written straight
+  /// into the SoA batch — one virtual dispatch per batch (the default
+  /// implementation pays one per record), feeding sim::replay's batched
+  /// loop without an intermediate AoS pass.
+  std::size_t next_batch(BranchBatch& out, std::size_t limit = kDefaultBatch) override;
+
   [[nodiscard]] const WorkloadProfile& profile() const noexcept { return profile_; }
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
 

@@ -4,12 +4,21 @@
 // register dependencies and memory locality follow the workload profile —
 // what the Table IV machine model needs to produce IPC that responds to
 // branch mispredictions and cache behaviour.
+//
+// Streams are block-capable: next_block() fills a structure-of-arrays
+// InstrBlock (one virtual dispatch per block instead of per instruction,
+// mirroring trace/batch.h's BranchBatch for the branch-replay loop), and
+// borrow_block() exposes already-materialized blocks zero-copy — the OoO
+// cores' lookahead windows consume pregenerated traces (trace/pregen.h) by
+// pointer, regenerating nothing.
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "bpu/types.h"
 #include "trace/generator.h"
@@ -30,11 +39,127 @@ struct InstrRecord {
   bpu::BranchRecord branch;    ///< valid when kind == kBranch
 };
 
+/// SoA view of a run of instructions. Element i of every per-instruction
+/// array describes the same instruction; branch payloads are compacted into
+/// `branches`, indexed through the `branch_before` prefix count, so the
+/// cores' branch-window precompute can walk them contiguously without
+/// touching the non-branch instructions at all.
+struct InstrBlock {
+  std::vector<std::uint8_t> kind;  ///< InstrRecord::Kind values
+  std::vector<std::uint8_t> dst;
+  std::vector<std::uint8_t> src1;
+  std::vector<std::uint8_t> src2;
+  std::vector<std::uint8_t> streaming;
+  std::vector<std::uint64_t> mem_addr;
+  /// branch_before[i] = number of branches among instructions [0, i). For a
+  /// branch instruction i its payload is branches[branch_before[i]]; for a
+  /// range [lo, hi) the payloads are branches[branch_before[lo] ..
+  /// branch_count_through(hi)).
+  std::vector<std::uint32_t> branch_before;
+  std::vector<bpu::BranchRecord> branches;  ///< compacted branch payloads
+
+  [[nodiscard]] std::size_t size() const noexcept { return kind.size(); }
+  [[nodiscard]] bool empty() const noexcept { return kind.empty(); }
+
+  void clear() noexcept {
+    kind.clear();
+    dst.clear();
+    src1.clear();
+    src2.clear();
+    streaming.clear();
+    mem_addr.clear();
+    branch_before.clear();
+    branches.clear();
+  }
+
+  void reserve(std::size_t n) {
+    kind.reserve(n);
+    dst.reserve(n);
+    src1.reserve(n);
+    src2.reserve(n);
+    streaming.reserve(n);
+    mem_addr.reserve(n);
+    branch_before.reserve(n);
+    // Estimate for the compacted payloads (workload branch densities sit
+    // near 1-in-5); whole-run pregeneration would otherwise copy tens of
+    // MB of BranchRecords through doubling growth.
+    branches.reserve(n / 4);
+  }
+
+  void push_back(const InstrRecord& r) {
+    kind.push_back(static_cast<std::uint8_t>(r.kind));
+    dst.push_back(r.dst);
+    src1.push_back(r.src1);
+    src2.push_back(r.src2);
+    streaming.push_back(r.streaming ? 1 : 0);
+    mem_addr.push_back(r.mem_addr);
+    branch_before.push_back(static_cast<std::uint32_t>(branches.size()));
+    if (r.kind == InstrRecord::Kind::kBranch) branches.push_back(r.branch);
+  }
+
+  [[nodiscard]] bool is_branch(std::size_t i) const noexcept {
+    return static_cast<InstrRecord::Kind>(kind[i]) == InstrRecord::Kind::kBranch;
+  }
+
+  /// Branch payload of instruction i (which must be a branch).
+  [[nodiscard]] const bpu::BranchRecord& branch(std::size_t i) const noexcept {
+    assert(is_branch(i));
+    return branches[branch_before[i]];
+  }
+
+  /// Number of branches among instructions [0, end).
+  [[nodiscard]] std::size_t branch_count_through(std::size_t end) const noexcept {
+    if (end == 0) return 0;
+    return branch_before[end - 1] + (is_branch(end - 1) ? 1 : 0);
+  }
+
+  /// Reassemble the AoS record (interface-path consumers).
+  [[nodiscard]] InstrRecord record(std::size_t i) const noexcept {
+    InstrRecord r;
+    r.kind = static_cast<InstrRecord::Kind>(kind[i]);
+    r.dst = dst[i];
+    r.src1 = src1[i];
+    r.src2 = src2[i];
+    r.streaming = streaming[i] != 0;
+    r.mem_addr = mem_addr[i];
+    if (r.kind == InstrRecord::Kind::kBranch) r.branch = branches[branch_before[i]];
+    return r;
+  }
+};
+
 class InstrStream {
  public:
   virtual ~InstrStream() = default;
   virtual bool next(InstrRecord& out) = 0;
   virtual void reset() = 0;
+
+  /// Refill `out` with up to `limit` instructions (SoA). Returns the number
+  /// produced; 0 means end of stream. The default amortizes the virtual
+  /// dispatch over one call per block; generators fill the arrays directly.
+  virtual std::size_t next_block(InstrBlock& out, std::size_t limit) {
+    out.clear();
+    InstrRecord r;
+    while (out.size() < limit && next(r)) out.push_back(r);
+    return out.size();
+  }
+
+  /// Zero-copy fast path: expose up to `limit` already-materialized
+  /// instructions as [start, start + n) of the returned block and advance
+  /// past them. Returns nullptr (n = 0) when the stream has no contiguous
+  /// SoA backing (on-the-fly generators) — callers fall back to next_block.
+  /// The pointer stays valid until the next stream mutation.
+  virtual const InstrBlock* borrow_block(std::size_t limit, std::size_t& start,
+                                         std::size_t& n) {
+    (void)limit;
+    start = 0;
+    n = 0;
+    return nullptr;
+  }
+
+  /// True when borrow_block() serves from materialized storage — the signal
+  /// the OoO cores use to route every engine type (not just batch-capable
+  /// BPUs) through the zero-copy window fetch.
+  [[nodiscard]] virtual bool contiguous() const noexcept { return false; }
 };
 
 /// Statistical basic-block expansion around a branch stream.
@@ -46,7 +171,31 @@ class SyntheticInstrGenerator final : public InstrStream {
         branches_(profile, seed_override),
         rng_((seed_override ? seed_override : profile.seed) ^ 0x1257ULL) {}
 
-  bool next(InstrRecord& out) override {
+  bool next(InstrRecord& out) override { return produce(out); }
+
+  /// Block fill: the identical per-record sequence (same RNG draws in the
+  /// same order) written straight into the SoA arrays — one virtual call
+  /// per block, no per-record dispatch.
+  std::size_t next_block(InstrBlock& out, std::size_t limit) override {
+    out.clear();
+    InstrRecord r;
+    while (out.size() < limit && produce(r)) out.push_back(r);
+    return out.size();
+  }
+
+  void reset() override {
+    branches_.reset();
+    rng_ = util::Xoshiro256(profile_.seed ^ 0x1257ULL);
+    block_remaining_ = 0;
+    pending_branch_ = false;
+    stream_ptr_ = 0;
+    last_dst_ = 1;
+  }
+
+  [[nodiscard]] const WorkloadProfile& profile() const noexcept { return profile_; }
+
+ private:
+  bool produce(InstrRecord& out) {
     if (block_remaining_ == 0) {
       // Emit the branch ending the previous block, then size the next one.
       if (pending_branch_) {
@@ -73,18 +222,6 @@ class SyntheticInstrGenerator final : public InstrStream {
     return true;
   }
 
-  void reset() override {
-    branches_.reset();
-    rng_ = util::Xoshiro256(profile_.seed ^ 0x1257ULL);
-    block_remaining_ = 0;
-    pending_branch_ = false;
-    stream_ptr_ = 0;
-    last_dst_ = 1;
-  }
-
-  [[nodiscard]] const WorkloadProfile& profile() const noexcept { return profile_; }
-
- private:
   InstrRecord make_instr() {
     InstrRecord r;
     const double u = rng_.uniform();

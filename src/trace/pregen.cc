@@ -1,0 +1,90 @@
+#include "trace/pregen.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
+
+namespace stbpu::trace {
+
+std::shared_ptr<const InstrTrace> generate_instr_trace(const WorkloadProfile& profile,
+                                                       std::uint64_t count,
+                                                       std::uint64_t seed_override) {
+  auto trace = std::make_shared<InstrTrace>();
+  trace->profile = profile;
+  trace->seed = seed_override ? seed_override : profile.seed;
+  trace->block.reserve(static_cast<std::size_t>(count));
+
+  // One block fill of the whole run: the generator writes the SoA arrays
+  // directly (SyntheticInstrGenerator::next_block), so the artifact is the
+  // per-record sequence verbatim.
+  SyntheticInstrGenerator gen(profile, seed_override);
+  gen.next_block(trace->block, static_cast<std::size_t>(count));
+  return trace;
+}
+
+namespace {
+
+using TraceKey = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+
+struct CachedTrace {
+  std::shared_ptr<const InstrTrace> trace;
+  std::uint64_t last_use = 0;
+};
+
+/// Memo size bound: enough for every distinct profile a fig5 sweep touches
+/// at once; beyond it the least-recently-requested artifact is dropped
+/// (outstanding cursors keep theirs alive through their shared_ptr).
+constexpr std::size_t kMaxCachedTraces = 16;
+
+std::mutex& cache_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<TraceKey, CachedTrace>& cache() {
+  static std::map<TraceKey, CachedTrace> c;
+  return c;
+}
+
+}  // namespace
+
+std::shared_ptr<const InstrTrace> shared_instr_trace(const WorkloadProfile& profile,
+                                                     std::uint64_t count,
+                                                     std::uint64_t seed_override) {
+  static std::uint64_t use_clock = 0;
+  const TraceKey key{profile.name, seed_override ? seed_override : profile.seed, count};
+  // Generation happens under the lock on purpose: concurrent pool workers
+  // asking for the same trace must share one generation, and the workers
+  // asking for *different* traces (fig5 pairs) are themselves parallel
+  // across processes/shards, so serializing the odd first-touch here costs
+  // one generation per artifact per process.
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& c = cache();
+  CachedTrace& slot = c[key];
+  // A hit must match the FULL profile, not just the key: a tweaked copy of
+  // a canonical profile (same name, different knobs) regenerates rather
+  // than silently replaying the canonical stream.
+  if (slot.trace && !(slot.trace->profile == profile)) slot.trace.reset();
+  if (!slot.trace) {
+    slot.trace = generate_instr_trace(profile, count, seed_override);
+    if (c.size() > kMaxCachedTraces) {
+      auto lru = c.end();
+      for (auto it = c.begin(); it != c.end(); ++it) {
+        if (it->first != key && (lru == c.end() || it->second.last_use < lru->second.last_use)) {
+          lru = it;
+        }
+      }
+      if (lru != c.end()) c.erase(lru);
+    }
+  }
+  slot.last_use = ++use_clock;
+  return slot.trace;
+}
+
+void clear_instr_trace_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  cache().clear();
+}
+
+}  // namespace stbpu::trace

@@ -72,6 +72,11 @@ struct WorkloadProfile {
   double dep_chain = 0.35;        ///< P(src = immediately preceding dst)
 
   std::uint64_t seed = 1;  ///< per-workload seed (name-hashed by registry)
+
+  /// Full-parameter equality — the pregen memo (trace/pregen.h) verifies a
+  /// cache hit against it, so a tweaked copy of a canonical profile can
+  /// never be served the canonical artifact.
+  friend bool operator==(const WorkloadProfile&, const WorkloadProfile&) = default;
 };
 
 /// The 23 SPEC CPU 2017 workloads the paper traces (Figure 3's left block)

@@ -23,6 +23,7 @@
 #include "models/models.h"
 #include "sim/ooo.h"
 #include "trace/instr.h"
+#include "trace/pregen.h"
 #include "trace/profile.h"
 
 namespace stbpu {
@@ -42,6 +43,10 @@ void expect_identical_results(const sim::OooResult& iface, const sim::OooResult&
     EXPECT_EQ(iface.ipc[t], typed.ipc[t]) << label;
     EXPECT_EQ(iface.branch_stats[t], typed.branch_stats[t]) << label;
   }
+  // The cache hierarchy's demand counters are part of the contract: the
+  // interleaved metadata layout must make the same hit/miss/evict
+  // decisions in every core variant.
+  EXPECT_EQ(iface.cache, typed.cache) << label;
   EXPECT_GT(iface.combined_stats().branches, 0u) << label;
 }
 
@@ -92,6 +97,21 @@ void expect_single_equivalent(const models::ModelSpec& spec) {
     ref_typed = sim::run_ooo_ref({}, typed_engine, {&typed_gen}, kBudget, kWarmup);
   }));
   expect_identical_results(ref_typed, typed_result, spec);
+
+  // Pregenerated-stream arm: the same engine-typed tick core fed by a
+  // cursor over the whole-run SoA artifact, consumed by pointer through
+  // the lookahead window — the blocks must be pure transport. Stall
+  // attribution is compared too (both arms run the tick core).
+  sim::OooResult pregen_result{};
+  const auto artifact = trace::shared_instr_trace(trace::profile_by_name("mcf"),
+                                                  kBudget + kWarmup + 4096);
+  ASSERT_TRUE(exp::for_each_engine(spec, [&](auto& typed_engine) {
+    trace::InstrTraceStream stream(artifact);
+    pregen_result = sim::run_ooo({}, typed_engine, {&stream}, kBudget, kWarmup);
+  }));
+  expect_identical_results(typed_result, pregen_result, spec);
+  EXPECT_EQ(typed_result.stalls, pregen_result.stalls)
+      << models::to_string(spec.model) + "/" + models::to_string(spec.direction);
 }
 
 TEST(OooTypedEquivalence, AllModelsSingleThread) {
