@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exp/compare.h"
+#include "exp/fabric.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
 
@@ -30,6 +31,11 @@ void print_usage(std::FILE* to) {
                "                             nonzero when a correctness field (string or\n"
                "                             integer stat counter) regressed; throughput\n"
                "                             (floating-point) deltas are reported only\n"
+               "  worker                     serve shard assignments over TCP (the\n"
+               "                             fabric's execution side)\n"
+               "  dispatch <scenario>        partition the grid and execute it across\n"
+               "                             --workers= with retry/timeout/local-fallback,\n"
+               "                             then merge (byte-identical to a local run)\n"
                "\n"
                "run/describe options:\n"
                "  --scale=quick|paper        simulation budgets (default quick)\n"
@@ -59,7 +65,28 @@ void print_usage(std::FILE* to) {
                "compare options:\n"
                "  --ignore=KEY[,KEY]         exclude fields from the correctness check\n"
                "                             (for a PR that intentionally changes a\n"
-               "                             counter's meaning)\n");
+               "                             counter's meaning)\n"
+               "\n"
+               "worker options:\n"
+               "  --listen=PORT              TCP port (0 = kernel-assigned)\n"
+               "  --port-file=PATH           write the bound port here once listening\n"
+               "  --jobs=N                   override each request's worker threads\n"
+               "  --max-requests=N           exit after N accepted connections\n"
+               "  --chaos=drop:P,stall:MS,corrupt:P,seed:S\n"
+               "                             deterministic fault injection: connection\n"
+               "                             drops, mid-stream stalls, corrupted and\n"
+               "                             truncated payloads\n"
+               "\n"
+               "dispatch options (plus all run options except --shard/--json semantics):\n"
+               "  --workers=HOST:PORT,...    worker endpoints (required)\n"
+               "  --shards=N                 shard count (default: min(points, 2*workers))\n"
+               "  --deadline-ms=N            per-attempt shard deadline (default 300000)\n"
+               "  --connect-timeout-ms=N     TCP connect timeout (default 2000)\n"
+               "  --retries=N                remote attempts per shard (default 3)\n"
+               "  --backoff-ms=N             reconnect backoff base (default 50,\n"
+               "                             exponential with deterministic jitter)\n"
+               "  --no-local-fallback        fail instead of running unserved shards\n"
+               "                             through the in-process pool\n");
 }
 
 int usage_error(const std::string& message) {
@@ -307,7 +334,7 @@ int cmd_merge(const std::vector<std::string>& args) {
     }
   }
   std::string merged, scenario, err;
-  if (!merge_shards(texts, merged, scenario, err)) {
+  if (!merge_shards(texts, paths, merged, scenario, err)) {
     std::fprintf(stderr, "stbpu_bench: merge failed: %s\n", err.c_str());
     return 1;
   }
@@ -317,6 +344,140 @@ int cmd_merge(const std::vector<std::string>& args) {
     return 1;
   }
   std::printf("merged %zu shards into %s\n", paths.size(), json_path.c_str());
+  return 0;
+}
+
+int cmd_worker(const std::vector<std::string>& args) {
+  WorkerOptions opt;
+  opt.verbose = true;
+  bool have_listen = false;
+  std::string err;
+  for (const std::string& arg : args) {
+    std::uint64_t u = 0;
+    if (arg.rfind("--listen=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--listen=", u, err)) return usage_error(err);
+      if (u > 65535) return usage_error("port out of range in '" + arg + "'");
+      opt.port = static_cast<std::uint16_t>(u);
+      have_listen = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--jobs=", u, err)) return usage_error(err);
+      opt.jobs = static_cast<unsigned>(u);
+    } else if (arg.rfind("--max-requests=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--max-requests=", opt.max_requests, err)) {
+        return usage_error(err);
+      }
+    } else if (arg.rfind("--port-file=", 0) == 0) {
+      opt.port_file = arg.substr(12);
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      if (!net::ChaosSpec::parse(arg.substr(8), opt.chaos, err)) {
+        return usage_error(err);
+      }
+    } else {
+      return usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (!have_listen) return usage_error("worker needs --listen=PORT");
+
+  WorkerServer server;
+  if (!server.start(opt, err)) {
+    std::fprintf(stderr, "stbpu_bench: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("worker listening on port %u%s%s\n", server.port(),
+              opt.chaos.enabled() ? " with chaos " : "",
+              opt.chaos.enabled() ? opt.chaos.to_string().c_str() : "");
+  std::fflush(stdout);
+  server.wait();
+  std::printf("worker exiting after %llu accepted connection(s), %llu served\n",
+              static_cast<unsigned long long>(server.accepted()),
+              static_cast<unsigned long long>(server.served()));
+  return 0;
+}
+
+int cmd_dispatch(const std::string& name, const std::vector<std::string>& args) {
+  DispatchOptions fabric;
+  std::vector<std::string> run_args;
+  std::string err;
+  for (const std::string& arg : args) {
+    std::uint64_t u = 0;
+    if (arg.rfind("--workers=", 0) == 0) {
+      std::string list = arg.substr(10);
+      std::size_t at = 0;
+      while (at <= list.size()) {
+        const std::size_t comma = list.find(',', at);
+        const std::string endpoint = list.substr(at, comma - at);
+        if (!endpoint.empty()) fabric.workers.push_back(endpoint);
+        if (comma == std::string::npos) break;
+        at = comma + 1;
+      }
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--shards=", u, err)) return usage_error(err);
+      if (u == 0) return usage_error("--shards must be at least 1");
+      fabric.shard_count = static_cast<std::uint32_t>(u);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--deadline-ms=", u, err)) return usage_error(err);
+      fabric.shard_deadline_ms = static_cast<int>(u);
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--connect-timeout-ms=", u, err)) {
+        return usage_error(err);
+      }
+      fabric.connect_timeout_ms = static_cast<int>(u);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--retries=", u, err)) return usage_error(err);
+      fabric.retry_limit = static_cast<int>(u);
+    } else if (arg.rfind("--backoff-ms=", 0) == 0) {
+      if (!parse_u64_flag(arg.c_str(), "--backoff-ms=", u, err)) return usage_error(err);
+      fabric.backoff_base_ms = static_cast<int>(u);
+    } else if (arg == "--no-local-fallback") {
+      fabric.local_fallback = false;
+    } else {
+      run_args.push_back(arg);
+    }
+  }
+  if (fabric.workers.empty()) {
+    return usage_error("dispatch needs --workers=host:port[,host:port...]");
+  }
+
+  RunOptions opt;
+  opt.spec.scenario = name;
+  if (!parse_run_flags(run_args, opt, err)) return usage_error(err);
+  if (opt.spec.sharded()) {
+    return usage_error("dispatch partitions the grid itself; use --shards=N, not "
+                       "--shard=I/N");
+  }
+  const Scenario* s = lookup(name);
+  if (s == nullptr) return kExitUsage;
+
+  std::printf("== dispatch %s: %s ==\n", std::string(s->name()).c_str(),
+              std::string(s->title()).c_str());
+  std::printf("spec: %s\n", opt.spec.to_json().c_str());
+  std::printf("workers:");
+  for (const std::string& w : fabric.workers) std::printf(" %s", w.c_str());
+  std::printf("\n");
+
+  std::string merged;
+  DispatchStats stats;
+  if (!dispatch_experiment(*s, opt.spec, fabric, merged, stats, err)) {
+    for (const std::string& e : stats.events) std::printf("  %s\n", e.c_str());
+    std::fprintf(stderr, "stbpu_bench: dispatch failed: %s\n", err.c_str());
+    return 1;
+  }
+  for (const std::string& e : stats.events) std::printf("  %s\n", e.c_str());
+  std::printf(
+      "dispatched %u shard(s): %u remote, %u local-fallback; %u failed attempt(s), "
+      "%u re-dispatch(es), %u duplicate(s) discarded, %u rejected payload(s), "
+      "%u timeout(s), %u connect failure(s)\n",
+      stats.shard_count, stats.remote_shards, stats.local_shards, stats.failed_attempts,
+      stats.redispatches, stats.duplicates_discarded, stats.rejected_payloads,
+      stats.timeouts, stats.connect_failures);
+
+  std::string path = opt.json_path;
+  if (path.empty()) path = "BENCH_" + std::string(s->name()) + ".json";
+  if (!write_file(path, merged)) {
+    std::fprintf(stderr, "stbpu_bench: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }
 
@@ -414,6 +575,21 @@ int driver_main(int argc, char** argv) {
     args.erase(args.begin());
     return command == "run" ? cmd_run(name, args) : cmd_describe(name, args);
   }
+  if (command == "dispatch") {
+    // The scenario name may come before or after the fabric flags
+    // (`dispatch --workers=... fig5_smt` reads naturally).
+    std::string name;
+    for (auto it = args.begin(); it != args.end(); ++it) {
+      if (it->rfind("--", 0) != 0) {
+        name = *it;
+        args.erase(it);
+        break;
+      }
+    }
+    if (name.empty()) return usage_error("dispatch needs a scenario name");
+    return cmd_dispatch(name, args);
+  }
+  if (command == "worker") return cmd_worker(args);
   if (command == "merge") return cmd_merge(args);
   if (command == "compare") return cmd_compare(args);
   if (command == "help" || command == "--help" || command == "-h") {

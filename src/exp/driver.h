@@ -11,6 +11,9 @@ namespace stbpu::exp {
 ///   stbpu_bench describe <scenario> [run flags]
 ///   stbpu_bench run <scenario> [run flags]
 ///   stbpu_bench merge [--json=PATH] <shard.json>...
+///   stbpu_bench compare OLD.json NEW.json [--ignore=...]
+///   stbpu_bench worker --listen=PORT [--chaos=...] [--jobs=N] ...
+///   stbpu_bench dispatch --workers=host:port,... <scenario> [run flags] ...
 /// Unknown flags and malformed values are rejected with a usage message
 /// and a non-zero exit code.
 int driver_main(int argc, char** argv);

@@ -1,0 +1,117 @@
+// The distributed sweep fabric: a coordinator that partitions a scenario's
+// point grid into shards and dispatches them over the net/ worker protocol,
+// and the worker server that executes assigned shards through the existing
+// runner. Everything downstream of transport reuses the sharded-run
+// machinery (`shard_json`, `merge_shards`), so a dispatched sweep is
+// byte-identical to a local one — including under injected chaos, worker
+// death and full degradation to in-process execution (docs/EXPERIMENTS.md,
+// "Distributed sweeps"; docs/API.md documents the retry/timeout/fallback
+// contract).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/spec.h"
+#include "net/chaos.h"
+
+namespace stbpu::exp {
+
+struct WorkerOptions {
+  std::uint16_t port = 0;          ///< 0 = kernel-assigned (read back via port())
+  unsigned jobs = 0;               ///< override the request spec's jobs (0 = keep)
+  net::ChaosSpec chaos;            ///< fault injection (disabled by default)
+  std::uint64_t max_requests = 0;  ///< stop after N accepted connections (0 = never)
+  std::string port_file;           ///< write the bound port here once listening
+  int request_timeout_ms = 10'000; ///< deadline for reading a request frame
+  int response_timeout_ms = 60'000;  ///< deadline for streaming a response back
+  bool verbose = false;            ///< per-request stderr log (the CLI sets this)
+};
+
+/// One worker process/thread: accepts connections serially, executes each
+/// assigned shard via run_experiment and streams the full-precision shard
+/// JSON back. `stbpu_bench worker --listen=PORT` is a thin wrapper; tests
+/// embed it in-process for loopback fabrics.
+class WorkerServer {
+ public:
+  WorkerServer();
+  ~WorkerServer();
+  WorkerServer(const WorkerServer&) = delete;
+  WorkerServer& operator=(const WorkerServer&) = delete;
+
+  /// Bind + start the serve thread. False (with err) if the port is taken.
+  bool start(const WorkerOptions& opts, std::string& err);
+  /// Hard stop: kills any in-flight connection mid-stream (the coordinator
+  /// sees EOF and retries — this is the "worker dies mid-shard" test hook),
+  /// stops accepting, joins the serve thread.
+  void stop();
+  /// Block until the serve loop exits on its own (max_requests reached).
+  void wait();
+
+  [[nodiscard]] std::uint16_t port() const;
+  /// Responses fully streamed (untampered frames only).
+  [[nodiscard]] std::uint64_t served() const;
+  /// Connections accepted (including chaos-dropped ones).
+  [[nodiscard]] std::uint64_t accepted() const;
+  /// The chaos verdict sequence so far, in accept order (deterministic for
+  /// a fixed seed — the chaos-determinism tests assert on this).
+  [[nodiscard]] std::vector<net::ChaosVerdict> chaos_log() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct DispatchOptions {
+  std::vector<std::string> workers;  ///< "host:port" endpoints
+  /// Shard count (0 = auto: min(selected points, 2 x workers), at least 1).
+  std::uint32_t shard_count = 0;
+  int connect_timeout_ms = 2'000;
+  /// Per-attempt deadline covering connect + remote execution + streaming.
+  int shard_deadline_ms = 300'000;
+  /// Max remote attempts per shard (across all workers, including straggler
+  /// re-dispatches) before the shard is left for local fallback.
+  int retry_limit = 3;
+  /// Exponential reconnect backoff: base doubles per attempt, capped, with
+  /// deterministic +/-50% jitter derived from (jitter_seed, shard, attempt).
+  int backoff_base_ms = 50;
+  int backoff_max_ms = 2'000;
+  std::uint64_t jitter_seed = 0x5742505553544250ULL;
+  /// Consecutive failures after which a worker is considered dead and its
+  /// dispatch thread exits (remaining work flows to other workers / local).
+  int worker_failure_limit = 3;
+  /// Run shards no worker could serve through the in-process pool. With
+  /// this off, an unserved shard fails the dispatch instead.
+  bool local_fallback = true;
+};
+
+struct DispatchStats {
+  std::uint32_t shard_count = 0;
+  std::uint32_t remote_shards = 0;      ///< served by a worker
+  std::uint32_t local_shards = 0;       ///< degraded to in-process execution
+  std::uint32_t failed_attempts = 0;    ///< remote attempts that did not produce a result
+  std::uint32_t redispatches = 0;       ///< straggler duplicates issued
+  std::uint32_t duplicates_discarded = 0;  ///< valid results for already-done shards
+  std::uint32_t rejected_payloads = 0;  ///< checksum/validation rejections
+  std::uint32_t timeouts = 0;           ///< attempts cut by the shard deadline
+  std::uint32_t connect_failures = 0;
+  std::vector<std::string> events;      ///< human-readable recovery log
+};
+
+/// Execute `spec`'s selected grid across the workers: partition into
+/// shards, dispatch with retry/timeout/backoff, re-dispatch stragglers to
+/// idle workers (first valid result wins), degrade unserved shards to local
+/// execution, and merge — `out_json` is the final BENCH text, byte-identical
+/// to an unsharded local run. `spec` must not itself be sharded.
+bool dispatch_experiment(const Scenario& scenario, const ExperimentSpec& spec,
+                         const DispatchOptions& opts, std::string& out_json,
+                         DispatchStats& stats, std::string& err);
+
+/// Split "host:port" (the --workers= list element). False on malformed input.
+bool parse_endpoint(const std::string& text, std::string& host, std::uint16_t& port,
+                    std::string& err);
+
+}  // namespace stbpu::exp

@@ -172,6 +172,7 @@ class JsonParser {
     // Bounded nesting: malformed/hostile input must produce a parse error,
     // not exhaust the stack (this parser also reads --spec and shard files).
     if (depth_ >= kMaxDepth) return fail("nesting too deep");
+    out.offset_ = pos_;
     ++depth_;
     const bool ok = value_inner(out);
     --depth_;

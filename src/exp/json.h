@@ -8,6 +8,7 @@
 // merged BENCH_*.json must equal an unsharded run byte for byte.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -39,6 +40,11 @@ class JsonValue {
   [[nodiscard]] std::uint64_t as_u64() const;
   [[nodiscard]] long as_long() const;
 
+  /// Byte offset of this value's first character in the parsed text (0 for
+  /// values not produced by json_parse). Error messages that point at a
+  /// specific shard-file value (merge validation) use this.
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
   [[nodiscard]] const std::vector<JsonValue>& items() const noexcept { return items_; }
   [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
       const noexcept {
@@ -50,6 +56,7 @@ class JsonValue {
  private:
   friend class JsonParser;
   Type type_ = Type::kNull;
+  std::size_t offset_ = 0;
   bool bool_ = false;
   std::string text_;
   std::vector<JsonValue> items_;

@@ -216,10 +216,49 @@ bool parse_shard_field(const JsonValue& v, Field& out, std::string& err) {
 
 }  // namespace
 
+namespace {
+
+/// Exact equality of two parsed point payloads (key order, type tags and
+/// bit-identical values — %.17g rendering uniquely identifies doubles).
+/// Straggler re-dispatch legitimately produces byte-identical duplicates;
+/// anything else claiming the same shard slot is corruption.
+bool same_point(const PointResult& a, const PointResult& b) {
+  if (a.fields.size() != b.fields.size()) return false;
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    const Field& fa = a.fields[i];
+    const Field& fb = b.fields[i];
+    if (fa.key != fb.key || fa.value.type() != fb.value.type()) return false;
+    if (fa.value.type() == Value::Type::kString) {
+      if (fa.value.str() != fb.value.str()) return false;
+    } else if (fa.value.render_exact() != fb.value.render_exact()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string at_offset(const JsonValue& v) {
+  return " (at byte offset " + std::to_string(v.offset()) + ")";
+}
+
+}  // namespace
+
 bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_json,
+                  std::string& out_scenario, std::string& err) {
+  std::vector<std::string> names(shard_texts.size());
+  for (std::size_t i = 0; i < names.size(); ++i) names[i] = "shard " + std::to_string(i);
+  return merge_shards(shard_texts, names, out_json, out_scenario, err);
+}
+
+bool merge_shards(const std::vector<std::string>& shard_texts,
+                  const std::vector<std::string>& shard_names, std::string& out_json,
                   std::string& out_scenario, std::string& err) {
   if (shard_texts.empty()) {
     err = "no shard files to merge";
+    return false;
+  }
+  if (shard_names.size() != shard_texts.size()) {
+    err = "shard name/text count mismatch";
     return false;
   }
 
@@ -231,7 +270,7 @@ bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_
   const Scenario* scenario = nullptr;
 
   for (std::size_t si = 0; si < shard_texts.size(); ++si) {
-    const std::string where = "shard " + std::to_string(si);
+    const std::string& where = shard_names[si];
     JsonValue doc;
     if (!json_parse(shard_texts[si], doc, err)) {
       err = where + ": " + err;
@@ -239,17 +278,18 @@ bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_
     }
     const JsonValue* format = doc.find("format");
     if (format == nullptr || format->text() != "stbpu-shard-v1") {
-      err = where + ": not a stbpu shard file (missing format tag)";
+      err = where + ": not a stbpu shard file (missing format tag)" +
+            at_offset(format != nullptr ? *format : doc);
       return false;
     }
     const JsonValue* spec_v = doc.find("spec");
     if (spec_v == nullptr) {
-      err = where + ": missing spec";
+      err = where + ": missing spec" + at_offset(doc);
       return false;
     }
     ExperimentSpec shard_spec;
     if (!ExperimentSpec::from_json(*spec_v, shard_spec, err)) {
-      err = where + ": " + err;
+      err = where + ": " + err + at_offset(*spec_v);
       return false;
     }
     if (!have_spec) {
@@ -274,14 +314,15 @@ bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_
       normalized.shard_count = 1;
       normalized.jobs = 0;
       if (!(normalized == spec)) {
-        err = where + ": spec differs from the first shard's (same sweep required)";
+        err = where + ": spec differs from the first shard's (same sweep required)" +
+              at_offset(*spec_v);
         return false;
       }
     }
 
     const JsonValue* pts = doc.find("points");
     if (pts == nullptr || !pts->is_array()) {
-      err = where + ": missing points array";
+      err = where + ": missing points array" + at_offset(doc);
       return false;
     }
     for (const JsonValue& pv : pts->items()) {
@@ -290,32 +331,38 @@ bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_
       const JsonValue* fields_v = pv.find("fields");
       if (index_v == nullptr || label_v == nullptr || fields_v == nullptr ||
           !fields_v->is_array()) {
-        err = where + ": malformed point entry";
+        err = where + ": malformed point entry" + at_offset(pv);
         return false;
       }
       const std::size_t index = static_cast<std::size_t>(index_v->as_u64());
       if (index >= labels.size()) {
-        err = where + ": point index " + std::to_string(index) + " out of range";
+        err = where + ": point index " + std::to_string(index) + " out of range" +
+              at_offset(*index_v);
         return false;
       }
       if (labels[index] != label_v->text()) {
         err = where + ": point " + std::to_string(index) + " label '" +
-              label_v->text() + "' does not match grid label '" + labels[index] + "'";
-        return false;
-      }
-      if (have_point[index]) {
-        err = where + ": duplicate point " + std::to_string(index) + " ('" +
-              labels[index] + "')";
+              label_v->text() + "' does not match grid label '" + labels[index] + "'" +
+              at_offset(*label_v);
         return false;
       }
       PointResult pr;
       for (const JsonValue& fv : fields_v->items()) {
         Field f;
         if (!parse_shard_field(fv, f, err)) {
-          err = where + ": " + err;
+          err = where + ": " + err + at_offset(fv);
           return false;
         }
         pr.fields.push_back(std::move(f));
+      }
+      if (have_point[index]) {
+        // Duplicate-identical is legitimate (a straggler's re-dispatched
+        // shard landing twice); duplicate-but-different is corruption and
+        // must never be silently resolved either way.
+        if (same_point(points[index], pr)) continue;
+        err = where + ": point " + std::to_string(index) + " ('" + labels[index] +
+              "') duplicated with a different payload" + at_offset(pv);
+        return false;
       }
       points[index] = std::move(pr);
       have_point[index] = true;
@@ -337,11 +384,19 @@ bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_
 }
 
 bool write_file(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Crash-safe: write the complete content to <path>.tmp, then rename over
+  // the target. A process killed mid-write leaves at worst a stale .tmp —
+  // never a truncated BENCH/shard JSON at `path` that a later merge or
+  // compare would choke on — and a failed write leaves an existing `path`
+  // untouched.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
-  const bool ok =
-      content.empty() || std::fwrite(content.data(), content.size(), 1, f) == 1;
-  std::fclose(f);
+  bool ok = content.empty() || std::fwrite(content.data(), content.size(), 1, f) == 1;
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
   return ok;
 }
 

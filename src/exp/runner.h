@@ -47,11 +47,24 @@ bool run_experiment(const Scenario& scenario, const ExperimentSpec& spec,
 
 /// Union shard files into the final BENCH_*.json text. Verifies that the
 /// shards agree on the spec and that the union covers the selected grid
-/// exactly once (no dropped or duplicated points).
+/// exactly once. A point present in several shards is accepted when the
+/// payloads are identical (straggler re-dispatch produces exactly this) and
+/// rejected when they differ. `shard_names` label the inputs in error
+/// messages (file paths from the CLI, endpoints from the fabric); parse and
+/// validation failures name the offending input and the byte offset of the
+/// bad value.
+bool merge_shards(const std::vector<std::string>& shard_texts,
+                  const std::vector<std::string>& shard_names, std::string& out_json,
+                  std::string& out_scenario, std::string& err);
+/// Convenience overload: names default to "shard 0", "shard 1", ...
 bool merge_shards(const std::vector<std::string>& shard_texts, std::string& out_json,
                   std::string& out_scenario, std::string& err);
 
-/// Whole-file convenience I/O (runner + driver + tests).
+/// Whole-file convenience I/O (runner + driver + tests). Writes are
+/// crash-safe: content lands in `<path>.tmp` and is renamed over `path`
+/// only once complete, so a killed process can never leave a truncated
+/// JSON that later poisons `merge`/`compare`, and a failed write leaves any
+/// pre-existing `path` untouched.
 bool write_file(const std::string& path, const std::string& content);
 bool read_file(const std::string& path, std::string& out);
 

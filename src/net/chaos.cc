@@ -1,0 +1,123 @@
+#include "net/chaos.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stbpu::net {
+
+namespace {
+
+bool parse_probability(const std::string& text, double& out, const char* key,
+                       std::string& err) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0.0 || v > 1.0) {
+    err = std::string("chaos '") + key + "' must be a probability in [0,1], got '" +
+          text + "'";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_unsigned(const std::string& text, std::uint64_t& out, const char* key,
+                    std::string& err) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') {
+    err = std::string("chaos '") + key + "' must be a non-negative integer, got '" +
+          text + "'";
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    err = std::string("chaos '") + key + "' must be a non-negative integer, got '" +
+          text + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ChaosSpec::parse(const std::string& text, ChaosSpec& out, std::string& err) {
+  out = ChaosSpec{};
+  if (text.empty()) {
+    err = "empty chaos spec (expected drop:P,stall:MS,corrupt:P,seed:S)";
+    return false;
+  }
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const std::size_t comma = text.find(',', at);
+    const std::string part =
+        text.substr(at, comma == std::string::npos ? std::string::npos : comma - at);
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= part.size()) {
+      err = "malformed chaos entry '" + part + "' (expected key:value)";
+      return false;
+    }
+    const std::string key = part.substr(0, colon);
+    const std::string value = part.substr(colon + 1);
+    if (key == "drop") {
+      if (!parse_probability(value, out.drop_p, "drop", err)) return false;
+    } else if (key == "corrupt") {
+      if (!parse_probability(value, out.corrupt_p, "corrupt", err)) return false;
+    } else if (key == "stall") {
+      std::uint64_t ms = 0;
+      if (!parse_unsigned(value, ms, "stall", err)) return false;
+      out.stall_ms = static_cast<std::uint32_t>(ms);
+    } else if (key == "seed") {
+      if (!parse_unsigned(value, out.seed, "seed", err)) return false;
+    } else {
+      err = "unknown chaos key '" + key + "' (use drop|stall|corrupt|seed)";
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return true;
+}
+
+std::string ChaosSpec::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "drop:%g,stall:%u,corrupt:%g,seed:%llu", drop_p,
+                stall_ms, corrupt_p, static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+const char* chaos_action_name(ChaosAction a) {
+  switch (a) {
+    case ChaosAction::kNone: return "none";
+    case ChaosAction::kDropEarly: return "drop-early";
+    case ChaosAction::kDropAfterRequest: return "drop-after-request";
+    case ChaosAction::kDropMidResponse: return "drop-mid-response";
+    case ChaosAction::kCorruptFlip: return "corrupt-flip";
+    case ChaosAction::kCorruptTruncate: return "corrupt-truncate";
+  }
+  return "?";
+}
+
+ChaosVerdict ChaosEngine::next() {
+  // Fixed draw schedule — every verdict consumes exactly five values so the
+  // k-th verdict is a pure function of (seed, k).
+  const double drop_draw = rng_.uniform();
+  const std::uint64_t drop_mode = rng_.below(3);
+  const double corrupt_draw = rng_.uniform();
+  const std::uint64_t corrupt_mode = rng_.below(2);
+  const double detail = rng_.uniform();
+
+  ChaosVerdict v;
+  v.stall_ms = spec_.stall_ms;
+  v.detail = detail;
+  if (drop_draw < spec_.drop_p) {
+    v.action = drop_mode == 0   ? ChaosAction::kDropEarly
+               : drop_mode == 1 ? ChaosAction::kDropAfterRequest
+                                : ChaosAction::kDropMidResponse;
+  } else if (corrupt_draw < spec_.corrupt_p) {
+    v.action = corrupt_mode == 0 ? ChaosAction::kCorruptFlip
+                                 : ChaosAction::kCorruptTruncate;
+  }
+  log_.push_back(v);
+  return v;
+}
+
+}  // namespace stbpu::net

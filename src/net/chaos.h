@@ -1,0 +1,79 @@
+// Deterministic fault injection for the sweep fabric. A worker started
+// with --chaos=drop:P,stall:MS,corrupt:P,seed:S sabotages its own
+// connections — dropped sockets, mid-stream stalls, flipped and truncated
+// payloads — from an explicitly seeded RNG, so every recovery path in the
+// coordinator (timeout, backoff, retry, re-dispatch, local fallback) is
+// exercised on demand and *reproducibly*: the same seed yields the same
+// verdict for the n-th accepted connection, independent of wall clock or
+// scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stbpu::net {
+
+/// Parsed --chaos= configuration. All fields zero = chaos disabled.
+struct ChaosSpec {
+  double drop_p = 0.0;      ///< P(connection dropped without a valid response)
+  double corrupt_p = 0.0;   ///< P(response payload flipped or truncated)
+  std::uint32_t stall_ms = 0;  ///< mid-stream stall injected into every response
+  std::uint64_t seed = 1;   ///< verdict-sequence seed
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop_p > 0.0 || corrupt_p > 0.0 || stall_ms > 0;
+  }
+
+  /// Parse "drop:P,stall:MS,corrupt:P,seed:S" (any subset, any order).
+  /// Probabilities must be in [0, 1]; unknown keys and malformed values are
+  /// errors.
+  static bool parse(const std::string& text, ChaosSpec& out, std::string& err);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What the chaos layer does to one accepted connection. Drop modes cover
+/// the three places a worker can die relative to a request; corrupt modes
+/// cover the two ways a payload can arrive damaged (checksum-detectable
+/// flip vs EOF-detectable truncation).
+enum class ChaosAction : std::uint8_t {
+  kNone = 0,
+  kDropEarly,        ///< close before reading the request
+  kDropAfterRequest, ///< read the request, then close without responding
+  kDropMidResponse,  ///< send roughly half the response frame, then close
+  kCorruptFlip,      ///< flip one payload byte (fails the frame checksum)
+  kCorruptTruncate,  ///< declare the full length but send a short payload
+};
+
+[[nodiscard]] const char* chaos_action_name(ChaosAction a);
+
+struct ChaosVerdict {
+  ChaosAction action = ChaosAction::kNone;
+  std::uint32_t stall_ms = 0;  ///< mid-stream stall before finishing the send
+  /// Position selector in [0, 1): which payload byte to flip / where to cut.
+  double detail = 0.0;
+
+  friend bool operator==(const ChaosVerdict&, const ChaosVerdict&) = default;
+};
+
+/// Draws one verdict per accepted connection. A fixed number of RNG draws
+/// per verdict (consumed whether used or not) keeps the sequence aligned:
+/// verdict k depends only on (seed, k).
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(const ChaosSpec& spec) : spec_(spec), rng_(spec.seed) {}
+
+  ChaosVerdict next();
+
+  [[nodiscard]] const ChaosSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::vector<ChaosVerdict>& log() const noexcept { return log_; }
+
+ private:
+  ChaosSpec spec_;
+  util::Xoshiro256 rng_;
+  std::vector<ChaosVerdict> log_;
+};
+
+}  // namespace stbpu::net

@@ -1,0 +1,57 @@
+// Length-prefixed wire framing for the sweep fabric. One frame carries one
+// message (a shard-assignment spec JSON, a shard-result JSON, or an error
+// string):
+//
+//   u32  magic     "SBF1" (0x53424631, little-endian on the wire)
+//   u8   type      FrameType
+//   u32  length    payload byte count
+//   u64  checksum  FNV-1a 64 over the payload
+//   ...  payload
+//
+// The checksum is what makes the chaos layer's corrupted/truncated payloads
+// *detectable* rather than silently merged: a flipped payload byte fails
+// the checksum at recv_frame, a truncated stream fails recv_all with EOF,
+// and a garbage header fails the magic check — every corruption mode maps
+// to a distinct, retryable error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+
+namespace stbpu::net {
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,   ///< coordinator -> worker: shard-assignment spec JSON
+  kResponse = 2,  ///< worker -> coordinator: full-precision shard JSON
+  kError = 3,     ///< worker -> coordinator: non-retryable failure message
+};
+
+constexpr std::uint32_t kFrameMagic = 0x53424631u;  // "SBF1"
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 8;
+/// Shard JSONs are KB-scale even at paper scale; anything larger than this
+/// is a protocol violation, not a payload.
+constexpr std::uint32_t kMaxFramePayload = 1u << 28;
+
+/// FNV-1a 64-bit (the payload checksum).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+/// Wire-encode one complete frame (header + payload). The worker's chaos
+/// layer mutates these bytes before the raw send, guaranteeing injected
+/// corruption travels through the exact detection path a real fault would.
+[[nodiscard]] std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Send one frame before `deadline_ms`.
+bool send_frame(TcpConn& conn, FrameType type, std::string_view payload,
+                std::int64_t deadline_ms, std::string& err);
+
+/// Receive one frame before `deadline_ms`: validates magic, length bound
+/// and payload checksum. Any violation is an error (never a partial
+/// result); "deadline exceeded" in `err` identifies timeouts.
+bool recv_frame(TcpConn& conn, FrameType& type, std::string& payload,
+                std::int64_t deadline_ms, std::string& err);
+
+}  // namespace stbpu::net

@@ -1,0 +1,263 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace stbpu::net {
+
+std::int64_t mono_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_ms(std::int64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, std::string& err) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    err = errno_text("fcntl(O_NONBLOCK)");
+    return false;
+  }
+  return true;
+}
+
+/// Poll one fd for `events` until `deadline_ms`: 1 ready, 0 deadline
+/// exceeded, -1 error.
+int poll_until(int fd, short events, std::int64_t deadline_ms, std::string& err) {
+  for (;;) {
+    const std::int64_t remain = deadline_ms - mono_now_ms();
+    if (remain <= 0) return 0;
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int slice = remain > 100 ? 100 : static_cast<int>(remain);
+    const int r = ::poll(&pfd, 1, slice);
+    if (r > 0) {
+      // POLLERR/POLLHUP surface through the subsequent send/recv, which
+      // produces the precise error message.
+      return 1;
+    }
+    if (r < 0 && errno != EINTR) {
+      err = errno_text("poll");
+      return -1;
+    }
+  }
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpConn::connect(const std::string& host, std::uint16_t port, int timeout_ms,
+                      TcpConn& out, std::string& err) {
+  struct addrinfo hints {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int gai = ::getaddrinfo(host.c_str(), port_text.c_str(), &hints, &res);
+  if (gai != 0 || res == nullptr) {
+    err = "cannot resolve '" + host + "': " + ::gai_strerror(gai);
+    return false;
+  }
+  const std::int64_t deadline = mono_now_ms() + timeout_ms;
+  std::string last_err = "no usable address";
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      last_err = errno_text("socket");
+      continue;
+    }
+    if (!set_nonblocking(sock.fd(), last_err)) continue;
+    if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      if (errno != EINPROGRESS) {
+        last_err = errno_text("connect");
+        continue;
+      }
+      const int r = poll_until(sock.fd(), POLLOUT, deadline, last_err);
+      if (r == 0) {
+        last_err = "connect deadline exceeded";
+        continue;
+      }
+      if (r < 0) continue;
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        last_err = std::string("connect: ") + std::strerror(so_error != 0 ? so_error
+                                                                          : errno);
+        continue;
+      }
+    }
+    int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    out.sock_ = std::move(sock);
+    ::freeaddrinfo(res);
+    return true;
+  }
+  ::freeaddrinfo(res);
+  err = "cannot connect to " + host + ":" + port_text + " (" + last_err + ")";
+  return false;
+}
+
+bool TcpConn::send_all(const void* data, std::size_t n, std::int64_t deadline_ms,
+                       std::string& err) {
+  if (!valid()) {
+    err = "send on closed connection";
+    return false;
+  }
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t k = ::send(sock_.fd(), p, n, MSG_NOSIGNAL);
+    if (k > 0) {
+      p += k;
+      n -= static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int r = poll_until(sock_.fd(), POLLOUT, deadline_ms, err);
+      if (r == 0) {
+        err = "send deadline exceeded";
+        return false;
+      }
+      if (r < 0) return false;
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    err = errno_text("send");
+    return false;
+  }
+  return true;
+}
+
+bool TcpConn::recv_all(void* data, std::size_t n, std::int64_t deadline_ms,
+                       std::string& err) {
+  if (!valid()) {
+    err = "recv on closed connection";
+    return false;
+  }
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t k = ::recv(sock_.fd(), p, n, 0);
+    if (k > 0) {
+      p += k;
+      n -= static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k == 0) {
+      err = "connection closed mid-message";
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int r = poll_until(sock_.fd(), POLLIN, deadline_ms, err);
+      if (r == 0) {
+        err = "recv deadline exceeded";
+        return false;
+      }
+      if (r < 0) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    err = errno_text("recv");
+    return false;
+  }
+  return true;
+}
+
+bool TcpListener::listen(std::uint16_t port, std::string& err) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    err = errno_text("socket");
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (!set_nonblocking(sock.fd(), err)) return false;
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    err = errno_text("bind");
+    return false;
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    err = errno_text("listen");
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    err = errno_text("getsockname");
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  sock_ = std::move(sock);
+  return true;
+}
+
+int TcpListener::accept(TcpConn& out, int timeout_ms, std::string& err) {
+  if (!sock_.valid()) {
+    err = "accept on closed listener";
+    return -1;
+  }
+  const std::int64_t deadline = mono_now_ms() + timeout_ms;
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      std::string nb_err;
+      if (!set_nonblocking(conn.fd(), nb_err)) {
+        err = nb_err;
+        return -1;
+      }
+      int one = 1;
+      ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      out.sock_ = std::move(conn);
+      return 1;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int r = poll_until(sock_.fd(), POLLIN, deadline, err);
+      if (r == 0) return 0;
+      if (r < 0) return -1;
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    err = errno_text("accept");
+    return -1;
+  }
+}
+
+}  // namespace stbpu::net

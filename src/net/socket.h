@@ -1,0 +1,91 @@
+// Minimal POSIX TCP layer for the distributed sweep fabric: non-blocking
+// sockets driven by monotonic-millisecond deadlines. Every blocking
+// operation (connect, accept, send, recv) takes an explicit timeout or
+// deadline so the coordinator can enforce per-shard deadlines and the
+// worker can never hang on a half-open peer — the fabric's robustness
+// story starts here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stbpu::net {
+
+/// Monotonic clock in milliseconds (deadline arithmetic base; never wall
+/// clock, so NTP steps cannot fire or starve timeouts).
+[[nodiscard]] std::int64_t mono_now_ms();
+
+/// Sleep helper (reconnect backoff, chaos stalls).
+void sleep_ms(std::int64_t ms);
+
+/// Move-only owner of a socket fd (always O_NONBLOCK once constructed).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// One TCP connection. send/recv transfer exactly the requested byte count
+/// or fail — timeouts, EOF and resets are all errors with a message; a
+/// deadline-exceeded error always contains "deadline exceeded" so callers
+/// can classify timeouts without extra plumbing.
+class TcpConn {
+ public:
+  TcpConn() = default;
+
+  /// Connect to host:port within timeout_ms (resolution + TCP handshake).
+  static bool connect(const std::string& host, std::uint16_t port, int timeout_ms,
+                      TcpConn& out, std::string& err);
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+
+  /// Send exactly `n` bytes before `deadline_ms` (mono_now_ms scale).
+  bool send_all(const void* data, std::size_t n, std::int64_t deadline_ms,
+                std::string& err);
+  /// Receive exactly `n` bytes before `deadline_ms`. A peer close mid-read
+  /// reports "connection closed"; an expired deadline "deadline exceeded".
+  bool recv_all(void* data, std::size_t n, std::int64_t deadline_ms, std::string& err);
+
+  void close() { sock_.close(); }
+
+ private:
+  friend class TcpListener;
+  Socket sock_;
+};
+
+/// Listening socket. `accept` polls in bounded slices so a serve loop can
+/// check its stop flag between waits.
+class TcpListener {
+ public:
+  /// Bind + listen on `port` (0 = kernel-assigned ephemeral port; read it
+  /// back via port()). Binds all interfaces with SO_REUSEADDR.
+  bool listen(std::uint16_t port, std::string& err);
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+
+  /// Wait up to timeout_ms for a connection: 1 = accepted into `out`,
+  /// 0 = timeout, -1 = listener error (closed / invalid).
+  int accept(TcpConn& out, int timeout_ms, std::string& err);
+
+  void close() { sock_.close(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace stbpu::net

@@ -3,7 +3,10 @@
 // dropped points, no duplicates, no float drift through the shard files
 // (this is the acceptance contract of the sharded driver).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -67,7 +70,20 @@ TEST(ShardMerge, Fig5ShardedMergeIsBitIdenticalToUnsharded) {
   EXPECT_NE(merged.find("\"normalized_ipc_harmonic\":"), std::string::npos);
 }
 
-TEST(ShardMerge, DetectsMissingAndDuplicatePoints) {
+/// Flip one digit of the first double payload in a shard text: a
+/// duplicate-but-DIFFERENT result for the same points, as a buggy or
+/// malicious worker would produce.
+std::string tamper_first_double(std::string text) {
+  const std::size_t tag = text.find("\"d\", ");
+  EXPECT_NE(tag, std::string::npos);
+  std::size_t pos = tag + 5;
+  if (pos < text.size() && text[pos] == '-') ++pos;
+  EXPECT_TRUE(pos < text.size() && text[pos] >= '0' && text[pos] <= '9');
+  text[pos] = text[pos] == '9' ? '8' : '9';
+  return text;
+}
+
+TEST(ShardMerge, DetectsMissingPointsAndMismatchedSpecs) {
   register_builtin_scenarios();
   const Scenario* scenario = find_scenario("fig5_smt");
   ASSERT_NE(scenario, nullptr);
@@ -85,12 +101,8 @@ TEST(ShardMerge, DetectsMissingAndDuplicatePoints) {
   EXPECT_FALSE(merge_shards({shard0_text}, merged, merged_scenario, err));
   EXPECT_NE(err.find("missing"), std::string::npos) << err;
 
-  // The same shard twice: duplicate points must be rejected, not silently
-  // unioned.
-  EXPECT_FALSE(merge_shards({shard0_text, shard0_text}, merged, merged_scenario, err));
-  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
-
-  // Shards from different sweeps must not merge.
+  // Shards from different sweeps must not merge, and the error must name
+  // the offending input and the byte offset of the mismatching value.
   ExperimentSpec other = tiny_fig5_spec();
   other.shard_index = 1;
   other.shard_count = 2;
@@ -98,8 +110,49 @@ TEST(ShardMerge, DetectsMissingAndDuplicatePoints) {
   RunOutcome other_outcome;
   ASSERT_TRUE(run_experiment(*scenario, other, other_outcome, err)) << err;
   const std::string other_text = shard_json(*scenario, other, other_outcome);
-  EXPECT_FALSE(merge_shards({shard0_text, other_text}, merged, merged_scenario, err));
+  EXPECT_FALSE(merge_shards({shard0_text, other_text}, {"a.json", "b.json"}, merged,
+                            merged_scenario, err));
   EXPECT_NE(err.find("spec differs"), std::string::npos) << err;
+  EXPECT_NE(err.find("b.json"), std::string::npos) << err;
+  EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, DuplicateIdenticalAcceptedDuplicateDifferentRejected) {
+  // Straggler re-dispatch legitimately yields the same shard twice with
+  // identical payloads — merge must union them silently. The same points
+  // with a DIFFERENT payload is a correctness hazard and must be rejected
+  // with the offending file named.
+  register_builtin_scenarios();
+  const Scenario* scenario = find_scenario("fig5_smt");
+  ASSERT_NE(scenario, nullptr);
+
+  std::string err;
+  std::vector<std::string> shard_texts;
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    ExperimentSpec shard_spec = tiny_fig5_spec();
+    shard_spec.shard_index = shard;
+    shard_spec.shard_count = 2;
+    RunOutcome outcome;
+    ASSERT_TRUE(run_experiment(*scenario, shard_spec, outcome, err)) << err;
+    shard_texts.push_back(shard_json(*scenario, shard_spec, outcome));
+  }
+
+  // Reference merge, then the same merge with shard 0 delivered twice.
+  std::string reference, merged, merged_scenario;
+  ASSERT_TRUE(merge_shards(shard_texts, reference, merged_scenario, err)) << err;
+  ASSERT_TRUE(merge_shards({shard_texts[0], shard_texts[1], shard_texts[0]}, merged,
+                           merged_scenario, err))
+      << err;
+  EXPECT_EQ(merged, reference);
+
+  // Same shard index, one flipped digit: must be rejected, not unioned.
+  const std::string tampered = tamper_first_double(shard_texts[0]);
+  EXPECT_FALSE(merge_shards({shard_texts[0], shard_texts[1], tampered},
+                            {"a.json", "b.json", "evil.json"}, merged, merged_scenario,
+                            err));
+  EXPECT_NE(err.find("duplicated with a different payload"), std::string::npos) << err;
+  EXPECT_NE(err.find("evil.json"), std::string::npos) << err;
+  EXPECT_NE(err.find("byte offset"), std::string::npos) << err;
 }
 
 TEST(ShardMerge, RejectsGarbageInput) {
@@ -123,6 +176,41 @@ TEST(ShardMerge, RejectsGarbageInput) {
   })";
   EXPECT_FALSE(merge_shards({corrupted}, merged, merged_scenario, err));
   EXPECT_NE(err.find("numeric"), std::string::npos) << err;
+}
+
+TEST(Runner, WriteFileIsAtomicAndCrashSafe) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "stbpu_write_file_test.json";
+  std::remove(path.c_str());
+
+  // Success: content lands, and no .tmp staging file is left behind.
+  ASSERT_TRUE(write_file(path, "first\n"));
+  std::string back;
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, "first\n");
+  EXPECT_FALSE(read_file(path + ".tmp", back));
+
+  // Overwrite goes through the same rename and replaces the old bytes.
+  ASSERT_TRUE(write_file(path, "second\n"));
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, "second\n");
+
+  // A failed write must leave the existing target untouched. Blocking the
+  // staging path (a directory where <path>.tmp goes) forces the failure
+  // without relying on permissions (tests may run as root).
+  ASSERT_EQ(::mkdir((path + ".tmp").c_str(), 0755), 0);
+  EXPECT_FALSE(write_file(path, "third\n"));
+  ASSERT_TRUE(read_file(path, back));
+  EXPECT_EQ(back, "second\n");
+  ASSERT_EQ(::rmdir((path + ".tmp").c_str()), 0);
+
+  // An unwritable destination fails cleanly: no file, no stray .tmp.
+  const std::string bad = dir + "no_such_subdir/out.json";
+  EXPECT_FALSE(write_file(bad, "x"));
+  EXPECT_FALSE(read_file(bad, back));
+  EXPECT_FALSE(read_file(bad + ".tmp", back));
+
+  std::remove(path.c_str());
 }
 
 TEST(Runner, RejectsOutOfRangePoints) {

@@ -1,0 +1,311 @@
+// Loopback fabric tests: every recovery path of the coordinator — clean
+// dispatch, chaos-injected corruption, worker death mid-shard, timeout →
+// backoff → retry-exhaustion → local fallback, straggler re-dispatch —
+// must converge on a merged BENCH JSON byte-identical to an unsharded
+// in-process run. Byte identity is the acceptance contract: recovery may
+// change *where* a shard executes, never *what* the sweep produces.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/fabric.h"
+#include "exp/runner.h"
+#include "exp/scenario.h"
+#include "exp/spec.h"
+#include "net/chaos.h"
+#include "net/socket.h"
+
+namespace stbpu::exp {
+namespace {
+
+/// Tiny fig5 slice (two workload pairs × four predictors) — real simulation,
+/// unit-test cheap, same shape the shard-merge tests use.
+ExperimentSpec tiny_spec() {
+  ExperimentSpec spec;
+  spec.scenario = "fig5_smt";
+  spec.scale.ooo_instructions = 1'500;
+  spec.scale.ooo_warmup = 150;
+  spec.points = {0, 1, 2, 3, 4, 5, 6, 7};
+  return spec;
+}
+
+/// Unsharded in-process reference: the byte-identity baseline.
+std::string local_reference(const Scenario& scenario, const ExperimentSpec& spec) {
+  RunOutcome outcome;
+  std::string err;
+  EXPECT_TRUE(run_experiment(scenario, spec, outcome, err)) << err;
+  return final_json(scenario, spec, outcome.points);
+}
+
+net::ChaosSpec chaos(const std::string& text) {
+  net::ChaosSpec spec;
+  std::string err;
+  EXPECT_TRUE(net::ChaosSpec::parse(text, spec, err)) << err;
+  return spec;
+}
+
+WorkerOptions worker_opts(const net::ChaosSpec& spec = {}) {
+  WorkerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.chaos = spec;
+  return opts;
+}
+
+std::string endpoint_of(const WorkerServer& w) {
+  return "127.0.0.1:" + std::to_string(w.port());
+}
+
+/// Dispatch options tuned for tests: short backoff, generous deadline.
+DispatchOptions dispatch_opts(const std::vector<std::string>& workers) {
+  DispatchOptions opts;
+  opts.workers = workers;
+  opts.shard_count = 4;
+  opts.connect_timeout_ms = 1'000;
+  opts.shard_deadline_ms = 30'000;
+  opts.backoff_base_ms = 5;
+  opts.backoff_max_ms = 40;
+  return opts;
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_builtin_scenarios();
+    scenario_ = find_scenario("fig5_smt");
+    ASSERT_NE(scenario_, nullptr);
+    spec_ = tiny_spec();
+    reference_ = local_reference(*scenario_, spec_);
+    ASSERT_FALSE(reference_.empty());
+  }
+
+  const Scenario* scenario_ = nullptr;
+  ExperimentSpec spec_;
+  std::string reference_;
+};
+
+TEST_F(FabricTest, CleanDispatchIsByteIdenticalToLocal) {
+  WorkerServer a, b;
+  std::string err;
+  ASSERT_TRUE(a.start(worker_opts(), err)) << err;
+  ASSERT_TRUE(b.start(worker_opts(), err)) << err;
+
+  std::string merged;
+  DispatchStats stats;
+  ASSERT_TRUE(dispatch_experiment(*scenario_, spec_,
+                                  dispatch_opts({endpoint_of(a), endpoint_of(b)}),
+                                  merged, stats, err))
+      << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_EQ(stats.shard_count, 4u);
+  EXPECT_EQ(stats.remote_shards, 4u);
+  EXPECT_EQ(stats.local_shards, 0u);
+  EXPECT_EQ(stats.failed_attempts, 0u);
+  EXPECT_GE(a.served() + b.served(), 4u);
+}
+
+TEST_F(FabricTest, ChaosDispatchIsByteIdenticalToLocal) {
+  // One saboteur (drops, flips, truncations, stalls) plus one honest
+  // worker: the acceptance criterion of the fabric — recovery under chaos
+  // must still produce the exact unsharded bytes.
+  WorkerServer saboteur, honest;
+  std::string err;
+  ASSERT_TRUE(saboteur.start(worker_opts(chaos("drop:0.4,corrupt:0.4,stall:10,seed:7")),
+                             err))
+      << err;
+  ASSERT_TRUE(honest.start(worker_opts(), err)) << err;
+
+  std::string merged;
+  DispatchStats stats;
+  ASSERT_TRUE(dispatch_experiment(
+      *scenario_, spec_, dispatch_opts({endpoint_of(saboteur), endpoint_of(honest)}),
+      merged, stats, err))
+      << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_EQ(stats.remote_shards + stats.local_shards, 4u);
+}
+
+TEST_F(FabricTest, CorruptedPayloadsAreRejectedAndRefetched) {
+  // corrupt:1.0 = every response flipped or truncated. Each one must be
+  // rejected at the frame/validation layer and the shard re-fetched from
+  // the honest worker — never merged.
+  WorkerServer corruptor, honest;
+  std::string err;
+  // seed:1's first verdict is corrupt-flip (checksum-detectable), so the
+  // rejected_payloads assertion below is deterministic, not a coin flip.
+  ASSERT_TRUE(corruptor.start(worker_opts(chaos("corrupt:1,seed:1")), err)) << err;
+  ASSERT_TRUE(honest.start(worker_opts(), err)) << err;
+
+  std::string merged;
+  DispatchStats stats;
+  ASSERT_TRUE(dispatch_experiment(
+      *scenario_, spec_, dispatch_opts({endpoint_of(corruptor), endpoint_of(honest)}),
+      merged, stats, err))
+      << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_GE(stats.rejected_payloads, 1u);
+  EXPECT_GE(stats.failed_attempts, 1u);
+  EXPECT_EQ(corruptor.served(), 0u);  // no untampered response ever left it
+}
+
+TEST_F(FabricTest, WorkerKilledMidShardIsRedispatched) {
+  // The victim stalls mid-response, then is hard-stopped while a shard is
+  // in flight — the coordinator sees EOF mid-message and the shard must be
+  // re-dispatched to the survivor (or degraded locally), with the merged
+  // output unchanged.
+  WorkerServer victim, survivor;
+  std::string err;
+  ASSERT_TRUE(victim.start(worker_opts(chaos("stall:3000,seed:1")), err)) << err;
+  ASSERT_TRUE(survivor.start(worker_opts(), err)) << err;
+
+  std::string merged;
+  DispatchStats stats;
+  bool ok = false;
+  std::thread killer([&victim] {
+    const std::int64_t deadline = net::mono_now_ms() + 10'000;
+    while (victim.accepted() == 0 && net::mono_now_ms() < deadline) net::sleep_ms(5);
+    net::sleep_ms(50);  // land the kill inside the stalled response stream
+    victim.stop();
+  });
+  ok = dispatch_experiment(*scenario_, spec_,
+                           dispatch_opts({endpoint_of(victim), endpoint_of(survivor)}),
+                           merged, stats, err);
+  killer.join();
+  ASSERT_TRUE(ok) << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_GE(stats.failed_attempts + stats.redispatches, 1u);
+  EXPECT_EQ(stats.remote_shards + stats.local_shards, 4u);
+}
+
+TEST_F(FabricTest, TimeoutBackoffRetryExhaustionFallsBackLocally) {
+  // Every response stalls past the shard deadline: each attempt times out,
+  // backs off, retries, exhausts its retry budget and the whole sweep
+  // degrades to in-process execution — still byte-identical.
+  WorkerServer molasses;
+  std::string err;
+  ASSERT_TRUE(molasses.start(worker_opts(chaos("stall:700,seed:5")), err)) << err;
+
+  DispatchOptions opts = dispatch_opts({endpoint_of(molasses)});
+  opts.shard_count = 2;
+  opts.shard_deadline_ms = 200;
+  opts.retry_limit = 2;
+  opts.worker_failure_limit = 3;
+
+  std::string merged;
+  DispatchStats stats;
+  ASSERT_TRUE(dispatch_experiment(*scenario_, spec_, opts, merged, stats, err)) << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_GE(stats.timeouts, 1u);
+  EXPECT_EQ(stats.remote_shards, 0u);
+  EXPECT_EQ(stats.local_shards, 2u);
+}
+
+TEST_F(FabricTest, RetryExhaustionWithoutFallbackFailsTheDispatch) {
+  // Dead endpoint, fallback disabled: the dispatch must fail loudly (with
+  // the shard and attempt count) rather than return a partial sweep.
+  DispatchOptions opts = dispatch_opts({"127.0.0.1:1"});
+  opts.shard_count = 2;
+  opts.connect_timeout_ms = 200;
+  opts.retry_limit = 2;
+  opts.local_fallback = false;
+
+  std::string merged;
+  DispatchStats stats;
+  std::string err;
+  EXPECT_FALSE(dispatch_experiment(*scenario_, spec_, opts, merged, stats, err));
+  EXPECT_NE(err.find("unserved"), std::string::npos) << err;
+  EXPECT_NE(err.find("local fallback is disabled"), std::string::npos) << err;
+  EXPECT_GE(stats.connect_failures, 1u);
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST_F(FabricTest, DeadEndpointDegradesToLocalByteIdentically) {
+  DispatchOptions opts = dispatch_opts({"127.0.0.1:1"});
+  opts.shard_count = 2;
+  opts.connect_timeout_ms = 200;
+  opts.retry_limit = 1;
+
+  std::string merged;
+  DispatchStats stats;
+  std::string err;
+  ASSERT_TRUE(dispatch_experiment(*scenario_, spec_, opts, merged, stats, err)) << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_EQ(stats.local_shards, 2u);
+  EXPECT_GE(stats.connect_failures, 1u);
+}
+
+TEST_F(FabricTest, StragglerIsRedispatchedToIdleWorkerFirstResultWins) {
+  // One fast and one slow-but-correct worker, one shard each: the fast one
+  // goes idle, duplicates the straggling shard, and its result lands first;
+  // the straggler's late duplicate is discarded by shard identity.
+  WorkerServer slow, fast;
+  std::string err;
+  ASSERT_TRUE(slow.start(worker_opts(chaos("stall:1500,seed:2")), err)) << err;
+  ASSERT_TRUE(fast.start(worker_opts(), err)) << err;
+
+  DispatchOptions opts = dispatch_opts({endpoint_of(slow), endpoint_of(fast)});
+  opts.shard_count = 2;
+
+  std::string merged;
+  DispatchStats stats;
+  ASSERT_TRUE(dispatch_experiment(*scenario_, spec_, opts, merged, stats, err)) << err;
+  EXPECT_EQ(merged, reference_);
+  EXPECT_GE(stats.redispatches, 1u);
+  EXPECT_GE(stats.duplicates_discarded, 1u);
+  EXPECT_EQ(stats.remote_shards, 2u);
+  EXPECT_EQ(stats.local_shards, 0u);
+}
+
+TEST_F(FabricTest, ChaosSeededRecoveryIsDeterministic) {
+  // Same chaos seed + same dispatch parameters = the same verdict sequence
+  // on the worker and the same recovery trajectory in the coordinator —
+  // a flaky-looking failure can always be replayed exactly.
+  auto run_once = [&](WorkerServer& worker, DispatchStats& stats, std::string& merged) {
+    std::string err;
+    ASSERT_TRUE(worker.start(worker_opts(chaos("drop:0.3,corrupt:0.3,seed:99")), err))
+        << err;
+    DispatchOptions opts = dispatch_opts({endpoint_of(worker)});
+    opts.shard_count = 2;
+    opts.retry_limit = 5;
+    ASSERT_TRUE(dispatch_experiment(*scenario_, spec_, opts, merged, stats, err)) << err;
+  };
+
+  WorkerServer first, second;
+  DispatchStats s1, s2;
+  std::string m1, m2;
+  run_once(first, s1, m1);
+  run_once(second, s2, m2);
+
+  EXPECT_EQ(m1, reference_);
+  EXPECT_EQ(m2, reference_);
+  EXPECT_EQ(first.chaos_log(), second.chaos_log());
+  EXPECT_EQ(first.accepted(), second.accepted());
+  EXPECT_EQ(s1.failed_attempts, s2.failed_attempts);
+  EXPECT_EQ(s1.rejected_payloads, s2.rejected_payloads);
+  EXPECT_EQ(s1.remote_shards, s2.remote_shards);
+  EXPECT_EQ(s1.local_shards, s2.local_shards);
+}
+
+TEST_F(FabricTest, RejectsShardedSpecAndBadEndpoints) {
+  ExperimentSpec sharded = spec_;
+  sharded.shard_index = 0;
+  sharded.shard_count = 2;
+  std::string merged, err;
+  DispatchStats stats;
+  DispatchOptions opts = dispatch_opts({"127.0.0.1:1"});
+  EXPECT_FALSE(dispatch_experiment(*scenario_, sharded, opts, merged, stats, err));
+  EXPECT_NE(err.find("--shards"), std::string::npos) << err;
+
+  std::string host;
+  std::uint16_t port = 0;
+  EXPECT_TRUE(parse_endpoint("10.0.0.2:5055", host, port, err));
+  EXPECT_EQ(host, "10.0.0.2");
+  EXPECT_EQ(port, 5055);
+  EXPECT_FALSE(parse_endpoint("nohost", host, port, err));
+  EXPECT_FALSE(parse_endpoint("host:notaport", host, port, err));
+  EXPECT_FALSE(parse_endpoint("host:99999", host, port, err));
+}
+
+}  // namespace
+}  // namespace stbpu::exp
