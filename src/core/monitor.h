@@ -61,13 +61,43 @@ class EventMonitor final : public bpu::IEventSink {
   [[nodiscard]] const MonitorConfig& config() const noexcept { return cfg_; }
 
   /// Remaining budget before the next re-randomization for an entity —
-  /// used by tests to verify attacks cannot outrun the monitor.
+  /// used by tests to verify attacks cannot outrun the monitor, and by the
+  /// tenant service as the saved "monitor MSR" image across slot recycling.
   struct Remaining {
     std::uint64_t misp, evict, tagged;
+    /// A freshly reloaded budget under `cfg` — what reload() would program.
+    [[nodiscard]] static Remaining full(const MonitorConfig& cfg) {
+      return {cfg.misprediction_threshold, cfg.eviction_threshold,
+              cfg.tagged_misprediction_threshold != 0
+                  ? cfg.tagged_misprediction_threshold
+                  : ~std::uint64_t{0}};
+    }
+    friend bool operator==(const Remaining&, const Remaining&) = default;
   };
   [[nodiscard]] Remaining remaining(const bpu::ExecContext& ctx) {
     const Counters& c = counters(ctx);
     return {c.misp, c.evict, c.tagged_misp};
+  }
+
+  /// Per-entity threshold override (QoS): subsequent reloads of this slot
+  /// use `cfg` instead of the monitor-wide config. Models the OS writing a
+  /// tenant-specific Γ into the MSR on context switch; never called ⇒
+  /// behavior is bit-identical to a config-free monitor.
+  void set_config(const bpu::ExecContext& ctx, const MonitorConfig& cfg) {
+    Counters& c = raw_counters(ctx);
+    c.cfg = cfg;
+    c.has_cfg = true;
+  }
+
+  /// OS restore of previously saved counters (the remaining() image taken
+  /// when the entity was switched out). Marks the slot valid so no reload
+  /// intervenes before the restored budget drains.
+  void restore(const bpu::ExecContext& ctx, const Remaining& r) {
+    Counters& c = raw_counters(ctx);
+    c.misp = r.misp;
+    c.evict = r.evict;
+    c.tagged_misp = r.tagged;
+    c.valid = true;
   }
 
  private:
@@ -75,23 +105,32 @@ class EventMonitor final : public bpu::IEventSink {
     std::uint64_t misp = 0;
     std::uint64_t evict = 0;
     std::uint64_t tagged_misp = 0;
+    MonitorConfig cfg;     ///< per-slot override, used when has_cfg
+    bool has_cfg = false;
     bool valid = false;
   };
 
   Counters& counters(const bpu::ExecContext& ctx) {
-    // Kernel entity occupies slot 0; user pids shift up by one.
-    const std::size_t slot = ctx.kernel ? 0 : std::size_t{ctx.pid} + 1;
-    if (slot >= counters_.size()) counters_.resize(slot + 1);
-    Counters& c = counters_[slot];
+    Counters& c = raw_counters(ctx);
     if (!c.valid) reload(c);
     return c;
   }
 
+  /// Slot accessor without the lazy reload — set_config/restore must be
+  /// able to program a slot before its first reload happens.
+  Counters& raw_counters(const bpu::ExecContext& ctx) {
+    // Kernel entity occupies slot 0; user pids shift up by one.
+    const std::size_t slot = ctx.kernel ? 0 : std::size_t{ctx.pid} + 1;
+    if (slot >= counters_.size()) counters_.resize(slot + 1);
+    return counters_[slot];
+  }
+
   void reload(Counters& c) {
-    c.misp = cfg_.misprediction_threshold;
-    c.evict = cfg_.eviction_threshold;
-    c.tagged_misp = cfg_.tagged_misprediction_threshold != 0
-                        ? cfg_.tagged_misprediction_threshold
+    const MonitorConfig& cfg = c.has_cfg ? c.cfg : cfg_;
+    c.misp = cfg.misprediction_threshold;
+    c.evict = cfg.eviction_threshold;
+    c.tagged_misp = cfg.tagged_misprediction_threshold != 0
+                        ? cfg.tagged_misprediction_threshold
                         : ~std::uint64_t{0};
     c.valid = true;
   }

@@ -321,9 +321,25 @@ class CachedStbpuMapping {
   /// Empty every cached entry (O(1) generation bump). Called by the engine
   /// on context switches; token mutations are also caught automatically.
   void invalidate_all() const {
-    ++generation_;
     ++stats_.invalidations;
+    if (++generation_ == 0) {
+      // 2^32 bumps wrapped the counter: entries stamped in the previous
+      // epoch would otherwise read as current again and serve stale values.
+      // Hard-clear every table once (the only non-O(1) invalidation, once
+      // per 4G bumps) and restart at 1 so gen 0 stays the never-filled
+      // sentinel.
+      hard_clear();
+      generation_ = 1;
+    }
   }
+
+  /// Test hook: place the generation counter near the wrap point so the
+  /// wraparound sweep is reachable without 2^32 invalidations. 0 is mapped
+  /// to 1 (the sentinel must stay unreachable).
+  void debug_set_generation(std::uint32_t gen) const {
+    generation_ = gen == 0 ? 1 : gen;
+  }
+  [[nodiscard]] std::uint32_t debug_generation() const noexcept { return generation_; }
 
   [[nodiscard]] const RemapCacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] STManager& tokens() const noexcept { return *stm_; }
@@ -496,6 +512,22 @@ class CachedStbpuMapping {
     stats_.batch_fills += l.n;
     stats_.fn_batch_fills[RemapCacheStats::kRp] += l.n;
     l.n = 0;
+  }
+
+  /// Wipe the generation stamp of every entry in every table — only the
+  /// generation-wrap path pays this sweep.
+  void hard_clear() const {
+    const auto clear = [](auto& table) {
+      for (auto& e : table) e.gen = 0;
+    };
+    clear(r1_);
+    clear(r2_);
+    clear(r3_);
+    clear(r4_);
+    clear(r34_);
+    clear(rt_index_);
+    clear(rt_tag_);
+    clear(rp_);
   }
 
   template <unsigned Bits, RemapCacheStats::Fn F, class V, class Fn>

@@ -73,6 +73,38 @@ class STManager {
     }
   }
 
+  /// OS slot recycling: the entity behind `ctx` is gone, so invalidate its
+  /// slot. The next token() for this pid lazily draws a *fresh* ST — a
+  /// recycled pid can never silently serve the previous entity's token
+  /// (which would hand its successor the victim's usable history, the exact
+  /// leak STBPU exists to close). Kernel entity is never recycled (no-op).
+  void retire(const bpu::ExecContext& ctx) {
+    if (ctx.kernel) return;
+    const std::uint16_t g = group_of(ctx.pid);
+    if (g < slots_.size() && slots_[g].valid) {
+      slots_[g].valid = false;
+      ++mutations_;  // memo-caches must drop ψ-derived values for this slot
+    }
+  }
+
+  /// True when `ctx`'s entity already holds a token. Unlike token() this
+  /// never creates one — callers that must not perturb the lazy PRNG draw
+  /// order (lookahead, the tenant service's save-on-recycle) probe with
+  /// this first.
+  [[nodiscard]] bool has_token(const bpu::ExecContext& ctx) const {
+    if (ctx.kernel) return true;
+    const std::uint16_t g = group_of(ctx.pid);
+    return g < slots_.size() && slots_[g].valid;
+  }
+
+  /// Live (token-holding) user slots — the tenant layer's exhaustion
+  /// accounting against kMaxPids.
+  [[nodiscard]] std::size_t valid_slots() const noexcept {
+    std::size_t n = 0;
+    for (const Slot& s : slots_) n += s.valid ? 1 : 0;
+    return n;
+  }
+
   [[nodiscard]] std::uint64_t rerandomizations() const noexcept {
     return rerandomizations_;
   }

@@ -49,6 +49,11 @@ void print_usage(std::FILE* to) {
                "  --trace=PATH               replay an on-disk branch trace (trace-replay\n"
                "                             scenarios)\n"
                "  --seed=N                   model seed override (0 = scenario default)\n"
+               "  --difficulty-r=R           monitor difficulty factor (Γ = r·C,\n"
+               "                             paper §VII-A; 0 = scenario default)\n"
+               "  --gamma-m=N --gamma-e=N --gamma-tagged=N\n"
+               "                             explicit Γ_M / Γ_E / tagged-Γ monitor\n"
+               "                             thresholds (0 = derive from difficulty r)\n"
                "  --cache-stats              attach remap memo-cache per-function\n"
                "                             hit/miss/batch-fill counters to measurement\n"
                "                             points (JSON side-channel fields)\n"
@@ -110,6 +115,19 @@ bool parse_u64_flag(const char* arg, const char* prefix, std::uint64_t& out,
     err = std::string("bad value in '") + arg + "'";
     return false;
   }
+  return true;
+}
+
+bool parse_positive_double_flag(const char* arg, const char* prefix, double& out,
+                                std::string& err) {
+  const char* text = arg + std::strlen(prefix);
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !(v > 0.0)) {
+    err = std::string("bad value in '") + arg + "' (want a positive number)";
+    return false;
+  }
+  out = v;
   return true;
 }
 
@@ -178,6 +196,26 @@ bool parse_run_flags(const std::vector<std::string>& args, RunOptions& out,
       out.spec.trace_file = arg.substr(8);
     } else if (starts_with(arg, "--seed=")) {
       if (!parse_u64_flag(arg.c_str(), "--seed=", out.spec.seed, err)) return false;
+    } else if (starts_with(arg, "--difficulty-r=")) {
+      if (!parse_positive_double_flag(arg.c_str(), "--difficulty-r=",
+                                      out.spec.monitor.difficulty_r, err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--gamma-m=")) {
+      if (!parse_u64_flag(arg.c_str(), "--gamma-m=",
+                          out.spec.monitor.misprediction_threshold, err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--gamma-e=")) {
+      if (!parse_u64_flag(arg.c_str(), "--gamma-e=",
+                          out.spec.monitor.eviction_threshold, err)) {
+        return false;
+      }
+    } else if (starts_with(arg, "--gamma-tagged=")) {
+      if (!parse_u64_flag(arg.c_str(), "--gamma-tagged=",
+                          out.spec.monitor.tagged_misprediction_threshold, err)) {
+        return false;
+      }
     } else if (arg == "--cache-stats") {
       out.spec.cache_stats = true;
     } else if (arg == "--stall-stats") {

@@ -12,6 +12,7 @@ void register_builtin_scenarios() {
     scenarios::register_ooo();
     scenarios::register_attacks();
     scenarios::register_mix();
+    scenarios::register_tenant();
     return true;
   }();
   (void)once;

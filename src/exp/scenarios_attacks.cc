@@ -89,8 +89,7 @@ class Table1Scenario final : public ScenarioBase {
   PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
     const std::size_t cell = index / 4;
     const unsigned k = static_cast<unsigned>(index % 4);
-    models::ModelSpec mspec{.model = kTable1Kinds[k]};
-    if (spec.seed != 0) mspec.seed = spec.seed;
+    const auto mspec = apply_spec_overrides({.model = kTable1Kinds[k]}, spec);
     auto model = models::BpuModel::create(mspec);
     const auto r = run_table1_cell(cell, *model, attack_trials(spec.scale));
     PointResult p;

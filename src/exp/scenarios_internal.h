@@ -9,6 +9,7 @@
 
 #include "core/remap_cache.h"
 #include "exp/scenario.h"
+#include "models/models.h"
 #include "sim/ooo.h"
 
 namespace stbpu::exp {
@@ -35,6 +36,26 @@ inline std::vector<std::size_t> selected_indices(const ExperimentSpec& spec,
     if (spec.selected(i)) out.push_back(i);
   }
   return out;
+}
+
+/// Model spec with the experiment spec's overrides applied: the seed, and
+/// the optional monitor thresholds / difficulty factor (the spec's nested
+/// "monitor" object). One helper shared by every scenario that builds
+/// engines, so a --gamma-m sweep reaches all of them identically. fig6 is
+/// the deliberate exception for difficulty_r: it sweeps r itself, so it
+/// overwrites rerand_difficulty_r per point after this call (explicit Γ
+/// overrides still pin the thresholds there — documented in
+/// docs/EXPERIMENTS.md).
+inline models::ModelSpec apply_spec_overrides(models::ModelSpec mspec,
+                                              const ExperimentSpec& spec) {
+  if (spec.seed != 0) mspec.seed = spec.seed;
+  if (spec.monitor.difficulty_r != 0.0) {
+    mspec.rerand_difficulty_r = spec.monitor.difficulty_r;
+  }
+  mspec.misprediction_threshold = spec.monitor.misprediction_threshold;
+  mspec.eviction_threshold = spec.monitor.eviction_threshold;
+  mspec.tagged_misprediction_threshold = spec.monitor.tagged_misprediction_threshold;
+  return mspec;
 }
 
 /// The `--cache-stats` side channel: per-function remap memo-cache counters
@@ -84,6 +105,7 @@ void register_attacks();   // table1_attack_surface, ablation, sec6_empirical
 void register_trace();     // fig3_oae
 void register_ooo();       // fig4_single, fig5_smt, fig6_rsweep, ooo_engine
 void register_mix();       // mix_batch (keyed-mix kernel study)
+void register_tenant();    // tenant_churn (multi-tenant ψ-token service)
 }  // namespace scenarios
 
 }  // namespace stbpu::exp

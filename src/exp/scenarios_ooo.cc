@@ -76,8 +76,7 @@ constexpr const char* kDirNames[] = {"PerceptronBP", "SKLCond", "TAGE_SC_L_64KB"
                                      "TAGE_SC_L_8KB"};
 
 models::ModelSpec with_seed(models::ModelSpec mspec, const ExperimentSpec& spec) {
-  if (spec.seed != 0) mspec.seed = spec.seed;
-  return mspec;
+  return apply_spec_overrides(mspec, spec);
 }
 
 /// Single-workload ST-vs-unprotected cell: both cycle-level runs on the

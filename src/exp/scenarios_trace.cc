@@ -55,8 +55,7 @@ class Fig3Scenario final : public ScenarioBase {
     PointResult p;
     for (unsigned k = 0; k < 5; ++k) {
       stream->reset();
-      models::ModelSpec mspec{.model = kFig3Kinds[k]};
-      if (spec.seed != 0) mspec.seed = spec.seed;
+      const auto mspec = apply_spec_overrides({.model = kFig3Kinds[k]}, spec);
       auto model = models::make_engine(mspec);
       p.set(std::string("oae_") + kFig3Cols[k],
             models::replay_engine(*model, *stream, opt).oae());

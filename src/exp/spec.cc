@@ -1,9 +1,22 @@
 #include "exp/spec.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace stbpu::exp {
+
+namespace {
+
+/// Shortest-round-trip double literal: %.17g always parses back to the same
+/// bits, so spec → JSON → spec is exact for difficulty_r.
+std::string double_literal(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 std::optional<Scale> Scale::named(const std::string& name) {
   if (name == "quick") return Scale{};
@@ -58,6 +71,29 @@ std::string ExperimentSpec::to_json(bool with_shard) const {
   }
   if (!trace_file.empty()) out += ", \"trace_file\": " + json_quote(trace_file);
   if (seed != 0) out += ", \"seed\": " + std::to_string(seed);
+  if (monitor.any()) {
+    out += ", \"monitor\": {";
+    bool first = true;
+    const auto field = [&](const char* key, const std::string& value) {
+      if (!first) out += ", ";
+      first = false;
+      out += std::string("\"") + key + "\": " + value;
+    };
+    if (monitor.difficulty_r != 0.0) {
+      field("difficulty_r", double_literal(monitor.difficulty_r));
+    }
+    if (monitor.misprediction_threshold != 0) {
+      field("misprediction_threshold", std::to_string(monitor.misprediction_threshold));
+    }
+    if (monitor.eviction_threshold != 0) {
+      field("eviction_threshold", std::to_string(monitor.eviction_threshold));
+    }
+    if (monitor.tagged_misprediction_threshold != 0) {
+      field("tagged_misprediction_threshold",
+            std::to_string(monitor.tagged_misprediction_threshold));
+    }
+    out += "}";
+  }
   if (cache_stats) out += ", \"cache_stats\": true";
   if (stall_stats) out += ", \"stall_stats\": true";
   out += "}";
@@ -75,6 +111,21 @@ bool want_u64(const JsonValue& v, std::uint64_t& out, const char* key, std::stri
     return false;
   }
   out = v.as_u64();
+  return true;
+}
+
+bool want_positive_double(const JsonValue& v, double& out, const char* key,
+                          std::string& err) {
+  if (!v.is_number()) {
+    err = std::string("'") + key + "' must be a number";
+    return false;
+  }
+  const double d = v.as_double();
+  if (!(d > 0.0)) {  // !(>) also rejects NaN
+    err = std::string("'") + key + "' must be a positive number";
+    return false;
+  }
+  out = d;
   return true;
 }
 
@@ -165,6 +216,37 @@ bool ExperimentSpec::from_json(const JsonValue& v, ExperimentSpec& out, std::str
       out.trace_file = val.text();
     } else if (key == "seed") {
       if (!want_u64(val, out.seed, "seed", err)) return false;
+    } else if (key == "monitor") {
+      if (!val.is_object()) {
+        err = "'monitor' must be an object";
+        return false;
+      }
+      for (const auto& [mk, mv] : val.members()) {
+        if (mk == "difficulty_r") {
+          if (!want_positive_double(mv, out.monitor.difficulty_r, "monitor.difficulty_r",
+                                    err)) {
+            return false;
+          }
+        } else if (mk == "misprediction_threshold") {
+          if (!want_u64(mv, out.monitor.misprediction_threshold,
+                        "monitor.misprediction_threshold", err)) {
+            return false;
+          }
+        } else if (mk == "eviction_threshold") {
+          if (!want_u64(mv, out.monitor.eviction_threshold, "monitor.eviction_threshold",
+                        err)) {
+            return false;
+          }
+        } else if (mk == "tagged_misprediction_threshold") {
+          if (!want_u64(mv, out.monitor.tagged_misprediction_threshold,
+                        "monitor.tagged_misprediction_threshold", err)) {
+            return false;
+          }
+        } else {
+          err = "unknown monitor field '" + mk + "'";
+          return false;
+        }
+      }
     } else if (key == "cache_stats") {
       if (!val.is_bool()) {
         err = "'cache_stats' must be a boolean";

@@ -33,6 +33,25 @@ struct Scale {
   friend bool operator==(const Scale&, const Scale&) = default;
 };
 
+/// Optional event-monitor overrides (paper §IV-B / §VII-A): the difficulty
+/// factor r of MonitorConfig::from_difficulty plus explicit Γ_M / Γ_E /
+/// tagged-Γ thresholds. 0 means "unset" everywhere — the scenario's model
+/// defaults apply — so re-randomization rates can be swept from a spec
+/// without recompiling. Serialized as a nested "monitor" object, emitted
+/// only when at least one field is set.
+struct MonitorOverride {
+  double difficulty_r = 0.0;
+  std::uint64_t misprediction_threshold = 0;
+  std::uint64_t eviction_threshold = 0;
+  std::uint64_t tagged_misprediction_threshold = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return difficulty_r != 0.0 || misprediction_threshold != 0 ||
+           eviction_threshold != 0 || tagged_misprediction_threshold != 0;
+  }
+  friend bool operator==(const MonitorOverride&, const MonitorOverride&) = default;
+};
+
 struct ExperimentSpec {
   std::string scenario;
   Scale scale;
@@ -46,6 +65,8 @@ struct ExperimentSpec {
   /// instead of their synthetic workloads (trace::FileStream).
   std::string trace_file;
   std::uint64_t seed = 0;  ///< 0 = scenario defaults
+  /// Monitor threshold overrides (0 = scenario defaults; see MonitorOverride).
+  MonitorOverride monitor;
   /// Attach the remap memo-cache's per-function hit/miss/batch-fill
   /// counters to measurement points (JSON side-channel fields), so batching
   /// wins are attributable instead of inferred (`--cache-stats`).

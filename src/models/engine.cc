@@ -72,8 +72,7 @@ std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec) {
       const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
                                    spec.direction == DirectionKind::kTage64;
       auto monitor = std::make_unique<core::EventMonitor>(
-          stm.get(), core::MonitorConfig::from_difficulty(spec.rerand_difficulty_r,
-                                                          separate_tagged));
+          stm.get(), monitor_config_for(spec, separate_tagged));
       core::CachedStbpuMapping mapping(stm.get());
       return with_direction(spec, cfg, std::move(stm), std::move(monitor),
                             std::move(mapping));

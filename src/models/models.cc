@@ -74,9 +74,7 @@ std::unique_ptr<BpuModel> BpuModel::create(const ModelSpec& spec) {
       const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
                                    spec.direction == DirectionKind::kTage64;
       model->monitor_ = std::make_unique<core::EventMonitor>(
-          model->stm_.get(),
-          core::MonitorConfig::from_difficulty(spec.rerand_difficulty_r,
-                                               separate_tagged));
+          model->stm_.get(), monitor_config_for(spec, separate_tagged));
       model->mapping_ = std::make_unique<core::StbpuMapping>(model->stm_.get());
       break;
     }

@@ -103,7 +103,31 @@ struct ModelSpec {
   /// Attack-difficulty factor r for STBPU thresholds (Γ = r · C, §VII-A).
   double rerand_difficulty_r = 0.05;
   std::uint64_t seed = 0x57B9;
+  /// Explicit monitor thresholds (0 = derive from rerand_difficulty_r via
+  /// MonitorConfig::from_difficulty) — the spec-level "monitor" overrides
+  /// land here so sweeps can pin Γ without recompiling.
+  std::uint64_t misprediction_threshold = 0;
+  std::uint64_t eviction_threshold = 0;
+  std::uint64_t tagged_misprediction_threshold = 0;
 };
+
+/// The one place the STBPU monitor config is derived from a ModelSpec —
+/// shared by BpuModel::create and make_engine so the legacy and
+/// devirtualized factories can never drift (their statistics must stay
+/// bit-identical). Explicit thresholds override the r-derived defaults.
+[[nodiscard]] inline core::MonitorConfig monitor_config_for(const ModelSpec& spec,
+                                                            bool separate_tagged) {
+  core::MonitorConfig cfg =
+      core::MonitorConfig::from_difficulty(spec.rerand_difficulty_r, separate_tagged);
+  if (spec.misprediction_threshold != 0) {
+    cfg.misprediction_threshold = spec.misprediction_threshold;
+  }
+  if (spec.eviction_threshold != 0) cfg.eviction_threshold = spec.eviction_threshold;
+  if (spec.tagged_misprediction_threshold != 0) {
+    cfg.tagged_misprediction_threshold = spec.tagged_misprediction_threshold;
+  }
+  return cfg;
+}
 
 /// The context/mode-switch flush policy of §VII-B1, shared verbatim by the
 /// legacy BpuModel and the devirtualized engine so the two can never drift

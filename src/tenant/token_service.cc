@@ -1,0 +1,379 @@
+#include "tenant/token_service.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace stbpu::tenant {
+
+namespace {
+
+std::uint64_t hash_id(TenantId id) noexcept {
+  std::uint64_t s = id;
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+TokenService::TokenService(const TokenServiceConfig& cfg,
+                           std::vector<core::MonitorConfig> qos_classes)
+    : cfg_(cfg), qos_(std::move(qos_classes)) {
+  if (qos_.empty()) qos_.emplace_back();
+  const std::uint32_t shard_bits = std::min<std::uint32_t>(cfg_.shard_bits, 16);
+  shards_.resize(std::size_t{1} << shard_bits);
+  for (Shard& s : shards_) {
+    // One bucket per capacity slot keeps expected chain length ≤ 1 at full
+    // occupancy; rounded up to a power of two for mask indexing.
+    std::size_t buckets = 1;
+    while (buckets < cfg_.shard_capacity) buckets <<= 1;
+    s.buckets.assign(buckets, kNone);
+    s.slab.reserve(std::min<std::size_t>(cfg_.shard_capacity, 1u << 12));
+  }
+  const std::size_t slots =
+      std::min<std::size_t>(cfg_.pid_slots, 0xFFFFu - cfg_.first_pid);
+  slots_.resize(std::max<std::size_t>(slots, 1));
+  free_slots_.reserve(slots_.size());
+  // Pop order is ascending: slot 0 (pid first_pid) binds first, which keeps
+  // the single-tenant context deterministic.
+  for (std::size_t i = slots_.size(); i > 0; --i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+std::uint32_t TokenService::shard_of(TenantId id) const noexcept {
+  // Top hash bits pick the shard, bottom bits pick the bucket — the two
+  // stay independent.
+  const unsigned bits = 31 - static_cast<unsigned>(__builtin_clz(
+                                 static_cast<std::uint32_t>(shards_.size())));
+  return bits == 0 ? 0 : static_cast<std::uint32_t>(hash_id(id) >> (64 - bits));
+}
+
+std::uint32_t TokenService::bucket_of(const Shard& s, TenantId id) const {
+  return static_cast<std::uint32_t>(hash_id(id) & (s.buckets.size() - 1));
+}
+
+std::uint32_t TokenService::find(Shard& s, TenantId id, std::uint32_t& probe) {
+  ++stats_.lookups;
+  std::uint32_t idx = s.buckets[bucket_of(s, id)];
+  while (idx != kNone) {
+    ++probe;
+    ++stats_.probe_steps;
+    if (s.slab[idx].id == id) return idx;
+    idx = s.slab[idx].next;
+  }
+  return kNone;
+}
+
+const TokenService::Entry* TokenService::find_const(TenantId id) const {
+  const Shard& s = shards_[shard_of(id)];
+  std::uint32_t idx = s.buckets[hash_id(id) & (s.buckets.size() - 1)];
+  while (idx != kNone) {
+    if (s.slab[idx].id == id) return &s.slab[idx];
+    idx = s.slab[idx].next;
+  }
+  return nullptr;
+}
+
+void TokenService::unlink(Shard& s, std::uint32_t idx) {
+  std::uint32_t* link = &s.buckets[bucket_of(s, s.slab[idx].id)];
+  while (*link != idx) link = &s.slab[*link].next;
+  *link = s.slab[idx].next;
+  s.slab[idx].next = kNone;
+}
+
+std::uint32_t TokenService::clock_evict(std::uint32_t si, Shard& s) {
+  (void)si;
+  const std::size_t n = s.slab.size();
+  for (std::size_t sweep = 0; sweep < 2 * n; ++sweep) {
+    const std::uint32_t i = s.hand;
+    s.hand = (s.hand + 1 == n) ? 0 : s.hand + 1;
+    Entry& e = s.slab[i];
+    if (e.state == TenantState::kLive) continue;  // scheduled — pinned
+    if (e.referenced) {
+      e.referenced = false;  // second chance
+      continue;
+    }
+    // Evict: drop the table entry. If the tenant still holds a pid binding
+    // (COLD but bound), hand the slot back to the free pool; the slot's
+    // ever_used flag forces every future occupant through the
+    // retire/set_token/rerandomize install paths, so the stale ST left in
+    // STManager can never be served to another tenant.
+    if (e.slot != kNone && e.slot < slots_.size() && slots_[e.slot].bound &&
+        slots_[e.slot].tenant == e.id) {
+      if (slots_[e.slot].live) continue;  // scheduled under another state — pinned
+      slots_[e.slot].bound = false;
+      free_slots_.push_back(e.slot);
+    }
+    unlink(s, i);
+    ++stats_.evictions;
+    --live_entries_;
+    return i;
+  }
+  return kNone;
+}
+
+std::uint32_t TokenService::insert(std::uint32_t si, Shard& s, TenantId id,
+                                   std::uint8_t qos) {
+  std::uint32_t idx;
+  if (!s.free_list.empty()) {
+    idx = s.free_list.back();
+    s.free_list.pop_back();
+  } else if (s.slab.size() < cfg_.shard_capacity) {
+    idx = static_cast<std::uint32_t>(s.slab.size());
+    s.slab.emplace_back();
+  } else {
+    idx = clock_evict(si, s);
+    if (idx == kNone) return kNone;  // all LIVE — named kTableFull upstream
+  }
+  Entry& e = s.slab[idx];
+  e = Entry{};
+  e.id = id;
+  e.gen = s.generation;
+  e.qos = qos < qos_.size() ? qos : std::uint8_t{0};
+  e.referenced = true;
+  const std::uint32_t b = bucket_of(s, id);
+  e.next = s.buckets[b];
+  s.buckets[b] = idx;
+  ++live_entries_;
+  return idx;
+}
+
+AcquireStatus TokenService::register_tenant(TenantId id, std::uint8_t qos_class) {
+  ++stats_.registrations;
+  const std::uint32_t si = shard_of(id);
+  Shard& s = shards_[si];
+  std::uint32_t probe = 0;
+  std::uint32_t idx = find(s, id, probe);
+  if (idx != kNone) {
+    s.slab[idx].qos = qos_class < qos_.size() ? qos_class : std::uint8_t{0};
+    return AcquireStatus::kOk;
+  }
+  idx = insert(si, s, id, qos_class);
+  if (idx == kNone) {
+    ++stats_.table_full;
+    return AcquireStatus::kTableFull;
+  }
+  return AcquireStatus::kOk;
+}
+
+void TokenService::save_slot_state(std::uint32_t slot, core::STManager& stm,
+                                   core::EventMonitor* mon) {
+  PidSlot& ps = slots_[slot];
+  if (!ps.bound) return;
+  const bpu::ExecContext ctx = slot_ctx(slot);
+  Shard& s = shards_[shard_of(ps.tenant)];
+  std::uint32_t probe = 0;
+  const std::uint32_t idx = find(s, ps.tenant, probe);
+  if (idx != kNone) {
+    Entry& e = s.slab[idx];
+    // has_token probes without creating: a tenant that was bound but never
+    // ran a branch has no token, and saving must not perturb the engine
+    // PRNG's lazy draw order.
+    if (stm.has_token(ctx)) {
+      e.token = stm.token(ctx);
+      e.has_token = true;
+      if (mon != nullptr) {
+        e.budget = mon->remaining(ctx);
+        e.has_budget = true;
+      }
+    } else {
+      e.has_token = false;
+      e.has_budget = false;
+    }
+    e.slot = kNone;
+    if (e.state == TenantState::kLive) e.state = TenantState::kCold;
+  }
+  // The entity behind this pid is being replaced: kill its slot so the next
+  // occupant can never silently inherit the token (STManager::retire is the
+  // named fix for the old silent-reuse path).
+  stm.retire(ctx);
+  ps.bound = false;
+}
+
+std::uint32_t TokenService::take_slot(core::STManager& stm, core::EventMonitor* mon) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  const std::size_t n = slots_.size();
+  for (std::size_t sweep = 0; sweep < 2 * n; ++sweep) {
+    const std::uint32_t i = slot_hand_;
+    slot_hand_ = (slot_hand_ + 1 == n) ? 0 : slot_hand_ + 1;
+    PidSlot& ps = slots_[i];
+    if (ps.live) continue;
+    if (ps.referenced) {
+      ps.referenced = false;
+      continue;
+    }
+    save_slot_state(i, stm, mon);
+    return i;
+  }
+  return kNone;
+}
+
+TokenService::Acquired TokenService::acquire(TenantId id, core::STManager& stm,
+                                             core::EventMonitor* mon) {
+  ++stats_.acquires;
+  const std::uint32_t si = shard_of(id);
+  Shard& s = shards_[si];
+  Acquired out;
+  std::uint32_t idx = find(s, id, out.probe_steps);
+  if (idx == kNone) {
+    idx = insert(si, s, id, 0);
+    if (idx == kNone) {
+      ++stats_.table_full;
+      out.status = AcquireStatus::kTableFull;
+      return out;
+    }
+  }
+  Entry& e = s.slab[idx];
+  e.referenced = true;
+  const bool stale =
+      e.gen != s.generation || e.state == TenantState::kRerandomizing;
+
+  if (e.slot != kNone && e.slot < slots_.size() && slots_[e.slot].bound &&
+      slots_[e.slot].tenant == id) {
+    // Fast resume: the tenant's register images are still in place.
+    PidSlot& ps = slots_[e.slot];
+    out.ctx = slot_ctx(e.slot);
+    if (stale) {
+      stm.rerandomize(out.ctx);
+      if (mon != nullptr) {
+        mon->restore(out.ctx, core::EventMonitor::Remaining::full(qos_[e.qos]));
+      }
+      ++stats_.rekeys;
+      out.rekeyed = out.installed = true;
+    }
+    ps.live = true;
+    ps.referenced = true;
+    ++stats_.resumes;
+  } else {
+    const std::uint32_t slot = take_slot(stm, mon);
+    if (slot == kNone) {
+      ++stats_.pid_exhausted;
+      out.status = AcquireStatus::kPidSpaceExhausted;
+      return out;
+    }
+    PidSlot& ps = slots_[slot];
+    out.ctx = slot_ctx(slot);
+    if (ps.ever_used) ++stats_.slot_recycles;
+    ps.tenant = id;
+    ps.bound = true;
+    ps.live = true;
+    ps.referenced = true;
+    e.slot = slot;
+    if (stale) {
+      // Invalidated or explicitly marked: fresh ST from the on-chip PRNG
+      // (whatever the slot held is overwritten), full QoS budget.
+      stm.rerandomize(out.ctx);
+      if (mon != nullptr) {
+        mon->set_config(out.ctx, qos_[e.qos]);
+        mon->restore(out.ctx, core::EventMonitor::Remaining::full(qos_[e.qos]));
+      }
+      ++stats_.rekeys;
+      out.rekeyed = out.installed = true;
+    } else if (e.has_token) {
+      // Returning tenant: restore its saved ST register + monitor image.
+      stm.set_token(out.ctx, e.token);
+      if (mon != nullptr) {
+        mon->set_config(out.ctx, qos_[e.qos]);
+        mon->restore(out.ctx, e.has_budget
+                                  ? e.budget
+                                  : core::EventMonitor::Remaining::full(qos_[e.qos]));
+      }
+      ++stats_.installs;
+      out.installed = true;
+    } else if (ps.ever_used) {
+      // Fresh tenant on a recycled pid: retire the previous occupant's slot
+      // so the engine PRNG lazily draws a fresh ST on first use.
+      stm.retire(out.ctx);
+      if (mon != nullptr) {
+        mon->set_config(out.ctx, qos_[e.qos]);
+        mon->restore(out.ctx, core::EventMonitor::Remaining::full(qos_[e.qos]));
+      }
+      ++stats_.fresh_tokens;
+      out.installed = true;
+    } else {
+      // Fresh tenant on a never-used pid: issue ZERO engine calls and let
+      // STManager/EventMonitor lazily materialize — this is the
+      // single-tenant bit-identity path. A non-default QoS class still has
+      // to be programmed before the monitor's first reload.
+      if (e.qos != 0 && mon != nullptr) {
+        mon->set_config(out.ctx, qos_[e.qos]);
+        out.installed = true;
+      }
+    }
+    ps.ever_used = true;
+  }
+
+  e.gen = s.generation;
+  e.state = TenantState::kLive;
+  // Whatever was saved is now stale: the live images belong to the engine.
+  e.has_token = false;
+  e.has_budget = false;
+  return out;
+}
+
+void TokenService::release(TenantId id) {
+  ++stats_.releases;
+  Shard& s = shards_[shard_of(id)];
+  std::uint32_t probe = 0;
+  const std::uint32_t idx = find(s, id, probe);
+  if (idx == kNone) return;
+  Entry& e = s.slab[idx];
+  if (e.state == TenantState::kLive) e.state = TenantState::kCold;
+  if (e.slot != kNone && e.slot < slots_.size() && slots_[e.slot].tenant == id) {
+    slots_[e.slot].live = false;
+  }
+}
+
+void TokenService::invalidate_shard(std::uint32_t shard) {
+  Shard& s = shards_[shard % shards_.size()];
+  ++stats_.invalidations;
+  if (++s.generation == 0) {
+    // u32 wrap (once per 4G invalidations): restamp every entry with the
+    // always-stale sentinel 0 and restart at 1 — same discipline as the
+    // remap memo-cache's generation wrap.
+    for (Entry& e : s.slab) {
+      e.gen = 0;
+      ++stats_.invalidation_entry_touches;
+    }
+    s.generation = 1;
+  }
+}
+
+void TokenService::invalidate_all_shards() {
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) invalidate_shard(i);
+}
+
+bool TokenService::mark_rerandomize(TenantId id) {
+  Shard& s = shards_[shard_of(id)];
+  std::uint32_t probe = 0;
+  const std::uint32_t idx = find(s, id, probe);
+  if (idx == kNone) return false;
+  s.slab[idx].state = TenantState::kRerandomizing;
+  return true;
+}
+
+bool TokenService::contains(TenantId id) const { return find_const(id) != nullptr; }
+
+TenantState TokenService::state(TenantId id) const {
+  const Entry* e = find_const(id);
+  if (e == nullptr) return TenantState::kCold;
+  const Shard& s = shards_[shard_of(id)];
+  if (e->state != TenantState::kLive && e->gen != s.generation) {
+    return TenantState::kRerandomizing;  // stale generation ⇒ re-key pending
+  }
+  return e->state;
+}
+
+void TokenService::debug_set_shard_generation(std::uint32_t shard, std::uint32_t gen) {
+  shards_[shard % shards_.size()].generation = gen == 0 ? 1 : gen;
+}
+
+std::uint32_t TokenService::debug_shard_generation(std::uint32_t shard) const {
+  return shards_[shard % shards_.size()].generation;
+}
+
+}  // namespace stbpu::tenant

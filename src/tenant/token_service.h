@@ -1,0 +1,214 @@
+// Multi-tenant ψ-token service: the OS-side layer between millions of
+// logical tenants (users/contexts) and the bounded per-core machinery the
+// paper models (STManager's per-pid ST register image, EventMonitor's
+// per-pid MSR counters).
+//
+// The paper's hardware holds ONE ST register per hart; the OS saves and
+// restores it on context switches (§IV). STManager simulates that as one
+// token per pid — but pids are 16-bit and a server-class deployment has
+// millions of live contexts. This service closes the gap exactly the way
+// an OS does: tenants are 64-bit ids living in a sharded token table, and
+// only the tenants currently scheduled on the core occupy one of a small
+// pool of engine pids. Scheduling a tenant onto a pid ("acquire") restores
+// its saved ST + monitor budget; descheduling ("release") is O(1) — the
+// state is saved lazily, only when the pid is actually recycled for
+// another tenant, which makes the common resume path free.
+//
+// Table layout (per shard):
+//   * power-of-two shard count; a tenant's shard is a splitmix64 hash of
+//     its id, so shard-level operations can't be steered by id choice;
+//   * slab + chained-bucket hash index + free list — entries never move,
+//     so (shard, slab index) is a stable handle;
+//   * a shard-local generation counter, mirroring the remap cache's
+//     ψ-tagged generation trick: invalidate_shard() bumps the counter
+//     (O(1), no sweep) and every entry stamped with an older generation is
+//     treated as RERANDOMIZING at its next acquire — it gets a fresh ST
+//     before it can touch the predictor again. Generation 0 is the
+//     always-stale sentinel; on u32 wrap the shard is swept once (entries
+//     restamped 0) and the counter restarts at 1;
+//   * clock-hand (second-chance) eviction: a full shard evicts the first
+//     unreferenced COLD tenant the hand finds. LIVE tenants are never
+//     evicted; a shard full of LIVE tenants reports kTableFull — a named
+//     error, never silent reuse.
+//
+// Per-tenant state machine (the dual-key-remap per-mapping idiom at scale):
+//   COLD --acquire--> LIVE --release--> COLD
+//   {COLD, LIVE} --mark_rerandomize / stale generation--> RERANDOMIZING
+//   RERANDOMIZING --acquire--> LIVE (with a fresh ST, counted as a rekey)
+//
+// QoS: each tenant carries a MonitorConfig class index (Γ_M/Γ_E as
+// per-tenant policy). Class 0 is by contract the engine's own monitor
+// config; installing a tenant programs its class into the per-pid monitor
+// slot, so an under-attack tenant can re-randomize 8× faster than its
+// neighbors without touching them.
+//
+// Single-tenant bit-identity contract: one tenant, QoS class 0, never
+// invalidated ⇒ the service issues ZERO STManager/EventMonitor calls
+// beyond what a plain replay does (its first acquire binds a never-used
+// pid and lets STManager draw the token lazily on first use). The
+// tenant_churn scenario asserts the resulting BranchStats equal
+// models::replay_engine bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/types.h"
+#include "core/monitor.h"
+#include "core/secret_token.h"
+
+namespace stbpu::tenant {
+
+using TenantId = std::uint64_t;
+
+enum class TenantState : std::uint8_t { kCold, kLive, kRerandomizing };
+
+enum class AcquireStatus : std::uint8_t {
+  kOk,
+  kTableFull,          ///< shard full of LIVE tenants — registration refused
+  kPidSpaceExhausted,  ///< every engine pid slot is LIVE right now
+};
+
+struct TokenServiceConfig {
+  std::uint32_t shard_bits = 6;        ///< 2^bits shards (power of two)
+  std::uint32_t shard_capacity = 1u << 14;  ///< entries per shard
+  std::uint16_t pid_slots = 256;       ///< resident contexts (engine pid pool)
+  std::uint16_t first_pid = 1;         ///< pool occupies [first_pid, first_pid+slots)
+  std::uint64_t seed = 0x7E4A97;       ///< reserved for service-side randomness
+};
+
+struct ServiceStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t resumes = 0;        ///< acquire reused the tenant's live binding
+  std::uint64_t slot_recycles = 0;  ///< a pid was rebound to a different tenant
+  std::uint64_t installs = 0;       ///< saved ST written back (set_token)
+  std::uint64_t fresh_tokens = 0;   ///< retire-path fresh entities on a used pid
+  std::uint64_t rekeys = 0;         ///< generation/mark-driven re-randomizations
+  std::uint64_t evictions = 0;      ///< clock-hand table evictions
+  std::uint64_t table_full = 0;
+  std::uint64_t pid_exhausted = 0;
+  std::uint64_t invalidations = 0;  ///< shard generation bumps
+  /// Entries touched by invalidations — stays 0 except on a generation
+  /// wrap sweep; the O(1)-invalidation test pins it.
+  std::uint64_t invalidation_entry_touches = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t probe_steps = 0;  ///< hash-chain steps across all lookups
+};
+
+class TokenService {
+ public:
+  explicit TokenService(const TokenServiceConfig& cfg,
+                        std::vector<core::MonitorConfig> qos_classes);
+
+  /// Add (or re-class) a tenant. May clock-evict a COLD tenant to make
+  /// room; returns kTableFull when its shard is pinned by LIVE tenants.
+  AcquireStatus register_tenant(TenantId id, std::uint8_t qos_class = 0);
+
+  struct Acquired {
+    AcquireStatus status = AcquireStatus::kOk;
+    bpu::ExecContext ctx{};      ///< engine context to run the tenant under
+    std::uint32_t probe_steps = 0;  ///< hash-chain steps of this lookup
+    bool rekeyed = false;        ///< fresh ST (RERANDOMIZING / stale gen)
+    bool installed = false;      ///< any STManager/monitor state was written
+  };
+
+  /// Schedule `id` onto an engine pid, restoring (or freshening) its ST and
+  /// monitor budget. Auto-registers unknown tenants in QoS class 0.
+  Acquired acquire(TenantId id, core::STManager& stm, core::EventMonitor* mon);
+
+  /// Deschedule: O(1) state flip to COLD. The pid binding is kept so an
+  /// immediate re-acquire is free; state is saved only when the pid is
+  /// recycled for someone else.
+  void release(TenantId id);
+
+  /// O(1) shard-wide invalidation: every tenant in the shard re-keys at its
+  /// next acquire. No entry is touched (except the once-per-4G wrap sweep).
+  void invalidate_shard(std::uint32_t shard);
+  void invalidate_all_shards();
+
+  /// Force one tenant to re-key at next acquire (targeted response, e.g.
+  /// its own monitor tripped at the service level).
+  bool mark_rerandomize(TenantId id);
+
+  [[nodiscard]] bool contains(TenantId id) const;
+  [[nodiscard]] TenantState state(TenantId id) const;  ///< kCold if unknown
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint32_t shard_of(TenantId id) const noexcept;
+  [[nodiscard]] std::uint64_t size() const noexcept { return live_entries_; }
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const core::MonitorConfig& qos_class(std::uint8_t cls) const {
+    return qos_[cls < qos_.size() ? cls : 0];
+  }
+
+  /// Test hook: place a shard's generation near the u32 wrap point so the
+  /// wrap sweep is reachable without 4G invalidations.
+  void debug_set_shard_generation(std::uint32_t shard, std::uint32_t gen);
+  [[nodiscard]] std::uint32_t debug_shard_generation(std::uint32_t shard) const;
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFF'FFFFu;
+
+  struct Entry {
+    TenantId id = 0;
+    core::SecretToken token{};              ///< saved ST (when has_token)
+    core::EventMonitor::Remaining budget{};  ///< saved monitor image
+    std::uint32_t gen = 0;    ///< shard generation stamp at last acquire
+    std::uint32_t next = kNone;  ///< hash-bucket chain
+    std::uint32_t slot = kNone;  ///< bound pid slot (kNone = unbound)
+    TenantState state = TenantState::kCold;
+    std::uint8_t qos = 0;
+    bool has_token = false;
+    bool has_budget = false;
+    bool referenced = false;  ///< clock-hand second-chance bit
+  };
+
+  struct Shard {
+    std::uint32_t generation = 1;
+    std::vector<std::uint32_t> buckets;  ///< head slab index or kNone
+    std::vector<Entry> slab;
+    std::vector<std::uint32_t> free_list;
+    std::uint32_t hand = 0;  ///< clock hand over the slab
+  };
+
+  struct PidSlot {
+    TenantId tenant = 0;
+    bool bound = false;
+    bool live = false;      ///< currently acquired (never recycled/evicted)
+    bool ever_used = false; ///< some tenant ran under this pid before
+    bool referenced = false;
+  };
+
+  [[nodiscard]] std::uint32_t bucket_of(const Shard& s, TenantId id) const;
+  /// Lookup within a shard; counts probe steps. Returns slab index or kNone.
+  std::uint32_t find(Shard& s, TenantId id, std::uint32_t& probe);
+  [[nodiscard]] const Entry* find_const(TenantId id) const;
+  /// Insert (evicting if needed); kNone on kTableFull.
+  std::uint32_t insert(std::uint32_t si, Shard& s, TenantId id, std::uint8_t qos);
+  /// Clock-hand sweep for an evictable COLD entry; kNone if all pinned.
+  std::uint32_t clock_evict(std::uint32_t si, Shard& s);
+  void unlink(Shard& s, std::uint32_t idx);
+  /// Pick a pid slot for a new binding, saving the victim's state.
+  std::uint32_t take_slot(core::STManager& stm, core::EventMonitor* mon);
+  void save_slot_state(std::uint32_t slot, core::STManager& stm,
+                       core::EventMonitor* mon);
+  [[nodiscard]] bpu::ExecContext slot_ctx(std::uint32_t slot) const noexcept {
+    return {.pid = static_cast<std::uint16_t>(cfg_.first_pid + slot),
+            .hart = 0,
+            .kernel = false};
+  }
+
+  TokenServiceConfig cfg_;
+  std::vector<core::MonitorConfig> qos_;
+  std::vector<Shard> shards_;
+  std::vector<PidSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t slot_hand_ = 0;
+  std::uint64_t live_entries_ = 0;
+  ServiceStats stats_;
+};
+
+}  // namespace stbpu::tenant

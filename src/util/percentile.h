@@ -1,0 +1,71 @@
+// Streaming p50/p99 accumulator: a fixed-budget reservoir (Vitter's
+// Algorithm R) over doubles. Under the budget it holds every sample, so
+// quantiles are exact nearest-rank; past the budget each new sample
+// replaces a uniformly chosen slot, keeping an unbiased uniform sample of
+// the whole stream. All randomness comes from an explicitly seeded
+// Xoshiro256, so two reservoirs fed the same stream with the same seed
+// report bit-identical quantiles — the tenant_churn tail metrics depend on
+// that for the CI compare gate.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace stbpu::util {
+
+class PercentileReservoir {
+ public:
+  static constexpr std::size_t kDefaultBudget = 4096;
+
+  explicit PercentileReservoir(std::size_t budget = kDefaultBudget,
+                               std::uint64_t seed = 0x9E11E5)
+      : budget_(budget == 0 ? 1 : budget), rng_(seed) {
+    samples_.reserve(std::min<std::size_t>(budget_, 1u << 16));
+  }
+
+  void add(double x) {
+    ++n_;
+    if (samples_.size() < budget_) {
+      samples_.push_back(x);
+    } else {
+      // Algorithm R: sample i (1-based) survives with probability budget/i.
+      const std::uint64_t j = rng_.below(n_);
+      if (j < budget_) samples_[static_cast<std::size_t>(j)] = x;
+    }
+    sorted_ = false;
+  }
+
+  /// Samples offered so far (not the retained count).
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  /// True while every offered sample is retained (quantiles are exact).
+  [[nodiscard]] bool exact() const noexcept { return n_ <= budget_; }
+
+  /// Nearest-rank quantile over the retained samples; 0.0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double m = static_cast<double>(samples_.size());
+    const double rank = std::ceil(std::clamp(q, 0.0, 1.0) * m);
+    const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t budget_;
+  Xoshiro256 rng_;
+  std::uint64_t n_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace stbpu::util

@@ -130,6 +130,31 @@ TEST_F(RemapCacheTest, HartSwitchDoesNotChangeValues) {
   EXPECT_EQ(cache_.btb_mode1(ip, hart0), cache_.btb_mode1(ip, hart1));
 }
 
+TEST_F(RemapCacheTest, GenerationWraparoundNeverServesStaleValues) {
+  // The generation tag is a u32 and 0 is the never-filled sentinel. Park
+  // the counter one step below the wrap: the next invalidate_all must
+  // hard-clear instead of wrapping onto 0 — otherwise every live entry
+  // (stamped 0xFFFFFFFF) would read as filled-at-sentinel and, worse, a
+  // second wrap could collide with surviving stamps from 4G bumps ago.
+  cache_.debug_set_generation(0xFFFF'FFFFu);
+  const std::uint64_t ip = 0x5151'6262'7373ULL;
+  const std::uint32_t psi_before = stm_.token(kUser).psi;
+  EXPECT_EQ(cache_.btb_mode1(ip, kUser), Remapper::r1(psi_before, ip));  // fill
+
+  stm_.set_token(kUser, SecretToken{.psi = 0x0BAD'F00D, .phi = 0});
+  const auto misses = cache_.stats().misses;
+  // The mutation-triggered invalidate_all wraps the counter: generation
+  // restarts at 1 and the filled entry must be gone, not resurrected.
+  EXPECT_EQ(cache_.btb_mode1(ip, kUser), Remapper::r1(0x0BAD'F00D, ip));
+  EXPECT_EQ(cache_.debug_generation(), 1u);
+  EXPECT_GT(cache_.stats().misses, misses) << "wrapped entry must not be served";
+
+  // And the sentinel discipline holds after the wrap: refill + hit works.
+  const auto hits = cache_.stats().hits;
+  EXPECT_EQ(cache_.btb_mode1(ip, kUser), Remapper::r1(0x0BAD'F00D, ip));
+  EXPECT_GT(cache_.stats().hits, hits);
+}
+
 TEST_F(RemapCacheTest, MatchesUncachedStbpuMappingLogic) {
   // The cache and the uncached logic see the same STManager: every function
   // must agree on every input, including the φ codec.

@@ -78,6 +78,55 @@ TEST(STManager, SeedsAreReproducible) {
   EXPECT_EQ(a.token(kKernel), b.token(kKernel));
 }
 
+TEST(STManager, RetireForcesFreshTokenOnPidReuse) {
+  STManager stm(1);
+  const SecretToken victim = stm.token(kUserA);
+  // Without retire, a recycled pid would silently serve the previous
+  // entity's ST — handing the successor the victim's usable history. The
+  // OS slot-recycling path closes that.
+  stm.retire(kUserA);
+  EXPECT_FALSE(stm.has_token(kUserA));
+  EXPECT_NE(stm.token(kUserA), victim)
+      << "successor under the recycled pid must draw a fresh ST";
+}
+
+TEST(STManager, RetireBumpsMutationsOnlyWhenSlotWasLive) {
+  STManager stm(1);
+  const std::uint64_t m0 = stm.mutations();
+  stm.retire(kUserA);  // never-filled slot: nothing to invalidate
+  EXPECT_EQ(stm.mutations(), m0) << "no-op retire must not thrash memo-caches";
+  (void)stm.token(kUserA);
+  stm.retire(kUserA);
+  EXPECT_GT(stm.mutations(), m0) << "memo-caches must drop the stale psi";
+}
+
+TEST(STManager, HasTokenProbesWithoutCreating) {
+  STManager a(9), b(9);
+  EXPECT_FALSE(a.has_token(kUserB));
+  EXPECT_TRUE(a.has_token(kKernel)) << "kernel entity always exists";
+  // The probe must not perturb the lazy PRNG draw order: both managers
+  // still hand kUserA the same first token.
+  EXPECT_EQ(a.token(kUserA), b.token(kUserA));
+}
+
+TEST(STManager, RetireNeverTouchesKernel) {
+  STManager stm(1);
+  const SecretToken k0 = stm.token(kKernel);
+  stm.retire(kKernel);
+  EXPECT_TRUE(stm.has_token(kKernel));
+  EXPECT_EQ(stm.token(kKernel), k0);
+}
+
+TEST(STManager, ValidSlotsCountsLiveEntities) {
+  STManager stm(1);
+  EXPECT_EQ(stm.valid_slots(), 0u);
+  (void)stm.token(kUserA);
+  (void)stm.token(kUserB);
+  EXPECT_EQ(stm.valid_slots(), 2u);
+  stm.retire(kUserA);
+  EXPECT_EQ(stm.valid_slots(), 1u);
+}
+
 // ------------------------------------------------------------- monitor ----
 
 TEST(EventMonitor, FiresAtMispredictionThreshold) {
@@ -144,6 +193,53 @@ TEST(EventMonitor, TaggedFoldsIntoBaseWithoutSeparateRegister) {
   mon.on_misprediction(kUserA, false);
   mon.on_misprediction(kUserA, true);
   EXPECT_EQ(mon.rerandomizations(), 1u);
+}
+
+TEST(EventMonitor, SaveRestoreRoundTripsRemaining) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 10, .eviction_threshold = 20});
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserA, false);
+  mon.on_btb_eviction(kUserA);
+  const auto saved = mon.remaining(kUserA);
+  EXPECT_EQ(saved.misp, 8u);
+  EXPECT_EQ(saved.evict, 19u);
+  // Another entity drains the slot's successor budget...
+  for (int i = 0; i < 7; ++i) mon.on_misprediction(kUserA, false);
+  // ...then the OS switches the original entity back in.
+  mon.restore(kUserA, saved);
+  EXPECT_EQ(mon.remaining(kUserA), saved) << "restored image must drain from 8";
+  for (int i = 0; i < 7; ++i) mon.on_misprediction(kUserA, false);
+  EXPECT_EQ(mon.rerandomizations(), 0u);
+  mon.on_misprediction(kUserA, false);
+  EXPECT_EQ(mon.rerandomizations(), 1u);
+}
+
+TEST(EventMonitor, PerSlotConfigOverridesReloads) {
+  STManager stm(1);
+  EventMonitor mon(&stm, {.misprediction_threshold = 100, .eviction_threshold = 100});
+  // QoS: pid 1 gets an 8x stricter budget than the monitor-wide config.
+  mon.set_config(kUserA, {.misprediction_threshold = 2, .eviction_threshold = 100});
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserA, false);
+  EXPECT_EQ(mon.rerandomizations(), 1u) << "strict per-slot threshold fired";
+  mon.on_misprediction(kUserB, false);
+  EXPECT_EQ(mon.remaining(kUserB).misp, 99u) << "other slots keep the global config";
+  // The override also governs the post-fire reload.
+  mon.on_misprediction(kUserA, false);
+  mon.on_misprediction(kUserA, false);
+  EXPECT_EQ(mon.rerandomizations(), 2u);
+}
+
+TEST(EventMonitor, RemainingFullMatchesReload) {
+  const MonitorConfig plain{.misprediction_threshold = 7, .eviction_threshold = 9};
+  const auto f = EventMonitor::Remaining::full(plain);
+  EXPECT_EQ(f.misp, 7u);
+  EXPECT_EQ(f.evict, 9u);
+  EXPECT_EQ(f.tagged, ~std::uint64_t{0}) << "no tagged register: never fires";
+  const MonitorConfig tagged{.misprediction_threshold = 7, .eviction_threshold = 9,
+                             .tagged_misprediction_threshold = 5};
+  EXPECT_EQ(EventMonitor::Remaining::full(tagged).tagged, 5u);
 }
 
 TEST(EventMonitor, FromDifficultyScalesThresholds) {

@@ -39,6 +39,10 @@ TEST(ExperimentSpec, JsonRoundTrip) {
   spec.points = {2, 5, 9};
   spec.trace_file = "/tmp/trace.bin";
   spec.seed = 77;
+  spec.monitor.difficulty_r = 0.0625;
+  spec.monitor.misprediction_threshold = 1000;
+  spec.monitor.eviction_threshold = 500;
+  spec.monitor.tagged_misprediction_threshold = 250;
   spec.cache_stats = true;
   spec.stall_stats = true;
 
@@ -148,14 +152,63 @@ TEST(ExperimentSpec, RejectsNegativeNumericFields) {
   EXPECT_NE(err.find("non-negative"), std::string::npos) << err;
 }
 
+TEST(ExperimentSpec, MonitorOverridesRoundTripAndDefaultsAreOmitted) {
+  ExperimentSpec spec;
+  spec.scenario = "fig6_rsweep";
+  // Unset monitor overrides must not appear in the serialization (older
+  // spec files stay byte-stable).
+  EXPECT_EQ(spec.to_json().find("monitor"), std::string::npos);
+
+  spec.monitor.difficulty_r = 0.05;
+  spec.monitor.eviction_threshold = 26'500;
+  const std::string text = spec.to_json();
+  EXPECT_NE(text.find("\"monitor\""), std::string::npos);
+  EXPECT_NE(text.find("difficulty_r"), std::string::npos);
+  EXPECT_EQ(text.find("misprediction_threshold"), std::string::npos)
+      << "unset fields inside the monitor object are omitted too";
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(json_parse(text, doc, err)) << err;
+  ExperimentSpec back;
+  ASSERT_TRUE(ExperimentSpec::from_json(doc, back, err)) << err;
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ExperimentSpec, RejectsMalformedMonitorOverrides) {
+  JsonValue doc;
+  std::string err;
+  ExperimentSpec out;
+
+  ASSERT_TRUE(json_parse(
+      R"({"scenario": "x", "monitor": {"typo_threshold": 5}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("typo_threshold"), std::string::npos) << err;
+
+  ASSERT_TRUE(json_parse(
+      R"({"scenario": "x", "monitor": {"difficulty_r": -0.5}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("positive"), std::string::npos) << err;
+
+  ASSERT_TRUE(json_parse(
+      R"({"scenario": "x", "monitor": {"difficulty_r": 0}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err))
+      << "zero means unset and may not be written explicitly";
+
+  ASSERT_TRUE(json_parse(
+      R"({"scenario": "x", "monitor": {"misprediction_threshold": -3}})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+}
+
 TEST(Registry, BuiltinScenarios) {
   register_builtin_scenarios();
   register_builtin_scenarios();  // idempotent
   const char* expected[] = {"fig2_remapgen",  "fig3_oae",       "fig4_single",
                             "fig5_smt",       "fig6_rsweep",    "ablation",
                             "sec6_empirical", "sec6_thresholds", "table1_attack_surface",
-                            "table2_remap_functions", "ooo_engine", "mix_batch"};
-  EXPECT_EQ(all_scenarios().size(), 12u);
+                            "table2_remap_functions", "ooo_engine", "mix_batch",
+                            "tenant_churn"};
+  EXPECT_EQ(all_scenarios().size(), 13u);
   for (const char* name : expected) {
     EXPECT_NE(find_scenario(name), nullptr) << name;
   }
@@ -172,6 +225,8 @@ TEST(Registry, GridShapes) {
   EXPECT_EQ(find_scenario("fig4_single")->point_labels(spec).size(), 76u);
   // A quick-scale fig6: 4 base pairs + 6 r values × 4 pairs.
   EXPECT_EQ(find_scenario("fig6_rsweep")->point_labels(spec).size(), 28u);
+  // tenant_churn: 1 / 1K / 32K / 1M / 1M-under-eviction-pressure.
+  EXPECT_EQ(find_scenario("tenant_churn")->point_labels(spec).size(), 5u);
 }
 
 TEST(Json, ParsesAndRejects) {

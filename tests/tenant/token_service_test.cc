@@ -1,0 +1,348 @@
+// Multi-tenant ψ-token service: state machine, pid-slot save/restore,
+// clock-hand eviction, O(1) shard invalidation, QoS classes, and the churn
+// driver's single-tenant bit-identity anchor.
+#include "tenant/token_service.h"
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/secret_token.h"
+#include "models/engine.h"
+#include "sim/stats.h"
+#include "tenant/churn.h"
+#include "trace/generator.h"
+#include "trace/profile.h"
+#include "trace/stream.h"
+
+namespace stbpu::tenant {
+namespace {
+
+TokenServiceConfig tiny(std::uint32_t shard_bits, std::uint32_t capacity,
+                        std::uint16_t pid_slots) {
+  TokenServiceConfig cfg;
+  cfg.shard_bits = shard_bits;
+  cfg.shard_capacity = capacity;
+  cfg.pid_slots = pid_slots;
+  return cfg;
+}
+
+TEST(TokenService, LifecycleColdLiveCold) {
+  core::STManager stm(1);
+  TokenService svc(tiny(2, 16, 4), {core::MonitorConfig{}});
+  EXPECT_FALSE(svc.contains(42));
+  EXPECT_EQ(svc.state(42), TenantState::kCold) << "unknown tenants read as COLD";
+
+  EXPECT_EQ(svc.register_tenant(42), AcquireStatus::kOk);
+  EXPECT_TRUE(svc.contains(42));
+  EXPECT_EQ(svc.state(42), TenantState::kCold);
+  EXPECT_EQ(svc.size(), 1u);
+
+  const auto a = svc.acquire(42, stm, nullptr);
+  ASSERT_EQ(a.status, AcquireStatus::kOk);
+  EXPECT_EQ(svc.state(42), TenantState::kLive);
+  EXPECT_FALSE(a.ctx.kernel);
+  EXPECT_GE(a.ctx.pid, 1u);
+
+  svc.release(42);
+  EXPECT_EQ(svc.state(42), TenantState::kCold);
+
+  // Immediate re-acquire is a free resume onto the same pid.
+  const auto b = svc.acquire(42, stm, nullptr);
+  EXPECT_EQ(b.ctx, a.ctx);
+  EXPECT_EQ(svc.stats().resumes, 1u);
+  EXPECT_EQ(svc.stats().slot_recycles, 0u);
+}
+
+TEST(TokenService, AcquireAutoRegistersUnknownTenants) {
+  core::STManager stm(1);
+  TokenService svc(tiny(2, 16, 4), {core::MonitorConfig{}});
+  const auto a = svc.acquire(7, stm, nullptr);
+  EXPECT_EQ(a.status, AcquireStatus::kOk);
+  EXPECT_TRUE(svc.contains(7));
+  EXPECT_EQ(svc.state(7), TenantState::kLive);
+}
+
+TEST(TokenService, SavedTokenIsRestoredAcrossSlotRecycling) {
+  core::STManager stm(0xFEED);
+  // One pid slot: every tenant change recycles it.
+  TokenService svc(tiny(0, 16, 1), {core::MonitorConfig{}});
+
+  const auto a1 = svc.acquire(/*A=*/10, stm, nullptr);
+  ASSERT_EQ(a1.status, AcquireStatus::kOk);
+  const core::SecretToken tok_a = stm.token(a1.ctx);  // engine's lazy draw
+  svc.release(10);
+
+  const auto b = svc.acquire(/*B=*/20, stm, nullptr);
+  ASSERT_EQ(b.status, AcquireStatus::kOk);
+  EXPECT_EQ(b.ctx, a1.ctx) << "single slot must be recycled";
+  EXPECT_EQ(svc.stats().slot_recycles, 1u);
+  const core::SecretToken tok_b = stm.token(b.ctx);
+  EXPECT_NE(tok_b, tok_a) << "recycled pid must never serve the victim's ST";
+  svc.release(20);
+
+  const auto a2 = svc.acquire(10, stm, nullptr);
+  ASSERT_EQ(a2.status, AcquireStatus::kOk);
+  EXPECT_TRUE(a2.installed);
+  EXPECT_FALSE(a2.rekeyed);
+  EXPECT_EQ(stm.token(a2.ctx), tok_a)
+      << "returning tenant gets its saved ST back (OS context-switch restore)";
+  EXPECT_EQ(svc.stats().installs, 1u);
+}
+
+TEST(TokenService, MonitorBudgetIsSavedAndRestored) {
+  core::STManager stm(3);
+  core::EventMonitor mon(&stm, {.misprediction_threshold = 10, .eviction_threshold = 10});
+  TokenService svc(tiny(0, 16, 1), {mon.config()});
+
+  const auto a1 = svc.acquire(10, stm, &mon);
+  (void)stm.token(a1.ctx);
+  mon.on_misprediction(a1.ctx, false);
+  mon.on_misprediction(a1.ctx, false);
+  mon.on_misprediction(a1.ctx, false);
+  svc.release(10);
+
+  (void)svc.acquire(20, stm, &mon);  // recycles the slot, saving A's image
+  svc.release(20);
+
+  const auto a2 = svc.acquire(10, stm, &mon);
+  EXPECT_EQ(mon.remaining(a2.ctx).misp, 7u)
+      << "restored budget must continue draining where the tenant left off";
+}
+
+TEST(TokenService, ClockHandEvictsColdKeepsLive) {
+  core::STManager stm(1);
+  // One shard of 2 entries, plenty of pid slots.
+  TokenService svc(tiny(0, 2, 4), {core::MonitorConfig{}});
+  ASSERT_EQ(svc.register_tenant(1), AcquireStatus::kOk);
+  ASSERT_EQ(svc.register_tenant(2), AcquireStatus::kOk);
+
+  (void)svc.acquire(1, stm, nullptr);
+  (void)svc.acquire(2, stm, nullptr);  // both LIVE — table pinned
+  EXPECT_EQ(svc.register_tenant(3), AcquireStatus::kTableFull)
+      << "a shard full of LIVE tenants is a named error, never silent reuse";
+  EXPECT_EQ(svc.stats().table_full, 1u);
+
+  svc.release(1);
+  EXPECT_EQ(svc.register_tenant(3), AcquireStatus::kOk)
+      << "COLD tenant is evictable once the hand clears its reference bit";
+  EXPECT_EQ(svc.stats().evictions, 1u);
+  EXPECT_FALSE(svc.contains(1));
+  EXPECT_TRUE(svc.contains(2));
+  EXPECT_TRUE(svc.contains(3));
+}
+
+TEST(TokenService, EvictedBoundTenantFreesItsSlotSafely) {
+  core::STManager stm(5);
+  TokenService svc(tiny(0, 2, 2), {core::MonitorConfig{}});
+  const auto a = svc.acquire(1, stm, nullptr);
+  const core::SecretToken tok_a = stm.token(a.ctx);
+  svc.release(1);  // COLD but still bound to its pid slot
+
+  (void)svc.acquire(2, stm, nullptr);
+  svc.release(2);
+  // Shard full; registering two more evicts the cold bound tenants.
+  ASSERT_EQ(svc.register_tenant(3), AcquireStatus::kOk);
+  ASSERT_EQ(svc.register_tenant(4), AcquireStatus::kOk);
+  EXPECT_EQ(svc.stats().evictions, 2u);
+
+  // The evicted tenants' slots were handed back: new tenants bind without
+  // recycling pressure and must not inherit the stale ST left behind.
+  const auto c = svc.acquire(3, stm, nullptr);
+  ASSERT_EQ(c.status, AcquireStatus::kOk);
+  EXPECT_NE(stm.token(c.ctx), tok_a)
+      << "slot recycled after table eviction must still isolate tokens";
+}
+
+TEST(TokenService, PidSpaceExhaustionIsNamed) {
+  core::STManager stm(1);
+  TokenService svc(tiny(2, 16, 2), {core::MonitorConfig{}});
+  ASSERT_EQ(svc.acquire(1, stm, nullptr).status, AcquireStatus::kOk);
+  ASSERT_EQ(svc.acquire(2, stm, nullptr).status, AcquireStatus::kOk);
+  EXPECT_EQ(svc.acquire(3, stm, nullptr).status, AcquireStatus::kPidSpaceExhausted);
+  EXPECT_EQ(svc.stats().pid_exhausted, 1u);
+  svc.release(1);
+  EXPECT_EQ(svc.acquire(3, stm, nullptr).status, AcquireStatus::kOk)
+      << "released slot becomes recyclable";
+}
+
+TEST(TokenService, InvalidationIsO1RegardlessOfTenantCount) {
+  core::STManager stm(1);
+  // Same shard geometry, 64x different population: the generation bump
+  // must touch zero entries either way — that is the O(1) claim.
+  for (const std::uint64_t n : {std::uint64_t{1024}, std::uint64_t{65536}}) {
+    TokenService svc(tiny(4, 1u << 13, 8), {core::MonitorConfig{}});
+    for (std::uint64_t t = 0; t < n; ++t) (void)svc.register_tenant(t + 1);
+    svc.invalidate_all_shards();
+    EXPECT_EQ(svc.stats().invalidations, svc.shard_count());
+    EXPECT_EQ(svc.stats().invalidation_entry_touches, 0u)
+        << "invalidation cost must be independent of " << n << " tenants";
+  }
+}
+
+TEST(TokenService, InvalidatedTenantRekeysAtNextAcquire) {
+  core::STManager stm(8);
+  TokenService svc(tiny(0, 16, 2), {core::MonitorConfig{}});
+  const auto a1 = svc.acquire(5, stm, nullptr);
+  const core::SecretToken before = stm.token(a1.ctx);
+  svc.release(5);
+
+  svc.invalidate_shard(svc.shard_of(5));
+  EXPECT_EQ(svc.state(5), TenantState::kRerandomizing)
+      << "stale generation reads as re-key pending";
+  const auto a2 = svc.acquire(5, stm, nullptr);
+  EXPECT_TRUE(a2.rekeyed);
+  EXPECT_NE(stm.token(a2.ctx), before) << "fresh ST after shard invalidation";
+  EXPECT_EQ(svc.stats().rekeys, 1u);
+}
+
+TEST(TokenService, MarkRerandomizeForcesFreshKey) {
+  core::STManager stm(8);
+  TokenService svc(tiny(1, 16, 2), {core::MonitorConfig{}});
+  const auto a1 = svc.acquire(5, stm, nullptr);
+  const core::SecretToken before = stm.token(a1.ctx);
+  EXPECT_TRUE(svc.mark_rerandomize(5));
+  EXPECT_FALSE(svc.mark_rerandomize(999)) << "unknown tenant";
+  const auto a2 = svc.acquire(5, stm, nullptr);
+  EXPECT_TRUE(a2.rekeyed);
+  EXPECT_NE(stm.token(a2.ctx), before);
+}
+
+TEST(TokenService, ShardGenerationWraparound) {
+  core::STManager stm(1);
+  TokenService svc(tiny(0, 16, 2), {core::MonitorConfig{}});
+  for (TenantId t = 1; t <= 5; ++t) (void)svc.register_tenant(t);
+
+  svc.debug_set_shard_generation(0, 0xFFFF'FFFFu);
+  svc.invalidate_shard(0);
+  EXPECT_EQ(svc.debug_shard_generation(0), 1u)
+      << "wrap restarts at 1 — 0 stays the always-stale sentinel";
+  EXPECT_EQ(svc.stats().invalidation_entry_touches, 5u)
+      << "the once-per-4G sweep restamps every entry";
+
+  // Entries restamped 0 are stale under the new generation: no tenant can
+  // read as fresh after the wrap.
+  const auto a = svc.acquire(3, stm, nullptr);
+  EXPECT_TRUE(a.rekeyed) << "post-wrap acquire must re-key, never resurrect";
+}
+
+TEST(TokenService, QosClassProgramsPerTenantThresholds) {
+  core::STManager stm(2);
+  core::EventMonitor mon(&stm, {.misprediction_threshold = 100, .eviction_threshold = 100});
+  // Class 1: 50x stricter misprediction budget.
+  TokenService svc(tiny(0, 16, 4),
+                   {mon.config(),
+                    {.misprediction_threshold = 2, .eviction_threshold = 100}});
+  ASSERT_EQ(svc.register_tenant(1, /*qos=*/0), AcquireStatus::kOk);
+  ASSERT_EQ(svc.register_tenant(2, /*qos=*/1), AcquireStatus::kOk);
+  EXPECT_EQ(svc.qos_class(1).misprediction_threshold, 2u);
+
+  const auto a = svc.acquire(1, stm, &mon);
+  const auto b = svc.acquire(2, stm, &mon);
+  mon.on_misprediction(a.ctx, false);
+  mon.on_misprediction(a.ctx, false);
+  mon.on_misprediction(b.ctx, false);
+  mon.on_misprediction(b.ctx, false);
+  EXPECT_EQ(mon.rerandomizations(), 1u)
+      << "only the strict-class tenant's register fired";
+  EXPECT_EQ(mon.remaining(a.ctx).misp, 98u) << "class-0 tenant untouched";
+}
+
+TEST(TokenService, SingleTenantVirginPathIssuesZeroEngineCalls) {
+  core::STManager stm(0xBEEF);
+  TokenService svc(TokenServiceConfig{}, {core::MonitorConfig{}});
+  ASSERT_EQ(svc.register_tenant(1), AcquireStatus::kOk);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = svc.acquire(1, stm, nullptr);
+    ASSERT_EQ(a.status, AcquireStatus::kOk);
+    EXPECT_FALSE(a.installed);
+    EXPECT_FALSE(a.rekeyed);
+    svc.release(1);
+  }
+  EXPECT_EQ(stm.mutations(), 0u)
+      << "the bit-identity contract: no STManager writes on the virgin path";
+  EXPECT_EQ(stm.valid_slots(), 0u) << "no token was drawn";
+}
+
+// ------------------------------------------------------------ churn ----
+
+ChurnResult churn_once(const models::ModelSpec& mspec,
+                       const std::vector<bpu::BranchRecord>& base,
+                       const ChurnConfig& cfg) {
+  ChurnResult r;
+  auto engine = models::make_engine(mspec);
+  models::visit_engine(*engine, [&](auto& e) {
+    const core::MonitorConfig mon_cfg =
+        e.monitor() != nullptr ? e.monitor()->config() : core::MonitorConfig{};
+    r = run_churn(e, base, cfg, {mon_cfg});
+  });
+  return r;
+}
+
+std::vector<bpu::BranchRecord> workload(std::uint64_t n) {
+  trace::SyntheticWorkloadGenerator gen(trace::profile_by_name("mcf"));
+  std::vector<bpu::BranchRecord> base = trace::collect(gen, n);
+  for (bpu::BranchRecord& r : base) {
+    r.ctx = {.pid = 1, .hart = 0, .kernel = false};
+  }
+  return base;
+}
+
+TEST(ChurnDriver, SingleTenantBitIdenticalToReplay) {
+  const auto base = workload(60'000);
+  const models::ModelSpec mspec{.model = models::ModelKind::kStbpu};
+  ChurnConfig cfg;
+  cfg.tenants = 1;
+  cfg.max_branches = 50'000;
+  cfg.warmup_branches = 10'000;
+  const ChurnResult churn = churn_once(mspec, base, cfg);
+
+  auto ref_engine = models::make_engine(mspec);
+  trace::VectorStream stream(base);
+  const sim::BranchStats ref = models::replay_engine(
+      *ref_engine, stream, {.max_branches = 50'000, .warmup_branches = 10'000});
+  EXPECT_TRUE(ref == churn.stats)
+      << "1-tenant churn must be bit-identical to plain replay (got oae "
+      << churn.stats.oae() << " vs " << ref.oae() << ")";
+  EXPECT_EQ(churn.service.installs, 0u);
+  EXPECT_EQ(churn.service.rekeys, 0u);
+}
+
+TEST(ChurnDriver, DeterministicForFixedSeed) {
+  const auto base = workload(20'000);
+  const models::ModelSpec mspec{.model = models::ModelKind::kStbpu};
+  ChurnConfig cfg;
+  cfg.tenants = 1024;
+  cfg.storm_passes = 2;
+  cfg.max_branches = 15'000;
+  cfg.warmup_branches = 5'000;
+  cfg.invalidate_every = 64;
+  const ChurnResult a = churn_once(mspec, base, cfg);
+  const ChurnResult b = churn_once(mspec, base, cfg);
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.service.acquires, b.service.acquires);
+  EXPECT_EQ(a.service.slot_recycles, b.service.slot_recycles);
+  EXPECT_EQ(a.service.rekeys, b.service.rekeys);
+  EXPECT_EQ(a.misp_p50, b.misp_p50);
+  EXPECT_EQ(a.misp_p99, b.misp_p99);
+  EXPECT_EQ(a.probe_p99, b.probe_p99);
+  EXPECT_EQ(a.tenants_touched, b.tenants_touched);
+}
+
+TEST(ChurnDriver, StormExercisesSlotRecycling) {
+  const auto base = workload(8'000);
+  const models::ModelSpec mspec{.model = models::ModelKind::kStbpu};
+  ChurnConfig cfg;
+  cfg.tenants = 4096;  // far more tenants than the 256-slot pid pool
+  cfg.storm_passes = 2;
+  cfg.max_branches = 6'000;
+  cfg.warmup_branches = 2'000;
+  const ChurnResult r = churn_once(mspec, base, cfg);
+  EXPECT_EQ(r.storm_acquires, 8192u);
+  EXPECT_GT(r.service.slot_recycles, 7000u)
+      << "storm must recycle pid slots, not resume";
+  EXPECT_EQ(r.failed_acquires, 0u);
+  EXPECT_GT(r.tenants_touched, 1u);
+}
+
+}  // namespace
+}  // namespace stbpu::tenant
