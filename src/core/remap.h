@@ -368,6 +368,15 @@ class Remapper {
                                                            unsigned row_bits) noexcept {
     return static_cast<std::uint32_t>(util::bits(m, 0, row_bits));
   }
+  [[nodiscard]] static constexpr std::uint32_t rt_index_from_mix(
+      std::uint64_t m, unsigned index_bits) noexcept {
+    return static_cast<std::uint32_t>(util::bits(m, 0, index_bits));
+  }
+  [[nodiscard]] static constexpr std::uint32_t rt_tag_from_mix(std::uint64_t m,
+                                                               unsigned tag_bits) noexcept {
+    // Tag drawn from a disjoint bit window so index/tag are not correlated.
+    return static_cast<std::uint32_t>(util::bits(m, 14, tag_bits));
+  }
 
   /// R1(80 ↦ 22): ψ + 48-bit address → BTB set/tag/offset.
   [[nodiscard]] static bpu::BtbIndex r1(std::uint32_t psi, std::uint64_t ip) noexcept {
@@ -400,7 +409,7 @@ class Remapper {
     const std::uint64_t m =
         detail::mix(ip & bpu::kVirtualAddressMask,
                     folded_hist ^ (std::uint64_t{table} << 58), psi, kTweakRtIndex);
-    return static_cast<std::uint32_t>(util::bits(m, 0, index_bits));
+    return rt_index_from_mix(m, index_bits);
   }
   [[nodiscard]] static std::uint32_t rt_tag(std::uint32_t psi, std::uint64_t ip,
                                             std::uint64_t folded_hist, unsigned table,
@@ -408,8 +417,7 @@ class Remapper {
     const std::uint64_t m =
         detail::mix(ip & bpu::kVirtualAddressMask,
                     folded_hist ^ (std::uint64_t{table} << 58), psi, kTweakRtTag);
-    // Tag drawn from a disjoint bit window so index/tag are not correlated.
-    return static_cast<std::uint32_t>(util::bits(m, 14, tag_bits));
+    return rt_tag_from_mix(m, tag_bits);
   }
 
   /// Rp(80 ↦ 10): ψ + 48-bit address → perceptron row.

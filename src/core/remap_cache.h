@@ -53,10 +53,12 @@ struct RemapCacheStats {
   // demand hit there — which is exactly the attribution the --cache-stats
   // side-channel wants.
   std::uint64_t batch_requests = 0;    ///< PredictRequests offered
+  std::uint64_t batch_rt_requests = 0; ///< TageRtRequests offered (precompute_rt)
   std::uint64_t batch_drops = 0;       ///< dropped (foreign ctx / no token yet)
   std::uint64_t batch_probe_hits = 0;  ///< probes already resident
   std::uint64_t batch_fills = 0;       ///< compacted misses computed + filled
   std::uint64_t fn_batch_fills[kFnCount] = {};
+  std::uint64_t fn_batch_probe_hits[kFnCount] = {};
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -94,7 +96,12 @@ class CachedStbpuMapping {
   static constexpr unsigned kSiteBits = 12;   ///< R1/R3/Rp: 4096 entries
   static constexpr unsigned kHistBits = 10;   ///< R2/R4: 1024 entries
   static constexpr unsigned kR34Bits = 12;    ///< fused R3+R4: 4096 entries
-  static constexpr unsigned kTageBits = 11;   ///< Rt index/tag: 2048 entries
+  // Rt index/tag: 4096 entries each. Sized like r34_: these two caches
+  // double as the staging buffer of the TAGE precompute window (64 records
+  // x num_tables keys per cache per window = 384-640 keys), so 4096 slots
+  // keep per-key self-eviction in the same ~10% band the r34_ sizing note
+  // above establishes for the 512-record SKLCond window.
+  static constexpr unsigned kTageBits = 12;
 
   explicit CachedStbpuMapping(STManager* stm)
       : stm_(stm),
@@ -239,6 +246,11 @@ class CachedStbpuMapping {
     bool r1 = true;
     bool r34 = false;        ///< fused PHT indexes; consumes PredictRequest::ghr
     bool rp = false;         ///< perceptron row
+    bool rt = false;         ///< TAGE Rt index/tag — served by the typed
+                             ///< precompute_rt() overload (TageRtRequest
+                             ///< carries the folded history PredictRequest
+                             ///< cannot), this flag gates the engine's
+                             ///< shadow fold-forward walk
     unsigned rp_row_bits = 0;
   };
 
@@ -280,6 +292,7 @@ class CachedStbpuMapping {
         if ((e.gen == generation_ && e.psi == psi && e.k0 == a) ||
             r1l.pending(a, 0, s)) {
           ++stats_.batch_probe_hits;
+          ++stats_.fn_batch_probe_hits[RemapCacheStats::kR1];
         } else {
           r1l.add(a, 0, a, 0, s);
           if (r1l.n == kMixLanes) flush_r1(r1l, psi);
@@ -293,6 +306,7 @@ class CachedStbpuMapping {
           if ((e.gen == generation_ && e.psi == psi && e.k0 == a && e.k1 == g) ||
               r34l.pending(a, g, s)) {
             ++stats_.batch_probe_hits;
+            ++stats_.fn_batch_probe_hits[RemapCacheStats::kR34];
           } else {
             r34l.add(a, g, a, g, s);
             if (r34l.n == kMixLanes) flush_r34(r34l, psi);
@@ -306,6 +320,7 @@ class CachedStbpuMapping {
           if ((e.gen == generation_ && e.psi == psi && e.k0 == k0) ||
               rpl.pending(k0, 0, s)) {
             ++stats_.batch_probe_hits;
+            ++stats_.fn_batch_probe_hits[RemapCacheStats::kRp];
           } else {
             rpl.add(a, 0, k0, 0, s);
             if (rpl.n == kMixLanes) flush_rp(rpl, psi, sel.rp_row_bits);
@@ -316,6 +331,51 @@ class CachedStbpuMapping {
     flush_r1(r1l, psi);
     flush_r34(r34l, psi);
     flush_rp(rpl, psi, sel.rp_row_bits);
+  }
+
+  /// TAGE Rt batch probe/fill — the per-table sibling of precompute().
+  /// Each request keys ONE tagged table's index and tag under the current
+  /// ψ; the engine's shadow fold-forward walk emits num_tables of these per
+  /// lookahead branch. Probes mirror the tage_index/tage_tag demand keys
+  /// exactly ((ip, out_bits) low word, (folded, table) high word), misses
+  /// compact into two lanes (index and tag carry different tweaks, so they
+  /// batch separately), and fills are bit-identical to a demand compute.
+  /// Token discipline is identical to precompute(): never fetches a token,
+  /// drops foreign-context requests and whole spans under pending mutation.
+  void precompute_rt(std::span<const bpu::TageRtRequest> reqs, unsigned index_bits,
+                     unsigned tag_bits) const {
+    stats_.batch_rt_requests += reqs.size();
+    if (!token_valid_ || stm_->mutations() != mutation_snapshot_) {
+      stats_.batch_drops += reqs.size();
+      return;
+    }
+    const std::uint32_t psi = token_.psi;
+    RtLanes il, tl;
+    for (const bpu::TageRtRequest& q : reqs) {
+      if (q.ctx.pid != token_pid_ || q.ctx.kernel != token_kernel_) {
+        ++stats_.batch_drops;
+        continue;
+      }
+      // No probe-before-fill here, unlike precompute(): TAGE folds change
+      // on every branch, so measured probe-hit rates are ~0.2% — the two
+      // extra random cache-line reads per request cost more than the
+      // redundant mixes they avoid. Fills are bit-identical recomputes, so
+      // overwriting a warm (or duplicate in-window) entry is harmless.
+      //
+      // The lanes carry only (address, folded|table): the packed folded
+      // keys occupy bits 0..55 and table<<58 bits 58..61, so the demand
+      // path's mix operand `folded ^ (table << 58)` equals the cache key
+      // `folded | (table << 58)` — one combined word serves as both, and
+      // flush_rt reconstructs k0 and the slot from it.
+      const std::uint64_t a = q.ip & bpu::kVirtualAddressMask;
+      const std::uint64_t tbl = std::uint64_t{q.table} << 58;
+      il.add(a, q.folded_index | tbl);
+      if (il.n == kMixLanes) flush_rt(il, psi, index_bits, /*is_tag=*/false);
+      tl.add(a, q.folded_tag | tbl);
+      if (tl.n == kMixLanes) flush_rt(tl, psi, tag_bits, /*is_tag=*/true);
+    }
+    flush_rt(il, psi, index_bits, /*is_tag=*/false);
+    flush_rt(tl, psi, tag_bits, /*is_tag=*/true);
   }
 
   /// Empty every cached entry (O(1) generation bump). Called by the engine
@@ -424,25 +484,45 @@ class CachedStbpuMapping {
     }
   };
 
+  /// Minimal lane pair for the Rt batch: the combined (folded | table<<58)
+  /// word doubles as mix operand and exact cache key (disjoint bit fields,
+  /// see precompute_rt), so nothing else needs staging per miss.
+  struct RtLanes {
+    std::uint64_t lo[kMixLanes];
+    std::uint64_t hi[kMixLanes];
+    unsigned n = 0;
+
+    void add(std::uint64_t lo_v, std::uint64_t hi_v) noexcept {
+      lo[n] = lo_v;
+      hi[n] = hi_v;
+      ++n;
+    }
+  };
+
   /// Mix every pending lane under one (ψ, tweak): full batches go through
   /// the interleaved kernel, remainders through scalar mix() — identical
   /// outputs either way, so fills are indistinguishable from demand fills.
   template <std::uint64_t Tweak>
-  void mix_lanes(const MissLanes& l, std::uint32_t psi,
-                 std::uint64_t (&m)[kMixLanes]) const {
-    if (l.n == kMixLanes) {
+  void mix_lanes(const std::uint64_t (&lo)[kMixLanes], const std::uint64_t (&hi)[kMixLanes],
+                 unsigned n, std::uint32_t psi, std::uint64_t (&m)[kMixLanes]) const {
+    if (n == kMixLanes) {
       // Dispatches to the AVX2 nibble-shuffle kernel when the host has it,
       // else byte-LUT lanes — NOT the 16-bit LUT: in isolation LUT16
       // batches are ~28% faster (mix_batch scenario), but their 256 KiB of
       // tables evict the predictor/PHT working set in-context, while the
       // byte LUTs stay resident in 512 bytes and the AVX2 S-boxes live in
       // registers outright.
-      detail::mix_batch_dispatch<kMixLanes>(l.lo, l.hi, psi, Tweak, m);
+      detail::mix_batch_dispatch<kMixLanes>(lo, hi, psi, Tweak, m);
     } else {
-      for (unsigned i = 0; i < l.n; ++i) {
-        m[i] = detail::mix(l.lo[i], l.hi[i], psi, Tweak);
+      for (unsigned i = 0; i < n; ++i) {
+        m[i] = detail::mix(lo[i], hi[i], psi, Tweak);
       }
     }
+  }
+  template <std::uint64_t Tweak>
+  void mix_lanes(const MissLanes& l, std::uint32_t psi,
+                 std::uint64_t (&m)[kMixLanes]) const {
+    mix_lanes<Tweak>(l.lo, l.hi, l.n, psi, m);
   }
 
   void flush_r1(MissLanes& l, std::uint32_t psi) const {
@@ -511,6 +591,33 @@ class CachedStbpuMapping {
     }
     stats_.batch_fills += l.n;
     stats_.fn_batch_fills[RemapCacheStats::kRp] += l.n;
+    l.n = 0;
+  }
+
+  void flush_rt(RtLanes& l, std::uint32_t psi, unsigned out_bits, bool is_tag) const {
+    if (l.n == 0) return;
+    std::uint64_t m[kMixLanes];
+    if (is_tag) {
+      mix_lanes<Remapper::kTweakRtTag>(l.lo, l.hi, l.n, psi, m);
+    } else {
+      mix_lanes<Remapper::kTweakRtIndex>(l.lo, l.hi, l.n, psi, m);
+    }
+    std::vector<Entry2<std::uint32_t>>& table = is_tag ? rt_tag_ : rt_index_;
+    const std::uint64_t bits_hi = std::uint64_t{out_bits} << 48;
+    for (unsigned i = 0; i < l.n; ++i) {
+      const std::uint64_t k0 = l.lo[i] | bits_hi;
+      const std::uint64_t k1 = l.hi[i];
+      Entry2<std::uint32_t>& e = table[slot2<kTageBits>(k0, k1)];
+      e.k0 = k0;
+      e.k1 = k1;
+      e.psi = psi;
+      e.gen = generation_;
+      e.value = is_tag ? Remapper::rt_tag_from_mix(m[i], out_bits)
+                       : Remapper::rt_index_from_mix(m[i], out_bits);
+    }
+    stats_.batch_fills += l.n;
+    stats_.fn_batch_fills[is_tag ? RemapCacheStats::kRtTag : RemapCacheStats::kRtIndex] +=
+        l.n;
     l.n = 0;
   }
 

@@ -67,6 +67,7 @@ inline void append_cache_stats(PointResult& p, const core::RemapCacheStats& s) {
       .set("cache_misses", s.misses)
       .set("cache_invalidations", s.invalidations)
       .set("cache_batch_requests", s.batch_requests)
+      .set("cache_batch_rt_requests", s.batch_rt_requests)
       .set("cache_batch_drops", s.batch_drops)
       .set("cache_batch_probe_hits", s.batch_probe_hits)
       .set("cache_batch_fills", s.batch_fills);
@@ -74,6 +75,9 @@ inline void append_cache_stats(PointResult& p, const core::RemapCacheStats& s) {
     const std::string base = std::string("cache_") + core::RemapCacheStats::fn_name(f);
     p.set(base + "_hits", s.fn_hits[f]).set(base + "_misses", s.fn_misses[f]);
     if (s.fn_batch_fills[f] != 0) p.set(base + "_batch_fills", s.fn_batch_fills[f]);
+    if (s.fn_batch_probe_hits[f] != 0) {
+      p.set(base + "_batch_probe_hits", s.fn_batch_probe_hits[f]);
+    }
   }
 }
 

@@ -185,11 +185,16 @@ class Fig4Scenario final : public ScenarioBase {
       const double branches =
           static_cast<double>(opt.warmup_branches + opt.max_branches);
 
-      // Interleave repetitions of both paths and keep each path's best
-      // time; every repetition rebuilds its model so both start cold.
-      double legacy_secs = 1e300, devirt_secs = 1e300;
+      // Interleave repetitions of all three arms and keep each arm's best
+      // time; every repetition rebuilds its model so all start cold. The
+      // third arm replays the same devirtualized engine binary with window
+      // precompute disabled (BpuSimOptions::precompute = false), so
+      // precompute_speedup is a same-binary A/B of the batch pipeline.
+      double legacy_secs = 1e300, devirt_secs = 1e300, noprec_secs = 1e300;
       core::RemapCacheStats cache_stats;
-      sim::BranchStats legacy_stats, devirt_stats;
+      sim::BranchStats legacy_stats, devirt_stats, noprec_stats;
+      sim::BpuSimOptions opt_off = opt;
+      opt_off.precompute = false;
       for (unsigned rep = 0; rep < 3; ++rep) {
         stream.reset();
         auto legacy = models::BpuModel::create(mspec);
@@ -205,16 +210,27 @@ class Fig4Scenario final : public ScenarioBase {
         if (rep == 0) {
           cache_stats = models::engine_remap_cache_stats(*engine);
         }
+
+        stream.reset();
+        auto off_engine = models::make_engine(mspec);
+        sw.restart();
+        noprec_stats = models::replay_engine(*off_engine, stream, opt_off);
+        noprec_secs = std::min(noprec_secs, std::max(sw.seconds(), 1e-9));
       }
       const double legacy_bps = branches / legacy_secs;
       const double devirt_bps = branches / devirt_secs;
+      const double noprec_bps = branches / noprec_secs;
+      const bool identical =
+          legacy_stats == devirt_stats && legacy_stats == noprec_stats;
       p.set("section", "throughput")
           .set("legacy_branches_per_sec", legacy_bps)
           .set("devirt_branches_per_sec", devirt_bps)
+          .set("noprecompute_branches_per_sec", noprec_bps)
           .set("branches_per_sec", devirt_bps)
           .set("speedup", devirt_bps / legacy_bps)
+          .set("precompute_speedup", devirt_bps / noprec_bps)
           .set("remap_cache_hit_rate", cache_stats.hit_rate())
-          .set("identical_stats", legacy_stats == devirt_stats ? "true" : "false");
+          .set("identical_stats", identical ? "true" : "false");
       if (spec.cache_stats) append_cache_stats(p, cache_stats);
       return p;
     }

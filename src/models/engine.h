@@ -79,21 +79,31 @@ class EngineT final : public bpu::IPredictor {
   /// lookahead requests must then carry a speculative GHR.
   static constexpr bool kGhrLookahead =
       std::is_same_v<Direction, bpu::SklCondPredictorT<Mapping>>;
+  /// True when the direction predictor keys its tables on per-table folded
+  /// geometric histories (TAGE) — the lookahead then replicates the fold
+  /// state in a shadow fold-forward walk and emits Rt key requests.
+  static constexpr bool kTageLookahead =
+      std::is_same_v<Direction, tage::TagePredictorT<Mapping>>;
   /// True when this engine's precompute actually does work — the gate
   /// front ends (the integer-tick sim::OooCoreT's lookahead window and its
   /// double-precision reference OooCoreRefT, sim::replay's chunked walk)
-  /// use to skip buffering/request-building on the 18 of 20
-  /// model×direction combos where precompute compiles to a no-op and the
-  /// bookkeeping would be pure per-record overhead.
-  static constexpr bool kBatchPrecompute = kBatchMapping && kGhrLookahead;
+  /// use to skip buffering/request-building on the model×direction combos
+  /// where precompute compiles to a no-op and the bookkeeping would be pure
+  /// per-record overhead.
+  static constexpr bool kBatchPrecompute =
+      kBatchMapping && (kGhrLookahead || kTageLookahead);
 
-  /// Largest span one precompute pass should cover. The fused R3+R4 cache
-  /// is direct-mapped: precomputing far more keys than it holds makes
-  /// fills evict each other before their demand access (wasting the
-  /// batched mix AND paying the scalar recompute). Callers with larger
-  /// windows — sim::replay's 4096-record runs, access_batch — precompute
-  /// in chunks of this size interleaved with the accesses.
-  static constexpr std::size_t kPrecomputeWindow = 512;
+  /// Largest span one precompute pass should cover. The staging caches are
+  /// direct-mapped: precomputing far more keys than they hold makes fills
+  /// evict each other before their demand access (wasting the batched mix
+  /// AND paying the scalar recompute). SKLCond emits one R4 key per
+  /// conditional into the 4096-entry fused cache, so 512 records fit with
+  /// ~12% self-eviction; TAGE emits num_tables (6-10) index AND tag keys
+  /// per conditional into each 4096-entry Rt cache, so the window shrinks
+  /// to 64 records to stay in the same self-eviction band. Callers with
+  /// larger windows — sim::replay's 4096-record runs, access_batch —
+  /// precompute in chunks of this size interleaved with the accesses.
+  static constexpr std::size_t kPrecomputeWindow = kTageLookahead ? 64 : 512;
 
   /// Warm the mapping caches for explicit requests (the raw API — callers
   /// that track their own speculative GHR, e.g. tests and attack studies).
@@ -168,33 +178,37 @@ class EngineT final : public bpu::IPredictor {
  private:
   /// Which R functions this engine's precompute warms, fixed by the
   /// direction-predictor type. Measured discipline, not completeness: only
-  /// the fused R3+R4 probe has a compulsory demand-miss rate worth paying
-  /// a per-record probe for (~0.75/branch — its history-keyed inputs are
-  /// genuinely fresh), so only GHR-keyed (SKLCond) engines precompute by
-  /// default. The address-keyed functions already memoize at ≥99% demand
-  /// hit rates (R1 ~99.4%, Rp ~99.7% on the fig4 workloads), so probing
-  /// them per lookahead record costs more than the handful of misses it
-  /// would batch; and TAGE's Rt keys fold per-table geometric histories a
-  /// lookahead cannot cheaply shadow. Both recorded honestly in
-  /// docs/API.md — the mapping-level API (PrecomputeSelect) still supports
-  /// r1/rp warming for callers that want it.
+  /// the history-keyed functions have compulsory demand-miss rates worth
+  /// paying a per-record probe for — the fused R3+R4 probe for SKLCond
+  /// (~0.75 misses/branch) and the per-table Rt index/tag pair for TAGE
+  /// (the folds change every branch, so nearly every key is fresh). The
+  /// address-keyed functions already memoize at ≥99% demand hit rates
+  /// (R1 ~99.4%, Rp ~99.7% on the fig4 workloads), so probing them per
+  /// lookahead record costs more than the handful of misses it would
+  /// batch. Recorded honestly in docs/API.md — the mapping-level API
+  /// (PrecomputeSelect) still supports r1/rp warming for callers that
+  /// want it.
   template <class M = Mapping>
   [[nodiscard]] typename M::PrecomputeSelect precompute_select() const {
     typename M::PrecomputeSelect sel;
     sel.r1 = false;
     sel.r34 = kGhrLookahead;
+    sel.rt = kTageLookahead;
     return sel;
   }
 
   /// Shared request-building walk: `at(i)` yields record i of the window.
-  /// The shadow GHR is seeded lazily per hart from the live predictor so a
-  /// window that never touches a hart never reads it. Compiles to nothing
-  /// unless this engine actually has functions worth warming (see
+  /// The shadow history is seeded lazily per hart from the live predictor
+  /// so a window that never touches a hart never reads it. Compiles to
+  /// nothing unless this engine actually has functions worth warming (see
   /// precompute_select) — engines with no batchable compulsory misses must
   /// not pay request-building overhead per record.
   template <class RecAt>
   void precompute_n(std::size_t n, RecAt&& at) {
-    if constexpr (kBatchPrecompute) {
+    if constexpr (kTageLookahead && kBatchMapping) {
+      if (n == 0) return;
+      precompute_tage_n(n, at);
+    } else if constexpr (kBatchPrecompute) {
       if (n == 0) return;
       reqs_.clear();
       reqs_.reserve(n);
@@ -221,6 +235,62 @@ class EngineT final : public bpu::IPredictor {
     }
   }
 
+  /// TAGE rendering of the request walk: a shadow fold-forward walk. Each
+  /// hart's complete fold state (history ring, per-table CSR folds, path) is
+  /// copied from the live predictor at its first history-advancing record in
+  /// the window, then advanced through Direction::ShadowHistory::advance —
+  /// the SAME advance the demand path runs at the end of each update()/
+  /// track(), so the shadow's (ip, folded, table) Rt keys are exactly the
+  /// keys the per-branch loop will demand. Conditionals emit one request per
+  /// tagged table (covering both the Rt index and Rt tag); taken
+  /// unconditionals advance the shadow without emitting (they consume no Rt
+  /// keys, but skipping their history push would derail every later fold).
+  /// Mis-speculation discard is structural, exactly as for the GHR walk: a
+  /// wrong trace outcome yields folded keys the demand path never asks for,
+  /// so the ψ+key-tagged cache entries simply age out — zero stat pollution.
+  template <class RecAt>
+  void precompute_tage_n(std::size_t n, RecAt&& at) {
+    const tage::TageConfig& cfg = core_.direction().config();
+    auto& sh = tage_shadow_.sh;
+    auto& reqs = tage_shadow_.reqs;
+    reqs.clear();
+    reqs.reserve(n * cfg.num_tables);
+    bool seeded[2] = {false, false};
+    for (std::size_t i = 0; i < n; ++i) {
+      const bpu::BranchRecord& rec = at(i);
+      const bool conditional = rec.type == bpu::BranchType::kConditional;
+      // Not-taken unconditionals neither consume Rt keys nor advance the
+      // history — invisible to the walk, exactly as to the predictor.
+      if (!conditional && !rec.taken) continue;
+      const unsigned h = rec.ctx.hart & 1;
+      if (!seeded[h]) {
+        core_.direction().seed_shadow(sh[h], static_cast<std::uint8_t>(h));
+        seeded[h] = true;
+      }
+      if (conditional) {
+        for (unsigned t = 0; t < cfg.num_tables; ++t) {
+          const std::uint64_t fi = Direction::folded_key(sh[h], t, /*for_tag=*/false);
+          reqs.push_back(bpu::TageRtRequest{.ip = rec.ip,
+                                            .folded_index = fi,
+                                            .folded_tag = Direction::tag_key(fi),
+                                            .table = t,
+                                            .ctx = rec.ctx});
+        }
+      }
+      sh[h].advance(conditional ? rec.taken : true, rec.ip);
+    }
+    if (!reqs.empty()) mapping_.precompute_rt(reqs, cfg.index_bits, cfg.tag_bits);
+  }
+
+  /// Shadow fold state + request scratch for TAGE lookahead engines. The
+  /// nested struct is only completed when kTageLookahead selects it, so
+  /// non-TAGE directions never require Direction::ShadowHistory to exist.
+  struct TageShadowState {
+    typename Direction::ShadowHistory sh[2];
+    std::vector<bpu::TageRtRequest> reqs;
+  };
+  struct NoShadowState {};
+
   ModelSpec spec_;
   std::unique_ptr<core::STManager> stm_;
   std::unique_ptr<core::EventMonitor> monitor_;
@@ -229,6 +299,9 @@ class EngineT final : public bpu::IPredictor {
   std::string name_;
   std::uint64_t flushes_ = 0;
   std::vector<bpu::PredictRequest> reqs_;  ///< reused precompute scratch
+  [[no_unique_address]] std::conditional_t<kTageLookahead && kBatchMapping,
+                                           TageShadowState, NoShadowState>
+      tage_shadow_;
 };
 
 /// Build the devirtualized engine for `spec`. Drop-in IPredictor

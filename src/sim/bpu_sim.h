@@ -25,6 +25,12 @@ namespace stbpu::sim {
 struct BpuSimOptions {
   std::uint64_t max_branches = 2'000'000;
   std::uint64_t warmup_branches = 100'000;  ///< excluded from the stats
+  /// Window precompute switch for batch-capable engines. Precompute is pure
+  /// cache warming (statistics are bit-identical either way), so this is an
+  /// A/B lever: scenarios run the same binary with precompute on and off to
+  /// measure the batch pipeline's speedup honestly rather than against a
+  /// separately compiled baseline.
+  bool precompute = true;
 };
 
 /// Batched replay of `stream` through `model` (anything with access() and
@@ -82,10 +88,14 @@ BranchStats replay(Model& model, trace::BranchStream& stream,
                       model.precompute_records(std::span<const bpu::BranchRecord>{});
                       requires Model::kBatchPrecompute;
                     }) {
-        for (std::size_t at = 0; at < n; at += Model::kPrecomputeWindow) {
-          const std::size_t c = std::min(Model::kPrecomputeWindow, n - at);
-          model.precompute_records(std::span<const bpu::BranchRecord>(run + at, c));
-          for (std::size_t i = 0; i < c; ++i) step(run[at + i]);
+        if (opt.precompute) {
+          for (std::size_t at = 0; at < n; at += Model::kPrecomputeWindow) {
+            const std::size_t c = std::min(Model::kPrecomputeWindow, n - at);
+            model.precompute_records(std::span<const bpu::BranchRecord>(run + at, c));
+            for (std::size_t i = 0; i < c; ++i) step(run[at + i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) step(run[i]);
         }
       } else {
         for (std::size_t i = 0; i < n; ++i) step(run[i]);
@@ -98,10 +108,14 @@ BranchStats replay(Model& model, trace::BranchStream& stream,
                       model.precompute_batch(batch, 0, n);
                       requires Model::kBatchPrecompute;
                     }) {
-        for (std::size_t at = 0; at < n; at += Model::kPrecomputeWindow) {
-          const std::size_t c = std::min(Model::kPrecomputeWindow, n - at);
-          model.precompute_batch(batch, at, at + c);
-          for (std::size_t i = 0; i < c; ++i) step(batch.record(at + i));
+        if (opt.precompute) {
+          for (std::size_t at = 0; at < n; at += Model::kPrecomputeWindow) {
+            const std::size_t c = std::min(Model::kPrecomputeWindow, n - at);
+            model.precompute_batch(batch, at, at + c);
+            for (std::size_t i = 0; i < c; ++i) step(batch.record(at + i));
+          }
+        } else {
+          for (std::size_t i = 0; i < n; ++i) step(batch.record(i));
         }
       } else {
         for (std::size_t i = 0; i < n; ++i) step(batch.record(i));

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -78,6 +79,97 @@ class TagePredictorT final : public bpu::IDirectionPredictor {
   [[nodiscard]] std::string_view name() const override { return cfg_.name; }
 
   [[nodiscard]] const TageConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::vector<unsigned>& history_lengths() const noexcept {
+    return history_lengths_;
+  }
+
+  /// Per-hart global history with incrementally maintained folded values
+  /// (standard TAGE circular-shift-register folding). Public because the
+  /// batch-native lookahead (models::EngineT::precompute_n) replicates this
+  /// exact state in a shadow fold-forward walk: the fold update is a pure
+  /// deterministic function of the branch outcome, so a lookahead that
+  /// advances a *copy* of this state produces the identical (ip, folded)
+  /// Rt keys the demand path will ask for.
+  struct HartState {
+    std::vector<std::uint8_t> history;  ///< circular buffer, newest at head
+    unsigned head = 0;
+    std::uint64_t path = 0;
+    // Folds in structure-of-arrays form: index folds occupy [0, n), tag
+    // folds [n, 2n) for n tables. The per-fold constants (outgoing-bit ring
+    // offset, insertion shift, folded width, value mask) are precomputed at
+    // construction so the advance loop below is pure shift/XOR arithmetic —
+    // the naive per-fold `% size` / `% comp_length` forms cost two hardware
+    // divides per fold per branch, which dominated the walk.
+    std::vector<std::uint32_t> fold_value;
+    std::vector<std::uint32_t> fold_back;   ///< ring offset of the outgoing bit
+    std::vector<std::uint32_t> fold_shift;  ///< orig_length % comp_length
+    std::vector<std::uint32_t> fold_comp;   ///< folded width
+    std::vector<std::uint32_t> fold_mask;   ///< (1 << comp) - 1
+
+    [[nodiscard]] std::uint32_t fold_index_value(unsigned table) const noexcept {
+      return fold_value[table];
+    }
+    [[nodiscard]] std::uint32_t fold_tag_value(unsigned table) const noexcept {
+      return fold_value[(fold_value.size() >> 1) + table];
+    }
+
+    /// Advance by one resolved branch: push the outcome bit, refresh every
+    /// table's folds (canonical TAGE circular folding: shift in the newest
+    /// bit, XOR out the bit leaving the history window), fold the path. The
+    /// ONE implementation of history advance — update(), track() and the
+    /// shadow walk all run this, so the shadow can never drift from the
+    /// live predictor.
+    void advance(bool taken, std::uint64_t ip) {
+      const unsigned size = static_cast<unsigned>(history.size());
+      head = head + 1 == size ? 0 : head + 1;
+      const std::uint32_t newest = taken ? 1u : 0u;
+      history[head] = static_cast<std::uint8_t>(newest);
+      const std::size_t nf = fold_value.size();
+      for (std::size_t j = 0; j < nf; ++j) {
+        unsigned idx = head + fold_back[j];
+        if (idx >= size) idx -= size;
+        std::uint32_t v = (fold_value[j] << 1) | newest;
+        v ^= static_cast<std::uint32_t>(history[idx]) << fold_shift[j];
+        v ^= v >> fold_comp[j];
+        fold_value[j] = v & fold_mask[j];
+      }
+      path = (path << 1) ^ util::bits(ip, 2, 16);
+    }
+  };
+  /// A shadow copy of one hart's fold state (same type — seed_shadow
+  /// copies, ShadowHistory::advance walks forward).
+  using ShadowHistory = HartState;
+
+  /// Copy hart `hart`'s live fold state into `sh` (vector assignments reuse
+  /// `sh`'s capacity — per-window seeding does not allocate in steady state).
+  void seed_shadow(ShadowHistory& sh, std::uint8_t hart) const {
+    const HartState& hs = harts_[hart & 1];
+    sh.history = hs.history;
+    sh.head = hs.head;
+    sh.path = hs.path;
+    sh.fold_value = hs.fold_value;
+    sh.fold_back = hs.fold_back;
+    sh.fold_shift = hs.fold_shift;
+    sh.fold_comp = hs.fold_comp;
+    sh.fold_mask = hs.fold_mask;
+  }
+
+  /// The 64-bit folded-history key handed to the mapping's Rt functions for
+  /// `table`: both folds plus a path slice, packed exactly as the demand
+  /// path packs them (folded_for delegates here — one source of truth).
+  [[nodiscard]] static std::uint64_t folded_key(const HartState& hs, unsigned table,
+                                                bool for_tag) noexcept {
+    const std::uint64_t base = static_cast<std::uint64_t>(hs.fold_index_value(table)) |
+                               (static_cast<std::uint64_t>(hs.fold_tag_value(table)) << 20) |
+                               (util::bits(hs.path, 0, 12) << 44);
+    return for_tag ? tag_key(base) : base;
+  }
+
+  /// Derive the tag-side packed key from the index-side one (callers that
+  /// need both avoid packing the base twice).
+  [[nodiscard]] static constexpr std::uint64_t tag_key(std::uint64_t base) noexcept {
+    return base ^ (base >> 7) ^ 0x5A5AULL;
+  }
 
  private:
   struct TaggedEntry {
@@ -95,23 +187,6 @@ class TagePredictorT final : public bpu::IDirectionPredictor {
     bool valid = false;
   };
 
-  /// Per-hart global history with incrementally maintained folded values
-  /// (standard TAGE circular-shift-register folding).
-  struct Folded {
-    std::uint32_t value = 0;
-    unsigned comp_length = 0;  ///< folded width
-    unsigned orig_length = 0;  ///< history length
-    void update(const std::vector<std::uint8_t>& hist, unsigned head);
-  };
-  struct HartState {
-    std::vector<std::uint8_t> history;  ///< circular buffer, newest at head
-    unsigned head = 0;
-    std::vector<Folded> folded_index;
-    std::vector<Folded> folded_tag;
-    std::uint64_t path = 0;
-    void push(bool taken, unsigned max_hist);
-  };
-
   struct TableMatch {
     int table = -1;  ///< -1: bimodal
     std::uint32_t index = 0;
@@ -123,6 +198,9 @@ class TagePredictorT final : public bpu::IDirectionPredictor {
                                          bool for_tag) const;
   [[nodiscard]] std::uint32_t bimodal_index(std::uint64_t ip,
                                             const bpu::ExecContext& ctx) const;
+  [[nodiscard]] std::uint32_t pht1_of(std::uint64_t ip, const bpu::ExecContext& ctx) const;
+  [[nodiscard]] std::uint32_t sc_row_of(std::uint64_t ip, const bpu::ExecContext& ctx) const;
+  void loop_keys(std::uint64_t ip, const bpu::ExecContext& ctx) const;
   void find_matches(std::uint64_t ip, const bpu::ExecContext& ctx, TableMatch& provider,
                     TableMatch& alt);
   [[nodiscard]] bool loop_predict(std::uint64_t ip, const bpu::ExecContext& ctx,
@@ -149,6 +227,9 @@ class TagePredictorT final : public bpu::IDirectionPredictor {
 
   // Transient state between predict() and update() for the same branch —
   // the simulator always pairs them, matching speculative update repair.
+  // ψ and the fold state are stable for the whole predict→update pair (the
+  // monitor fires at the end of the access, history advances at the end of
+  // update), so every cached value below is bit-identical to a recompute.
   struct Scratch {
     TableMatch provider, alt;
     bool tage_pred = false;
@@ -156,7 +237,22 @@ class TagePredictorT final : public bpu::IDirectionPredictor {
     bool loop_pred = false;
     bool sc_used = false;
     bool final_pred = false;
-  } scratch_;
+    // Prediction-time per-table indices (masked) and tags, valid for tables
+    // [computed_from, num_tables); update()'s allocate/aging paths reuse
+    // them instead of recomputing folds + mapping hashes per table.
+    std::vector<std::uint32_t> gi;
+    std::vector<std::uint32_t> gtag;
+    unsigned computed_from = 0;
+    // Lazily shared sub-keys (each otherwise computed 2-4x per branch).
+    std::uint32_t pht1 = 0;
+    std::uint32_t sc_row = 0;
+    std::uint32_t loop_row = 0;
+    std::uint32_t loop_tag = 0;
+    bool pht1_valid = false;
+    bool sc_row_valid = false;
+    bool loop_keys_valid = false;
+  };
+  mutable Scratch scratch_;
 };
 
 /// Legacy dynamic-dispatch instantiation (compiled once in tage.cc).
@@ -196,49 +292,65 @@ TagePredictorT<Mapping>::TagePredictorT(const TageConfig& cfg, const Mapping* ma
   for (auto& hs : harts_) {
     hs.history.assign(hist_buf, 0);
     hs.head = 0;
-    hs.folded_index.resize(cfg_.num_tables);
-    hs.folded_tag.resize(cfg_.num_tables);
-    for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-      hs.folded_index[t] = {.value = 0,
-                            .comp_length = cfg_.index_bits,
-                            .orig_length = history_lengths_[t]};
-      hs.folded_tag[t] = {.value = 0,
-                          .comp_length = cfg_.tag_bits,
-                          .orig_length = history_lengths_[t]};
+    hs.path = 0;
+    const unsigned n = cfg_.num_tables;
+    hs.fold_value.assign(2 * n, 0);
+    hs.fold_back.resize(2 * n);
+    hs.fold_shift.resize(2 * n);
+    hs.fold_comp.resize(2 * n);
+    hs.fold_mask.resize(2 * n);
+    for (unsigned t = 0; t < n; ++t) {
+      const unsigned len = history_lengths_[t];
+      // Index fold at slot t, tag fold at slot n + t.
+      const unsigned comps[2] = {cfg_.index_bits, cfg_.tag_bits};
+      for (unsigned half = 0; half < 2; ++half) {
+        const unsigned j = half * n + t;
+        hs.fold_back[j] = hist_buf - len % hist_buf;
+        hs.fold_shift[j] = len % comps[half];
+        hs.fold_comp[j] = comps[half];
+        hs.fold_mask[j] = (1u << comps[half]) - 1;
+      }
     }
   }
-}
-
-template <class Mapping>
-void TagePredictorT<Mapping>::Folded::update(const std::vector<std::uint8_t>& hist,
-                                             unsigned head) {
-  // Canonical TAGE circular folding: shift in the newest bit, XOR out the
-  // bit that leaves the history window.
-  const unsigned size = static_cast<unsigned>(hist.size());
-  const std::uint8_t newest = hist[head];
-  const std::uint8_t outgoing = hist[(head + size - orig_length % size) % size];
-  value = (value << 1) | newest;
-  value ^= static_cast<std::uint32_t>(outgoing) << (orig_length % comp_length);
-  value ^= value >> comp_length;
-  value &= (1u << comp_length) - 1;
-}
-
-template <class Mapping>
-void TagePredictorT<Mapping>::HartState::push(bool taken, unsigned /*max_hist*/) {
-  head = (head + 1) % history.size();
-  history[head] = taken ? 1 : 0;
+  scratch_.gi.resize(cfg_.num_tables);
+  scratch_.gtag.resize(cfg_.num_tables);
 }
 
 template <class Mapping>
 std::uint64_t TagePredictorT<Mapping>::folded_for(const HartState& hs, unsigned table,
                                                   bool for_tag) const {
-  const std::uint32_t fi = hs.folded_index[table].value;
-  const std::uint32_t ft = hs.folded_tag[table].value;
   // Pack both folds plus a path slice; the provider hashes everything.
-  const std::uint64_t base =
-      static_cast<std::uint64_t>(fi) | (static_cast<std::uint64_t>(ft) << 20) |
-      (util::bits(hs.path, 0, 12) << 44);
-  return for_tag ? (base ^ (base >> 7) ^ 0x5A5AULL) : base;
+  return folded_key(hs, table, for_tag);
+}
+
+template <class Mapping>
+std::uint32_t TagePredictorT<Mapping>::pht1_of(std::uint64_t ip,
+                                               const bpu::ExecContext& ctx) const {
+  if (!scratch_.pht1_valid) {
+    scratch_.pht1 = mapping_->pht_index_1level(ip, ctx);
+    scratch_.pht1_valid = true;
+  }
+  return scratch_.pht1;
+}
+
+template <class Mapping>
+std::uint32_t TagePredictorT<Mapping>::sc_row_of(std::uint64_t ip,
+                                                 const bpu::ExecContext& ctx) const {
+  if (!scratch_.sc_row_valid) {
+    scratch_.sc_row = mapping_->perceptron_row(ip, 10, ctx);
+    scratch_.sc_row_valid = true;
+  }
+  return scratch_.sc_row;
+}
+
+template <class Mapping>
+void TagePredictorT<Mapping>::loop_keys(std::uint64_t ip,
+                                        const bpu::ExecContext& ctx) const {
+  if (!scratch_.loop_keys_valid) {
+    scratch_.loop_row = mapping_->perceptron_row(ip, 6, ctx) & 63;
+    scratch_.loop_tag = mapping_->tage_tag(ip, 0, 63, 10, ctx);
+    scratch_.loop_keys_valid = true;
+  }
 }
 
 template <class Mapping>
@@ -247,7 +359,7 @@ std::uint32_t TagePredictorT<Mapping>::bimodal_index(std::uint64_t ip,
   // The base directional predictor is remapped through R3 under STBPU,
   // exactly like the baseline PHT (paper: attacks on the base predictor
   // drive the misprediction threshold).
-  return mapping_->pht_index_1level(ip, ctx) & ((1u << cfg_.bimodal_bits) - 1);
+  return pht1_of(ip, ctx) & ((1u << cfg_.bimodal_bits) - 1);
 }
 
 template <class Mapping>
@@ -256,16 +368,23 @@ void TagePredictorT<Mapping>::find_matches(std::uint64_t ip, const bpu::ExecCont
   provider = {};
   alt = {};
   const HartState& hs = harts_[ctx.hart & 1];
+  const std::uint32_t index_mask = (1u << cfg_.index_bits) - 1;
+  scratch_.computed_from = cfg_.num_tables;
   for (int t = static_cast<int>(cfg_.num_tables) - 1; t >= 0; --t) {
     const unsigned ut = static_cast<unsigned>(t);
     const std::uint32_t idx =
-        mapping_->tage_index(ip, folded_for(hs, ut, false), ut, cfg_.index_bits, ctx);
+        mapping_->tage_index(ip, folded_for(hs, ut, false), ut, cfg_.index_bits, ctx) &
+        index_mask;
     const std::uint32_t tag =
         mapping_->tage_tag(ip, folded_for(hs, ut, true), ut, cfg_.tag_bits, ctx);
-    const TaggedEntry& e = tables_[ut][idx & ((1u << cfg_.index_bits) - 1)];
+    // Cache prediction-time index/tag for update()'s allocate/aging reuse.
+    scratch_.gi[ut] = idx;
+    scratch_.gtag[ut] = tag;
+    scratch_.computed_from = ut;
+    const TaggedEntry& e = tables_[ut][idx];
     if (e.valid && e.tag == tag) {
       const TableMatch m{.table = t,
-                         .index = idx & ((1u << cfg_.index_bits) - 1),
+                         .index = idx,
                          .prediction = e.ctr.taken(),
                          .weak = e.ctr.value() == 0 || e.ctr.value() == -1};
       if (provider.table < 0) {
@@ -292,10 +411,9 @@ bool TagePredictorT<Mapping>::loop_predict(std::uint64_t ip, const bpu::ExecCont
                                            bool& valid) const {
   valid = false;
   if (!cfg_.use_loop_predictor) return false;
-  const std::uint32_t row = mapping_->perceptron_row(ip, 6, ctx) & 63;
-  const std::uint32_t tag = mapping_->tage_tag(ip, 0, 63, 10, ctx);
-  const LoopEntry& e = loop_[row];
-  if (e.valid && e.tag == tag && e.past_iters > 0 && e.conf.raw() == 3) {
+  loop_keys(ip, ctx);
+  const LoopEntry& e = loop_[scratch_.loop_row];
+  if (e.valid && e.tag == scratch_.loop_tag && e.past_iters > 0 && e.conf.raw() == 3) {
     valid = true;
     return e.current_iter != e.past_iters;  // taken until the trip end
   }
@@ -306,9 +424,9 @@ template <class Mapping>
 void TagePredictorT<Mapping>::loop_update(std::uint64_t ip, const bpu::ExecContext& ctx,
                                           bool taken) {
   if (!cfg_.use_loop_predictor) return;
-  const std::uint32_t row = mapping_->perceptron_row(ip, 6, ctx) & 63;
-  const std::uint32_t tag = mapping_->tage_tag(ip, 0, 63, 10, ctx);
-  LoopEntry& e = loop_[row];
+  loop_keys(ip, ctx);
+  const std::uint32_t tag = scratch_.loop_tag;
+  LoopEntry& e = loop_[scratch_.loop_row];
   if (!e.valid || e.tag != tag) {
     // Allocate on a not-taken outcome (potential loop exit) if the slot is
     // cold; never displace a confident entry.
@@ -342,13 +460,12 @@ template <class Mapping>
 int TagePredictorT<Mapping>::sc_sum(std::uint64_t ip, const bpu::ExecContext& ctx,
                                     bool tage_pred) const {
   const HartState& hs = harts_[ctx.hart & 1];
+  const std::uint32_t row = sc_row_of(ip, ctx);
   const std::uint32_t bias_idx =
-      ((mapping_->pht_index_1level(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
-  const std::uint32_t g0 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^ hs.folded_index[0].value) & ((1u << 10) - 1);
+      ((pht1_of(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
+  const std::uint32_t g0 = (row ^ hs.fold_index_value(0)) & ((1u << 10) - 1);
   const std::uint32_t g1 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^
-       (cfg_.num_tables > 2 ? hs.folded_index[2].value : hs.folded_index.back().value)) &
+      (row ^ hs.fold_index_value(cfg_.num_tables > 2 ? 2 : cfg_.num_tables - 1)) &
       ((1u << 10) - 1);
   int sum = 2 * sc_bias_[bias_idx].value() + 1;
   sum += 2 * sc_gehl_[0][g0].value() + 1;
@@ -361,13 +478,12 @@ template <class Mapping>
 void TagePredictorT<Mapping>::sc_update(std::uint64_t ip, const bpu::ExecContext& ctx,
                                         bool taken, bool tage_pred) {
   const HartState& hs = harts_[ctx.hart & 1];
+  const std::uint32_t row = sc_row_of(ip, ctx);
   const std::uint32_t bias_idx =
-      ((mapping_->pht_index_1level(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
-  const std::uint32_t g0 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^ hs.folded_index[0].value) & ((1u << 10) - 1);
+      ((pht1_of(ip, ctx) << 1) | (tage_pred ? 1 : 0)) & ((1u << 11) - 1);
+  const std::uint32_t g0 = (row ^ hs.fold_index_value(0)) & ((1u << 10) - 1);
   const std::uint32_t g1 =
-      (mapping_->perceptron_row(ip, 10, ctx) ^
-       (cfg_.num_tables > 2 ? hs.folded_index[2].value : hs.folded_index.back().value)) &
+      (row ^ hs.fold_index_value(cfg_.num_tables > 2 ? 2 : cfg_.num_tables - 1)) &
       ((1u << 10) - 1);
   sc_bias_[bias_idx].update(taken);
   sc_gehl_[0][g0].update(taken);
@@ -377,6 +493,10 @@ void TagePredictorT<Mapping>::sc_update(std::uint64_t ip, const bpu::ExecContext
 template <class Mapping>
 bpu::DirPrediction TagePredictorT<Mapping>::predict(std::uint64_t ip,
                                                     const bpu::ExecContext& ctx) {
+  // New branch: invalidate the lazily cached sub-keys (ip/ψ may differ).
+  scratch_.pht1_valid = false;
+  scratch_.sc_row_valid = false;
+  scratch_.loop_keys_valid = false;
   find_matches(ip, ctx, scratch_.provider, scratch_.alt);
 
   bool pred = scratch_.provider.prediction;
@@ -436,22 +556,23 @@ void TagePredictorT<Mapping>::update(std::uint64_t ip, const bpu::ExecContext& c
     bimodal_[provider.index].update(taken);
   }
 
-  // Allocate a longer-history entry on a TAGE misprediction.
+  // Allocate a longer-history entry on a TAGE misprediction. All candidate
+  // tables are at or above the provider, i.e. inside the range find_matches
+  // walked at predict time — the folds have not advanced yet and ψ is
+  // unchanged within the access, so the cached indices/tags are exactly what
+  // a recompute would produce.
   if (scratch_.tage_pred != taken &&
       provider.table < static_cast<int>(cfg_.num_tables) - 1) {
-    const HartState& hs = harts_[ctx.hart & 1];
     const unsigned start = static_cast<unsigned>(provider.table + 1);
+    assert(start >= scratch_.computed_from);
     // Skip 0..1 tables at random to spread allocations (Seznec).
     unsigned first = start + (rng_.below(2) && start + 1 < cfg_.num_tables ? 1 : 0);
     bool allocated = false;
     for (unsigned t = first; t < cfg_.num_tables; ++t) {
-      const std::uint32_t idx =
-          mapping_->tage_index(ip, folded_for(hs, t, false), t, cfg_.index_bits, ctx) &
-          ((1u << cfg_.index_bits) - 1);
-      TaggedEntry& e = tables_[t][idx];
+      TaggedEntry& e = tables_[t][scratch_.gi[t]];
       if (!e.valid || e.useful.raw() == 0) {
         e.valid = true;
-        e.tag = mapping_->tage_tag(ip, folded_for(hs, t, true), t, cfg_.tag_bits, ctx);
+        e.tag = scratch_.gtag[t];
         e.ctr.set(taken ? 0 : -1);
         e.useful.set_raw(0);
         allocated = true;
@@ -461,10 +582,7 @@ void TagePredictorT<Mapping>::update(std::uint64_t ip, const bpu::ExecContext& c
     if (!allocated) {
       // All candidates useful — age them so future allocations succeed.
       for (unsigned t = start; t < cfg_.num_tables; ++t) {
-        const std::uint32_t idx =
-            mapping_->tage_index(ip, folded_for(hs, t, false), t, cfg_.index_bits, ctx) &
-            ((1u << cfg_.index_bits) - 1);
-        tables_[t][idx].useful.decrement();
+        tables_[t][scratch_.gi[t]].useful.decrement();
       }
     }
   }
@@ -478,13 +596,7 @@ void TagePredictorT<Mapping>::update(std::uint64_t ip, const bpu::ExecContext& c
   }
 
   // Advance this hart's history and folds.
-  HartState& hs = harts_[ctx.hart & 1];
-  hs.push(taken, cfg_.max_history);
-  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-    hs.folded_index[t].update(hs.history, hs.head);
-    hs.folded_tag[t].update(hs.history, hs.head);
-  }
-  hs.path = (hs.path << 1) ^ util::bits(ip, 2, 16);
+  harts_[ctx.hart & 1].advance(taken, ip);
 }
 
 template <class Mapping>
@@ -492,13 +604,7 @@ void TagePredictorT<Mapping>::track(const bpu::BranchRecord& rec) {
   // Taken unconditional transfers enter the global history as 'taken'
   // (as in TAGE-SC-L, which conditions on path as well).
   if (!rec.taken) return;
-  HartState& hs = harts_[rec.ctx.hart & 1];
-  hs.push(true, cfg_.max_history);
-  for (unsigned t = 0; t < cfg_.num_tables; ++t) {
-    hs.folded_index[t].update(hs.history, hs.head);
-    hs.folded_tag[t].update(hs.history, hs.head);
-  }
-  hs.path = (hs.path << 1) ^ util::bits(rec.ip, 2, 16);
+  harts_[rec.ctx.hart & 1].advance(true, rec.ip);
 }
 
 template <class Mapping>
@@ -522,8 +628,7 @@ void TagePredictorT<Mapping>::flush_hart(std::uint8_t hart) {
   std::fill(hs.history.begin(), hs.history.end(), 0);
   hs.head = 0;
   hs.path = 0;
-  for (auto& f : hs.folded_index) f.value = 0;
-  for (auto& f : hs.folded_tag) f.value = 0;
+  std::fill(hs.fold_value.begin(), hs.fold_value.end(), 0);
 }
 
 /// The legacy instantiation is compiled once in tage.cc.

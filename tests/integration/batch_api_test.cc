@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "core/remap_cache.h"
@@ -152,6 +153,7 @@ TEST(BatchApi, ReplayPrecomputePathMatchesScalarSimulate) {
   const auto records = test_trace(50'000);
   const sim::BpuSimOptions opt{.max_branches = 40'000, .warmup_branches = 5'000};
   for (const auto dir : {models::DirectionKind::kSklCond, models::DirectionKind::kTage8,
+                         models::DirectionKind::kTage64,
                          models::DirectionKind::kPerceptron}) {
     const models::ModelSpec spec{.model = models::ModelKind::kStbpu, .direction = dir};
     auto scalar_engine = models::make_engine(spec);
@@ -163,17 +165,135 @@ TEST(BatchApi, ReplayPrecomputePathMatchesScalarSimulate) {
     const auto batch_stats = models::replay_engine(*batch_engine, s2, opt);
     EXPECT_EQ(scalar_stats, batch_stats) << models::to_string(dir);
 
-    // Only GHR-keyed (SKLCond) engines have compulsory misses worth
-    // batching — they must actually batch; the others must pay zero
-    // precompute overhead (engine-level no-op).
+    // The precompute-off arm of the A/B lever must be just as
+    // bit-identical — it is the same binary minus the cache warming.
+    auto off_engine = models::make_engine(spec);
+    trace::VectorStream s3(records);
+    auto opt_off = opt;
+    opt_off.precompute = false;
+    const auto off_stats = models::replay_engine(*off_engine, s3, opt_off);
+    EXPECT_EQ(scalar_stats, off_stats) << models::to_string(dir) << " (precompute off)";
+
+    // History-keyed engines have compulsory misses worth batching — they
+    // must actually batch (SKLCond through the PredictRequest path, TAGE
+    // through the TageRtRequest shadow-fold path); the perceptron must pay
+    // zero precompute overhead (engine-level no-op).
     const auto cache = models::engine_remap_cache_stats(*batch_engine);
+    const auto cache_off = models::engine_remap_cache_stats(*off_engine);
+    EXPECT_EQ(cache_off.batch_requests, 0u) << models::to_string(dir);
+    EXPECT_EQ(cache_off.batch_rt_requests, 0u) << models::to_string(dir);
     if (dir == models::DirectionKind::kSklCond) {
       EXPECT_GT(cache.batch_requests, 0u) << models::to_string(dir);
       EXPECT_GT(cache.batch_fills, 0u) << models::to_string(dir);
+    } else if (dir == models::DirectionKind::kTage8 ||
+               dir == models::DirectionKind::kTage64) {
+      EXPECT_EQ(cache.batch_requests, 0u) << models::to_string(dir);
+      EXPECT_GT(cache.batch_rt_requests, 0u) << models::to_string(dir);
+      EXPECT_GT(cache.fn_batch_fills[core::RemapCacheStats::kRtIndex], 0u)
+          << models::to_string(dir);
+      EXPECT_GT(cache.fn_batch_fills[core::RemapCacheStats::kRtTag], 0u)
+          << models::to_string(dir);
     } else {
       EXPECT_EQ(cache.batch_requests, 0u) << models::to_string(dir);
+      EXPECT_EQ(cache.batch_rt_requests, 0u) << models::to_string(dir);
     }
   }
+}
+
+TEST(BatchApi, WrongOutcomeTagePrecomputeIsDiscardedWithoutStatPollution) {
+  // TAGE rendering of the adversarial-lookahead contract: the shadow
+  // fold-forward walk consumes trace outcomes, so a mis-speculated window
+  // derails every subsequent folded key for the hart. Feed precompute a
+  // copy of each chunk with randomly flipped outcomes (and types) — the
+  // wrong folded keys never match a demand lookup, so every statistic must
+  // stay bit-identical to the clean run.
+  const auto records = test_trace(40'000);
+  for (const auto dir : {models::DirectionKind::kTage8, models::DirectionKind::kTage64}) {
+    const models::ModelSpec spec{.model = models::ModelKind::kStbpu, .direction = dir};
+
+    auto clean = models::make_engine(spec);
+    sim::BranchStats clean_stats;
+    ASSERT_TRUE(models::visit_engine(*clean, [&](auto& e) {
+      clean_stats = replay_with(e, records, 64, [](auto&, const bpu::BranchRecord*,
+                                                   std::size_t) {});
+    }));
+
+    auto hostile = models::make_engine(spec);
+    util::Xoshiro256 rng(0xBAD);
+    sim::BranchStats hostile_stats;
+    ASSERT_TRUE(models::visit_engine(*hostile, [&](auto& e) {
+      hostile_stats = replay_with(
+          e, records, 64,
+          [&rng](auto& eng, const bpu::BranchRecord* run, std::size_t n) {
+            if constexpr (std::remove_reference_t<decltype(eng)>::kBatchPrecompute) {
+              std::vector<bpu::BranchRecord> wrong(run, run + n);
+              for (auto& rec : wrong) {
+                if ((rng() & 1) != 0) rec.taken = !rec.taken;  // wrong on purpose
+              }
+              eng.precompute_records(std::span<const bpu::BranchRecord>(wrong));
+            }
+          });
+    }));
+    EXPECT_EQ(clean_stats, hostile_stats)
+        << "hostile TAGE precompute leaked into statistics (dir="
+        << models::to_string(dir) << ")";
+  }
+}
+
+TEST(BatchApi, MappingPrecomputeRtNeverCreatesTokens) {
+  core::STManager stm(0x5678);
+  const core::CachedStbpuMapping mapping(&stm);
+  const bpu::ExecContext ctx{.pid = 9, .hart = 0, .kernel = false};
+  constexpr unsigned kIndexBits = 10, kTagBits = 8;
+
+  std::vector<bpu::TageRtRequest> reqs;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    reqs.push_back(bpu::TageRtRequest{.ip = 0x4000 + i * 16,
+                                      .folded_index = 0x111 * i,
+                                      .folded_tag = (0x111 * i) ^ 0x5A5A,
+                                      .table = static_cast<std::uint32_t>(i % 6),
+                                      .ctx = ctx});
+  }
+
+  // No token established yet: the whole span must drop without asking the
+  // STManager to create one (same PRNG draw sequence as a fresh manager).
+  mapping.precompute_rt(std::span<const bpu::TageRtRequest>(reqs), kIndexBits, kTagBits);
+  EXPECT_EQ(mapping.stats().batch_rt_requests, reqs.size());
+  EXPECT_EQ(mapping.stats().batch_drops, reqs.size());
+  EXPECT_EQ(mapping.stats().batch_fills, 0u);
+  core::STManager fresh(0x5678);
+  EXPECT_EQ(stm.token(ctx).psi, fresh.token(ctx).psi)
+      << "precompute_rt changed the token creation order";
+
+  // One demand access establishes the token; the same span now fills both
+  // Rt caches, and demand lookups then serve Remapper-identical values
+  // without missing.
+  (void)mapping.tage_index(0x9999, 0, 0, kIndexBits, ctx);
+  mapping.precompute_rt(std::span<const bpu::TageRtRequest>(reqs), kIndexBits, kTagBits);
+  EXPECT_GT(mapping.stats().fn_batch_fills[core::RemapCacheStats::kRtIndex], 0u);
+  EXPECT_GT(mapping.stats().fn_batch_fills[core::RemapCacheStats::kRtTag], 0u);
+
+  const std::uint32_t psi = stm.token(ctx).psi;
+  const auto idx_misses = mapping.stats().fn_misses[core::RemapCacheStats::kRtIndex];
+  const auto tag_misses = mapping.stats().fn_misses[core::RemapCacheStats::kRtTag];
+  for (const auto& q : reqs) {
+    EXPECT_EQ(mapping.tage_index(q.ip, q.folded_index, q.table, kIndexBits, ctx),
+              core::Remapper::rt_index(psi, q.ip, q.folded_index, q.table, kIndexBits));
+    EXPECT_EQ(mapping.tage_tag(q.ip, q.folded_tag, q.table, kTagBits, ctx),
+              core::Remapper::rt_tag(psi, q.ip, q.folded_tag, q.table, kTagBits));
+  }
+  EXPECT_EQ(mapping.stats().fn_misses[core::RemapCacheStats::kRtIndex], idx_misses)
+      << "demand path missed despite Rt precompute";
+  EXPECT_EQ(mapping.stats().fn_misses[core::RemapCacheStats::kRtTag], tag_misses)
+      << "demand path missed despite Rt precompute";
+
+  // Foreign contexts are dropped request by request.
+  const std::uint64_t drops_before = mapping.stats().batch_drops;
+  std::vector<bpu::TageRtRequest> foreign = reqs;
+  for (auto& q : foreign) q.ctx.pid = 10;
+  mapping.precompute_rt(std::span<const bpu::TageRtRequest>(foreign), kIndexBits,
+                        kTagBits);
+  EXPECT_EQ(mapping.stats().batch_drops, drops_before + foreign.size());
 }
 
 TEST(BatchApi, MappingPrecomputeNeverCreatesTokens) {
