@@ -18,6 +18,7 @@
 //     variants where dispatch cost does not matter.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 
 #include "bpu/types.h"
@@ -30,6 +31,59 @@ namespace stbpu::bpu {
 /// predictors reuse values across the phases of a single access.
 template <class Mapping>
 concept RemapAwareMapping = requires { requires Mapping::kRemapAware; };
+
+struct BtbIndex;
+
+// ---------------------------------------------------------------------------
+// The mapping contract, formalized. A mapping arm registered with the
+// devirtualized engine (models/engine.h's RegisteredArms typelist) must
+// satisfy MappingCore — the nine index/tag/codec functions of the paper's
+// Figure 1 + Table II, all callable on a const object (mappings are pure
+// between re-keys; mutable internals like memo-caches must be logically
+// const). The three capability concepts below are optional: the engine
+// detects them per arm and lights up the corresponding machinery, so a new
+// mapping opts in by simply providing the member. Registration
+// static_asserts MappingCore for every arm (see engine.h), turning a
+// half-implemented mapping into a named compile error instead of an
+// overload-resolution maze.
+// ---------------------------------------------------------------------------
+
+/// Required: the nine pure mapping functions every predictor structure
+/// calls through. Matches the virtual MappingProvider signature set, minus
+/// virtuality.
+template <class M>
+concept MappingCore =
+    requires(const M m, std::uint64_t a, unsigned bits, const ExecContext& ctx) {
+      { m.btb_mode1(a, ctx) } -> std::convertible_to<BtbIndex>;
+      { m.btb_mode2_tag(a, ctx) } -> std::convertible_to<std::uint32_t>;
+      { m.pht_index_1level(a, ctx) } -> std::convertible_to<std::uint32_t>;
+      { m.pht_index_2level(a, a, ctx) } -> std::convertible_to<std::uint32_t>;
+      { m.encode_target(a, ctx) } -> std::convertible_to<std::uint64_t>;
+      { m.decode_target(a, a, ctx) } -> std::convertible_to<std::uint64_t>;
+      { m.tage_index(a, a, bits, bits, ctx) } -> std::convertible_to<std::uint32_t>;
+      { m.tage_tag(a, a, bits, bits, ctx) } -> std::convertible_to<std::uint32_t>;
+      { m.perceptron_row(a, bits, ctx) } -> std::convertible_to<std::uint32_t>;
+    };
+
+/// Optional capability: the mapping holds invalidatable derived state
+/// (e.g. a memo-cache) that the engine empties on context switches —
+/// belt-and-braces hygiene, never a correctness requirement (derived state
+/// must already be tagged/validated against re-keys).
+template <class M>
+concept Invalidatable = requires(const M m) { m.invalidate_all(); };
+
+/// Optional capability: the mapping implements the batch probe/fill layer
+/// (`precompute(span<PredictRequest>, PrecomputeSelect)` and friends) that
+/// the engine's lookahead walks feed — STBPU's memo-cached mapping today.
+/// Arms without it compute indexes in a handful of cycles and the engine's
+/// precompute compiles away to nothing.
+template <class M>
+concept BatchPrecompute = requires { typename M::PrecomputeSelect; };
+
+/// Optional capability: the mapping reports per-structure cache statistics
+/// (`stats()`), surfaced through models::engine_remap_cache_stats.
+template <class M>
+concept StatsReporting = requires(const M m) { m.stats(); };
 
 /// Output of function 1 / R1: where a branch lives in the BTB.
 ///

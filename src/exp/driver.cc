@@ -11,6 +11,7 @@
 #include "exp/fabric.h"
 #include "exp/runner.h"
 #include "exp/scenario.h"
+#include "models/models.h"
 
 namespace stbpu::exp {
 
@@ -49,6 +50,9 @@ void print_usage(std::FILE* to) {
                "  --trace=PATH               replay an on-disk branch trace (trace-replay\n"
                "                             scenarios)\n"
                "  --seed=N                   model seed override (0 = scenario default)\n"
+               "  --arms=KIND[,KIND]         defense-arm filter for multi-arm scenarios\n"
+               "                             (attack_matrix), e.g. --arms=STBPU,CIBPU;\n"
+               "                             names per models::to_string(ModelKind)\n"
                "  --difficulty-r=R           monitor difficulty factor (Γ = r·C,\n"
                "                             paper §VII-A; 0 = scenario default)\n"
                "  --gamma-m=N --gamma-e=N --gamma-tagged=N\n"
@@ -196,6 +200,22 @@ bool parse_run_flags(const std::vector<std::string>& args, RunOptions& out,
       out.spec.trace_file = arg.substr(8);
     } else if (starts_with(arg, "--seed=")) {
       if (!parse_u64_flag(arg.c_str(), "--seed=", out.spec.seed, err)) return false;
+    } else if (starts_with(arg, "--arms=")) {
+      out.spec.arms.clear();
+      std::string list = arg.substr(7);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string name = list.substr(pos, comma - pos);
+        models::ModelKind kind;
+        if (!models::parse_model_kind(name, kind, err)) return false;
+        out.spec.arms.push_back(name);
+        pos = comma + 1;
+      }
+      if (out.spec.arms.empty()) {
+        err = "empty arm list in '" + arg + "'";
+        return false;
+      }
     } else if (starts_with(arg, "--difficulty-r=")) {
       if (!parse_positive_double_flag(arg.c_str(), "--difficulty-r=",
                                       out.spec.monitor.difficulty_r, err)) {

@@ -1,6 +1,6 @@
 // Engine-typed fan-out for experiment scenarios: build the devirtualized
 // engine for a ModelSpec and hand it to `fn` as its concrete
-// EngineT<Mapping, Direction> type. The dynamic_cast chain runs once per
+// EngineT<Mapping, Direction> type. The registry-driven visit runs once per
 // engine — scenario bodies that instantiate sim::OooCoreT (via
 // sim::run_ooo) or sim::replay on the typed reference execute the whole
 // per-branch path without a single virtual call.

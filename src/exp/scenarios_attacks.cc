@@ -8,6 +8,7 @@
 
 #include "analysis/equations.h"
 #include "attacks/brute.h"
+#include "attacks/dos.h"
 #include "attacks/gem.h"
 #include "attacks/scaled.h"
 #include "attacks/table1.h"
@@ -16,6 +17,7 @@
 #include "core/monitor.h"
 #include "core/stbpu_mapping.h"
 #include "exp/scenarios_internal.h"
+#include "models/engine.h"
 #include "models/models.h"
 
 namespace stbpu::exp {
@@ -61,8 +63,11 @@ attacks::AttackResult run_table1_cell(std::size_t cell, bpu::IPredictor& b,
 
 constexpr models::ModelKind kTable1Kinds[] = {
     models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
-    models::ModelKind::kConservative, models::ModelKind::kStbpu};
-constexpr const char* kTable1KindNames[] = {"baseline", "ucode1", "conserv", "STBPU"};
+    models::ModelKind::kConservative, models::ModelKind::kStbpu,
+    models::ModelKind::kCibpu,        models::ModelKind::kXorIsolation};
+constexpr const char* kTable1KindNames[] = {"baseline", "ucode1", "conserv",
+                                            "STBPU",    "CIBPU",  "XORiso"};
+constexpr std::size_t kNumTable1Kinds = sizeof(kTable1Kinds) / sizeof(kTable1Kinds[0]);
 
 std::string trimmed(const char* s) {
   std::string t = s;
@@ -87,8 +92,8 @@ class Table1Scenario final : public ScenarioBase {
   }
 
   PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
-    const std::size_t cell = index / 4;
-    const unsigned k = static_cast<unsigned>(index % 4);
+    const std::size_t cell = index / kNumTable1Kinds;
+    const unsigned k = static_cast<unsigned>(index % kNumTable1Kinds);
     const auto mspec = apply_spec_overrides({.model = kTable1Kinds[k]}, spec);
     auto model = models::BpuModel::create(mspec);
     const auto r = run_table1_cell(cell, *model, attack_trials(spec.scale));
@@ -102,15 +107,15 @@ class Table1Scenario final : public ScenarioBase {
   ScenarioOutput aggregate(const ExperimentSpec& spec,
                            const std::vector<PointResult>& points) const override {
     ScenarioOutput out;
-    // One output row per attack; only cells whose four model points are all
+    // One output row per attack; only cells whose per-model points are all
     // selected produce a complete legacy row.
     for (std::size_t cell = 0; cell < kNumTable1Cells; ++cell) {
       std::string name;
       std::vector<Field> fields;
       fields.push_back({"class", Value(kTable1Cells[cell].cls)});
       bool complete = true;
-      for (unsigned k = 0; k < 4; ++k) {
-        const std::size_t index = cell * 4 + k;
+      for (unsigned k = 0; k < kNumTable1Kinds; ++k) {
+        const std::size_t index = cell * kNumTable1Kinds + k;
         if (!spec.selected(index)) {
           complete = false;
           break;
@@ -411,6 +416,169 @@ class Sec6EmpiricalScenario final : public ScenarioBase {
   }
 };
 
+// ---------------------------------------------------------------------------
+// attack_matrix — the rival-defense study: every collision/DoS attack
+// against every registered defense arm, executed twice per point (legacy
+// virtual BpuModel and the devirtualized engine) so each cell doubles as a
+// bit-identity anchor (`identical_stats`).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kMatrixAttackNames[] = {"brute_reuse", "gem_btb", "dos_eviction",
+                                              "dos_reuse"};
+constexpr std::size_t kNumMatrixAttacks =
+    sizeof(kMatrixAttackNames) / sizeof(kMatrixAttackNames[0]);
+
+/// The matrix's arm axis after the spec's `arms` filter (names validated at
+/// spec-parse time, so an unknown name never reaches this point).
+std::vector<models::ModelKind> matrix_arms(const ExperimentSpec& spec) {
+  constexpr models::ModelKind kAll[] = {
+      models::ModelKind::kUnprotected, models::ModelKind::kStbpu,
+      models::ModelKind::kCibpu, models::ModelKind::kXorIsolation};
+  std::vector<models::ModelKind> arms;
+  for (const models::ModelKind kind : kAll) {
+    if (spec.arms.empty()) {
+      arms.push_back(kind);
+      continue;
+    }
+    const std::string name = models::to_string(kind);
+    for (const std::string& a : spec.arms) {
+      if (a == name) {
+        arms.push_back(kind);
+        break;
+      }
+    }
+  }
+  return arms;
+}
+
+class AttackMatrixScenario final : public ScenarioBase {
+ public:
+  AttackMatrixScenario()
+      : ScenarioBase("attack_matrix",
+                     "Rival-defense matrix: collision/DoS attacks vs every "
+                     "defense arm, legacy and engine paths compared") {}
+
+  std::vector<std::string> point_labels(const ExperimentSpec& spec) const override {
+    std::vector<std::string> labels;
+    const auto arms = matrix_arms(spec);
+    for (const char* attack : kMatrixAttackNames) {
+      for (const models::ModelKind kind : arms) {
+        labels.push_back(std::string(attack) + "/" + models::to_string(kind));
+      }
+    }
+    return labels;
+  }
+
+  PointResult run_point(const ExperimentSpec& spec, std::size_t index) const override {
+    const auto arms = matrix_arms(spec);
+    const std::size_t attack = index / arms.size();
+    const models::ModelKind kind = arms[index % arms.size()];
+    const auto mspec = apply_spec_overrides(
+        {.model = kind, .direction = models::DirectionKind::kSklCond}, spec);
+    PointResult p;
+    p.set("model", models::to_string(kind));
+    const auto rerands_of = [](bpu::IPredictor& engine) -> std::uint64_t {
+      core::EventMonitor* mon = models::engine_monitor(engine);
+      return mon != nullptr ? mon->rerandomizations() : 0;
+    };
+    switch (attack) {
+      case 0: {  // brute-force reuse-collision search (§VI-A2)
+        attacks::ReuseSearchConfig cfg;
+        cfg.max_set_size = spec.scale.paper ? 120'000 : 20'000;
+        cfg.internal_collision_checks = false;
+        auto legacy = models::BpuModel::create(mspec);
+        const auto rl = attacks::reuse_collision_search(*legacy, cfg);
+        auto engine = models::make_engine(mspec);
+        const auto re = attacks::reuse_collision_search(*engine, cfg);
+        const bool identical =
+            rl.found == re.found && rl.set_size == re.set_size &&
+            rl.mispredictions == re.mispredictions &&
+            rl.total_mispredictions == re.total_mispredictions &&
+            rl.evictions == re.evictions && rl.branches == re.branches;
+        p.set("succeeds", re.found ? "true" : "false")
+            .set("set_size", std::uint64_t{re.set_size})
+            .set("mispredictions", std::uint64_t{re.mispredictions})
+            .set("evictions", std::uint64_t{re.evictions})
+            .set("branches", std::uint64_t{re.branches})
+            .set("rerandomizations", rerands_of(*engine))
+            .set("identical_stats", identical ? "true" : "false");
+        break;
+      }
+      case 1: {  // GEM eviction-set construction (§VI-A4)
+        const attacks::GemConfig cfg;
+        auto legacy = models::BpuModel::create(mspec);
+        const auto rl = attacks::gem_eviction_set(*legacy, 0x0000'2345'6780ULL, cfg);
+        auto engine = models::make_engine(mspec);
+        const auto re = attacks::gem_eviction_set(*engine, 0x0000'2345'6780ULL, cfg);
+        const bool identical =
+            rl.success == re.success && rl.eviction_set == re.eviction_set &&
+            rl.branches == re.branches && rl.evictions == re.evictions &&
+            rl.probes == re.probes && rl.rounds == re.rounds;
+        p.set("succeeds", re.success ? "true" : "false")
+            .set("eviction_set_size", std::uint64_t{re.eviction_set.size()})
+            .set("rounds", std::uint64_t{re.rounds})
+            .set("probes", std::uint64_t{re.probes})
+            .set("evictions", std::uint64_t{re.evictions})
+            .set("branches", std::uint64_t{re.branches})
+            .set("rerandomizations", rerands_of(*engine))
+            .set("identical_stats", identical ? "true" : "false");
+        break;
+      }
+      default: {  // DoS: eviction-based (targeted) or reuse-based (§VI-A6)
+        attacks::DosConfig cfg;
+        cfg.rounds = spec.scale.paper ? 2000 : 500;
+        const auto run = [&](bpu::IPredictor& clean, bpu::IPredictor& attacked) {
+          return attack == 2 ? attacks::dos_eviction(clean, attacked, cfg,
+                                                     /*targeted=*/true)
+                             : attacks::dos_reuse(clean, attacked, cfg);
+        };
+        auto legacy_clean = models::BpuModel::create(mspec);
+        auto legacy_attacked = models::BpuModel::create(mspec);
+        const auto rl = run(*legacy_clean, *legacy_attacked);
+        auto engine_clean = models::make_engine(mspec);
+        auto engine_attacked = models::make_engine(mspec);
+        const auto re = run(*engine_clean, *engine_attacked);
+        const bool identical = rl.victim_oae_clean == re.victim_oae_clean &&
+                               rl.victim_oae_attacked == re.victim_oae_attacked &&
+                               rl.attacker_branches == re.attacker_branches;
+        // A DoS "succeeds" when it costs the victim more than five points
+        // of prediction accuracy.
+        p.set("succeeds", re.degradation() > 0.05 ? "true" : "false")
+            .set("clean_accuracy", re.victim_oae_clean)
+            .set("attacked_accuracy", re.victim_oae_attacked)
+            .set("degradation", re.degradation())
+            .set("attacker_branches", std::uint64_t{re.attacker_branches})
+            .set("rerandomizations", rerands_of(*engine_attacked))
+            .set("identical_stats", identical ? "true" : "false");
+        break;
+      }
+    }
+    return p;
+  }
+
+  ScenarioOutput aggregate(const ExperimentSpec& spec,
+                           const std::vector<PointResult>& points) const override {
+    ScenarioOutput out;
+    const auto arms = matrix_arms(spec);
+    // One row per attack, one `<arm>_`-prefixed field group per selected
+    // arm (Table I style: the three-way comparison reads across a row).
+    for (std::size_t attack = 0; attack < kNumMatrixAttacks; ++attack) {
+      Row& row = out.rows.emplace_back(kMatrixAttackNames[attack]);
+      for (std::size_t ai = 0; ai < arms.size(); ++ai) {
+        const std::size_t index = attack * arms.size() + ai;
+        if (!spec.selected(index)) continue;
+        const std::string prefix = models::to_string(arms[ai]) + "_";
+        for (const Field& f : points[index].fields) {
+          if (f.key == "model") continue;
+          row.fields.push_back({prefix + f.key, f.value});
+        }
+      }
+    }
+    out.meta.push_back({"arms", Value(std::uint64_t{arms.size()})});
+    return out;
+  }
+};
+
 }  // namespace
 
 namespace scenarios {
@@ -419,6 +587,7 @@ void register_attacks() {
   register_scenario(new Table1Scenario);
   register_scenario(new AblationScenario);
   register_scenario(new Sec6EmpiricalScenario);
+  register_scenario(new AttackMatrixScenario);
 }
 
 }  // namespace scenarios

@@ -79,60 +79,103 @@ models::ModelSpec with_seed(models::ModelSpec mspec, const ExperimentSpec& spec)
   return apply_spec_overrides(mspec, spec);
 }
 
-/// Single-workload ST-vs-unprotected cell: both cycle-level runs on the
-/// concrete engine type. Returns {dir reduction, tgt reduction, norm IPC}.
+// The defense arms of the rival study (§VII plus the CIBPU / XOR-isolation
+// rivals from the registry). STBPU stays arm 0 so every cell's legacy
+// unsuffixed fields keep their values; rival arms add `<kind>_`-prefixed
+// copies of the same fields alongside them.
+constexpr models::ModelKind kDefenseArms[] = {models::ModelKind::kStbpu,
+                                              models::ModelKind::kCibpu,
+                                              models::ModelKind::kXorIsolation};
+constexpr std::size_t kNumDefenseArms = sizeof(kDefenseArms) / sizeof(kDefenseArms[0]);
+
+/// Per-arm cell result: {dir reduction, tgt reduction, norm IPC} relative
+/// to the unprotected run.
 struct OooCell {
   double dred = 0.0, tred = 0.0, nipc = 0.0;
 };
 
-OooCell run_single_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& profile,
-                        models::DirectionKind dir) {
-  double dirr[2] = {}, tgt[2] = {}, ipc[2] = {};
-  for (int st = 0; st < 2; ++st) {
-    const auto mspec = with_seed(
-        {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
-         .direction = dir},
-        spec);
+/// One figure cell across every defense arm (shared unprotected baseline).
+struct MultiArmCell {
+  OooCell arm[kNumDefenseArms];
+};
+
+/// `<kind>_` field prefix for defense arm `a` (empty for STBPU, whose
+/// fields keep the legacy unsuffixed names).
+std::string arm_prefix(std::size_t a) {
+  return a == 0 ? std::string{} : models::to_string(kDefenseArms[a]) + "_";
+}
+
+/// Single-workload cell: one unprotected cycle-level run plus one per
+/// defense arm, all on the concrete engine type.
+MultiArmCell run_single_cell(const ExperimentSpec& spec,
+                             const trace::WorkloadProfile& profile,
+                             models::DirectionKind dir) {
+  double dirr = 0, tgt = 0, ipc = 0;
+  const auto measure = [&](models::ModelKind kind) {
+    const auto mspec = with_seed({.model = kind, .direction = dir}, spec);
     for_each_engine(mspec, [&](auto& engine) {
       with_instr_stream(spec, profile, [&](trace::InstrStream& stream) {
         const auto r = sim::run_ooo({}, engine, {&stream}, spec.scale.ooo_instructions,
                                     spec.scale.ooo_warmup);
-        dirr[st] = r.branch_stats[0].direction_rate();
-        tgt[st] = r.branch_stats[0].target_rate();
-        ipc[st] = r.ipc[0];
+        dirr = r.branch_stats[0].direction_rate();
+        tgt = r.branch_stats[0].target_rate();
+        ipc = r.ipc[0];
       });
     });
+  };
+  measure(models::ModelKind::kUnprotected);
+  const double base_dir = dirr, base_tgt = tgt, base_ipc = ipc;
+  MultiArmCell out;
+  for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+    measure(kDefenseArms[a]);
+    out.arm[a] = {.dred = base_dir - dirr,
+                  .tred = base_tgt - tgt,
+                  .nipc = base_ipc > 0 ? ipc / base_ipc : 0.0};
   }
-  return {.dred = dirr[0] - dirr[1],
-          .tred = tgt[0] - tgt[1],
-          .nipc = ipc[0] > 0 ? ipc[1] / ipc[0] : 0.0};
+  return out;
 }
 
 /// SMT-pair cell (two workloads sharing one BPU), same engine-typed path.
-OooCell run_smt_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& p0,
-                     const trace::WorkloadProfile& p1, models::DirectionKind dir) {
-  double dirr[2] = {}, tgt[2] = {}, hipc[2] = {};
-  for (int st = 0; st < 2; ++st) {
-    const auto mspec = with_seed(
-        {.model = st ? models::ModelKind::kStbpu : models::ModelKind::kUnprotected,
-         .direction = dir},
-        spec);
+MultiArmCell run_smt_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& p0,
+                          const trace::WorkloadProfile& p1, models::DirectionKind dir) {
+  double dirr = 0, tgt = 0, hipc = 0;
+  const auto measure = [&](models::ModelKind kind) {
+    const auto mspec = with_seed({.model = kind, .direction = dir}, spec);
     for_each_engine(mspec, [&](auto& engine) {
       with_instr_stream(spec, p0, [&](trace::InstrStream& s0) {
         with_instr_stream(spec, p1, [&](trace::InstrStream& s1) {
           const auto r = sim::run_ooo({}, engine, {&s0, &s1},
                                       spec.scale.ooo_instructions, spec.scale.ooo_warmup);
           const auto combined = r.combined_stats();
-          dirr[st] = combined.direction_rate();
-          tgt[st] = combined.target_rate();
-          hipc[st] = r.ipc_harmonic_mean();
+          dirr = combined.direction_rate();
+          tgt = combined.target_rate();
+          hipc = r.ipc_harmonic_mean();
         });
       });
     });
+  };
+  measure(models::ModelKind::kUnprotected);
+  const double base_dir = dirr, base_tgt = tgt, base_ipc = hipc;
+  MultiArmCell out;
+  for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+    measure(kDefenseArms[a]);
+    out.arm[a] = {.dred = base_dir - dirr,
+                  .tred = base_tgt - tgt,
+                  .nipc = base_ipc > 0 ? hipc / base_ipc : 0.0};
   }
-  return {.dred = dirr[0] - dirr[1],
-          .tred = tgt[0] - tgt[1],
-          .nipc = hipc[0] > 0 ? hipc[1] / hipc[0] : 0.0};
+  return out;
+}
+
+/// Emit a three-way cell's fields: unsuffixed STBPU values first (legacy
+/// schema, value-stable under the compare gate), then the rivals'
+/// prefixed copies.
+void set_cell_fields(PointResult& p, const MultiArmCell& c, const char* ipc_field) {
+  for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+    const std::string prefix = arm_prefix(a);
+    p.set(prefix + "direction_reduction", c.arm[a].dred)
+        .set(prefix + "target_reduction", c.arm[a].tred)
+        .set(prefix + ipc_field, c.arm[a].nipc);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -141,11 +184,13 @@ OooCell run_smt_cell(const ExperimentSpec& spec, const trace::WorkloadProfile& p
 
 constexpr models::ModelKind kThroughputModels[] = {
     models::ModelKind::kUnprotected, models::ModelKind::kStbpu,
-    models::ModelKind::kStbpu, models::ModelKind::kStbpu};
+    models::ModelKind::kStbpu,       models::ModelKind::kStbpu,
+    models::ModelKind::kCibpu,       models::ModelKind::kXorIsolation};
 constexpr models::DirectionKind kThroughputDirs[] = {
-    models::DirectionKind::kSklCond, models::DirectionKind::kSklCond,
-    models::DirectionKind::kPerceptron, models::DirectionKind::kTage8};
-constexpr std::size_t kNumThroughput = 4;
+    models::DirectionKind::kSklCond,    models::DirectionKind::kSklCond,
+    models::DirectionKind::kPerceptron, models::DirectionKind::kTage8,
+    models::DirectionKind::kSklCond,    models::DirectionKind::kSklCond};
+constexpr std::size_t kNumThroughput = 6;
 
 class Fig4Scenario final : public ScenarioBase {
  public:
@@ -238,10 +283,8 @@ class Fig4Scenario final : public ScenarioBase {
     const std::size_t cell = index - kNumThroughput;
     const auto profiles = trace::figure4_profiles();
     const auto c = run_single_cell(spec, profiles[cell / 4], kDirs[cell % 4]);
-    p.set("section", "figure4")
-        .set("direction_reduction", c.dred)
-        .set("target_reduction", c.tred)
-        .set("normalized_ipc", c.nipc);
+    p.set("section", "figure4");
+    set_cell_fields(p, c, "normalized_ipc");
     return p;
   }
 
@@ -255,16 +298,20 @@ class Fig4Scenario final : public ScenarioBase {
                                        models::to_string(kThroughputDirs[t]));
       row.fields = points[t].fields;
     }
-    double sum_dir[4] = {}, sum_tgt[4] = {}, sum_ipc[4] = {};
+    double sum_dir[kNumDefenseArms][4] = {}, sum_tgt[kNumDefenseArms][4] = {},
+           sum_ipc[kNumDefenseArms][4] = {};
     unsigned count[4] = {};
     for (std::size_t p = 0; p < profiles.size(); ++p) {
       for (unsigned d = 0; d < 4; ++d) {
         const std::size_t index = kNumThroughput + p * 4 + d;
         if (!spec.selected(index)) continue;
         const PointResult& cell = points[index];
-        sum_dir[d] += cell.num("direction_reduction");
-        sum_tgt[d] += cell.num("target_reduction");
-        sum_ipc[d] += cell.num("normalized_ipc");
+        for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+          const std::string prefix = arm_prefix(a);
+          sum_dir[a][d] += cell.num(prefix + "direction_reduction");
+          sum_tgt[a][d] += cell.num(prefix + "target_reduction");
+          sum_ipc[a][d] += cell.num(prefix + "normalized_ipc");
+        }
         ++count[d];
         Row& row = out.rows.emplace_back(profiles[p].name + "/" + kDirNames[d]);
         row.fields = cell.fields;
@@ -273,11 +320,14 @@ class Fig4Scenario final : public ScenarioBase {
     for (unsigned d = 0; d < 4; ++d) {
       if (count[d] == 0) continue;
       const double n = static_cast<double>(count[d]);
-      out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d])
-          .set("section", "figure4_average")
-          .set("direction_reduction", sum_dir[d] / n)
-          .set("target_reduction", sum_tgt[d] / n)
-          .set("normalized_ipc", sum_ipc[d] / n);
+      Row& row = out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d]);
+      row.set("section", "figure4_average");
+      for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+        const std::string prefix = arm_prefix(a);
+        row.set(prefix + "direction_reduction", sum_dir[a][d] / n)
+            .set(prefix + "target_reduction", sum_tgt[a][d] / n)
+            .set(prefix + "normalized_ipc", sum_ipc[a][d] / n);
+      }
     }
     return out;
   }
@@ -323,9 +373,7 @@ class Fig5Scenario final : public ScenarioBase {
     const auto c = run_smt_cell(spec, trace::profile_by_name(pair[0]),
                                 trace::profile_by_name(pair[1]), kDirs[index % 4]);
     PointResult p;
-    p.set("direction_reduction", c.dred)
-        .set("target_reduction", c.tred)
-        .set("normalized_ipc_harmonic", c.nipc);
+    set_cell_fields(p, c, "normalized_ipc_harmonic");
     return p;
   }
 
@@ -333,16 +381,20 @@ class Fig5Scenario final : public ScenarioBase {
                            const std::vector<PointResult>& points) const override {
     ScenarioOutput out;
     const auto labels = point_labels(spec);
-    double sum_dir[4] = {}, sum_tgt[4] = {}, sum_ipc[4] = {};
+    double sum_dir[kNumDefenseArms][4] = {}, sum_tgt[kNumDefenseArms][4] = {},
+           sum_ipc[kNumDefenseArms][4] = {};
     unsigned count[4] = {};
     for (std::size_t p = 0; p < kNumFig5Pairs; ++p) {
       for (unsigned d = 0; d < 4; ++d) {
         const std::size_t index = p * 4 + d;
         if (!spec.selected(index)) continue;
         const PointResult& cell = points[index];
-        sum_dir[d] += cell.num("direction_reduction");
-        sum_tgt[d] += cell.num("target_reduction");
-        sum_ipc[d] += cell.num("normalized_ipc_harmonic");
+        for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+          const std::string prefix = arm_prefix(a);
+          sum_dir[a][d] += cell.num(prefix + "direction_reduction");
+          sum_tgt[a][d] += cell.num(prefix + "target_reduction");
+          sum_ipc[a][d] += cell.num(prefix + "normalized_ipc_harmonic");
+        }
         ++count[d];
         Row& row = out.rows.emplace_back(labels[index]);
         row.fields = cell.fields;
@@ -351,10 +403,13 @@ class Fig5Scenario final : public ScenarioBase {
     for (unsigned d = 0; d < 4; ++d) {
       if (count[d] == 0) continue;
       const double n = static_cast<double>(count[d]);
-      out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d])
-          .set("direction_reduction", sum_dir[d] / n)
-          .set("target_reduction", sum_tgt[d] / n)
-          .set("normalized_ipc_harmonic", sum_ipc[d] / n);
+      Row& row = out.rows.emplace_back(std::string("AVERAGE/") + kDirNames[d]);
+      for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+        const std::string prefix = arm_prefix(a);
+        row.set(prefix + "direction_reduction", sum_dir[a][d] / n)
+            .set(prefix + "target_reduction", sum_tgt[a][d] / n)
+            .set(prefix + "normalized_ipc_harmonic", sum_ipc[a][d] / n);
+      }
     }
     return out;
   }
@@ -385,16 +440,24 @@ class Fig6Scenario final : public ScenarioBase {
                      "Figure 6: performance under aggressive re-randomization "
                      "(r sweep)") {}
 
+  // Grid: `npairs` unprotected baselines, then per defense arm (STBPU
+  // first, keeping the legacy indices and labels byte-identical) the full
+  // r × pair sweep. Rival-arm labels carry the arm kind as an extra path
+  // segment: "r=1e-05/CIBPU/bwaves_mcf".
   std::vector<std::string> point_labels(const ExperimentSpec& spec) const override {
     const unsigned npairs = fig6_pairs(spec.scale);
     std::vector<std::string> labels;
     for (unsigned p = 0; p < npairs; ++p) {
       labels.push_back(std::string("base/") + kFig6Pairs[p][0] + "_" + kFig6Pairs[p][1]);
     }
-    for (const double r : kFig6Rs) {
-      for (unsigned p = 0; p < npairs; ++p) {
-        labels.push_back(fig6_r_label(r) + "/" + kFig6Pairs[p][0] + "_" +
-                         kFig6Pairs[p][1]);
+    for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+      const std::string arm =
+          a == 0 ? std::string{} : models::to_string(kDefenseArms[a]) + "/";
+      for (const double r : kFig6Rs) {
+        for (unsigned p = 0; p < npairs; ++p) {
+          labels.push_back(fig6_r_label(r) + "/" + arm + kFig6Pairs[p][0] + "_" +
+                           kFig6Pairs[p][1]);
+        }
       }
     }
     return labels;
@@ -432,9 +495,12 @@ class Fig6Scenario final : public ScenarioBase {
                           .direction = models::DirectionKind::kTage64},
                          spec));
     } else {
-      const unsigned ri = static_cast<unsigned>((index - npairs) / npairs);
-      const unsigned p = static_cast<unsigned>((index - npairs) % npairs);
-      models::ModelSpec mspec = with_seed({.model = models::ModelKind::kStbpu,
+      const std::size_t per_arm = std::size_t{kNumFig6Rs} * npairs;
+      const std::size_t sweep = index - npairs;
+      const std::size_t arm = sweep / per_arm;
+      const unsigned ri = static_cast<unsigned>((sweep % per_arm) / npairs);
+      const unsigned p = static_cast<unsigned>(sweep % npairs);
+      models::ModelSpec mspec = with_seed({.model = kDefenseArms[arm],
                                            .direction = models::DirectionKind::kTage64},
                                           spec);
       mspec.rerand_difficulty_r = kFig6Rs[ri];
@@ -447,33 +513,45 @@ class Fig6Scenario final : public ScenarioBase {
                            const std::vector<PointResult>& points) const override {
     ScenarioOutput out;
     const unsigned npairs = fig6_pairs(spec.scale);
-    const bool separate_tagged = true;  // TAGE-based STBPU (§VII-B2)
-    for (unsigned ri = 0; ri < kNumFig6Rs; ++ri) {
-      double dir = 0, tgt = 0, nipc = 0;
-      std::uint64_t rerands = 0;
-      unsigned count = 0;
-      for (unsigned p = 0; p < npairs; ++p) {
-        const std::size_t base_index = p;
-        const std::size_t index = npairs + ri * std::size_t{npairs} + p;
-        if (!spec.selected(index) || !spec.selected(base_index)) continue;
-        const double base_ipc = points[base_index].num("ipc_harmonic");
-        dir += points[index].num("direction_rate");
-        tgt += points[index].num("target_rate");
-        nipc += base_ipc > 0 ? points[index].num("ipc_harmonic") / base_ipc : 0.0;
-        rerands += points[index].u64("rerandomizations");
-        ++count;
+    const bool separate_tagged = true;  // TAGE-based arms (§VII-B2)
+    const std::size_t per_arm = std::size_t{kNumFig6Rs} * npairs;
+    for (std::size_t a = 0; a < kNumDefenseArms; ++a) {
+      // STBPU rows keep the legacy "r=..." labels; rival rows append the
+      // arm kind ("r=.../CIBPU"). Split concatenation (GCC 12 -Wrestrict
+      // false positive on `"lit" + std::string&&`, as in runner.cc).
+      std::string arm_suffix;
+      if (a != 0) {
+        arm_suffix = "/";
+        arm_suffix += models::to_string(kDefenseArms[a]);
       }
-      if (count == 0) continue;
-      const double r = kFig6Rs[ri];
-      const core::MonitorConfig mc = core::MonitorConfig::from_difficulty(r, separate_tagged);
-      out.rows.emplace_back(fig6_r_label(r))
-          .set("difficulty_r", r)
-          .set("misprediction_threshold", std::uint64_t{mc.misprediction_threshold})
-          .set("eviction_threshold", std::uint64_t{mc.eviction_threshold})
-          .set("direction_rate", dir / count)
-          .set("target_rate", tgt / count)
-          .set("normalized_ipc_harmonic", nipc / count)
-          .set("rerandomizations", rerands);
+      for (unsigned ri = 0; ri < kNumFig6Rs; ++ri) {
+        double dir = 0, tgt = 0, nipc = 0;
+        std::uint64_t rerands = 0;
+        unsigned count = 0;
+        for (unsigned p = 0; p < npairs; ++p) {
+          const std::size_t base_index = p;
+          const std::size_t index = npairs + a * per_arm + ri * std::size_t{npairs} + p;
+          if (!spec.selected(index) || !spec.selected(base_index)) continue;
+          const double base_ipc = points[base_index].num("ipc_harmonic");
+          dir += points[index].num("direction_rate");
+          tgt += points[index].num("target_rate");
+          nipc += base_ipc > 0 ? points[index].num("ipc_harmonic") / base_ipc : 0.0;
+          rerands += points[index].u64("rerandomizations");
+          ++count;
+        }
+        if (count == 0) continue;
+        const double r = kFig6Rs[ri];
+        const core::MonitorConfig mc =
+            core::MonitorConfig::from_difficulty(r, separate_tagged);
+        out.rows.emplace_back(fig6_r_label(r) + arm_suffix)
+            .set("difficulty_r", r)
+            .set("misprediction_threshold", std::uint64_t{mc.misprediction_threshold})
+            .set("eviction_threshold", std::uint64_t{mc.eviction_threshold})
+            .set("direction_rate", dir / count)
+            .set("target_rate", tgt / count)
+            .set("normalized_ipc_harmonic", nipc / count)
+            .set("rerandomizations", rerands);
+      }
     }
     out.meta.push_back({"pairs", Value(std::uint64_t{npairs})});
     return out;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "models/models.h"
+
 namespace stbpu::exp {
 
 namespace {
@@ -71,6 +73,14 @@ std::string ExperimentSpec::to_json(bool with_shard) const {
   }
   if (!trace_file.empty()) out += ", \"trace_file\": " + json_quote(trace_file);
   if (seed != 0) out += ", \"seed\": " + std::to_string(seed);
+  if (!arms.empty()) {
+    out += ", \"arms\": [";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += json_quote(arms[i]);
+    }
+    out += "]";
+  }
   if (monitor.any()) {
     out += ", \"monitor\": {";
     bool first = true;
@@ -216,6 +226,23 @@ bool ExperimentSpec::from_json(const JsonValue& v, ExperimentSpec& out, std::str
       out.trace_file = val.text();
     } else if (key == "seed") {
       if (!want_u64(val, out.seed, "seed", err)) return false;
+    } else if (key == "arms") {
+      if (!val.is_array()) {
+        err = "'arms' must be an array of model-kind names";
+        return false;
+      }
+      for (const JsonValue& a : val.items()) {
+        if (!a.is_string()) {
+          err = "'arms' entries must be strings";
+          return false;
+        }
+        models::ModelKind kind;
+        if (!models::parse_model_kind(a.text(), kind, err)) {
+          err += " in 'arms'";
+          return false;
+        }
+        out.arms.push_back(a.text());
+      }
     } else if (key == "monitor") {
       if (!val.is_object()) {
         err = "'monitor' must be an object";

@@ -65,6 +65,12 @@ struct ExperimentSpec {
   /// instead of their synthetic workloads (trace::FileStream).
   std::string trace_file;
   std::uint64_t seed = 0;  ///< 0 = scenario defaults
+  /// Defense-arm filter for multi-arm scenarios (attack_matrix): model-kind
+  /// names per models::to_string(ModelKind), e.g. ["STBPU", "CIBPU"].
+  /// Empty = every arm the scenario defines. Names are validated at parse
+  /// time against the registered kinds (models::parse_model_kind), so a
+  /// typo'd arm is a spec error naming the offender, not a silent no-op.
+  std::vector<std::string> arms;
   /// Monitor threshold overrides (0 = scenario defaults; see MonitorOverride).
   MonitorOverride monitor;
   /// Attach the remap memo-cache's per-function hit/miss/batch-fill

@@ -50,41 +50,48 @@ std::unique_ptr<bpu::IPredictor> with_direction(
   return nullptr;
 }
 
+/// Assemble one registered arm. Mirrors BpuModel::create — same configs,
+/// same token/monitor seeding order — so the devirtualized and legacy
+/// engines are statistically indistinguishable.
+template <class Arm>
+std::unique_ptr<bpu::IPredictor> build_arm(const ModelSpec& spec) {
+  using Mapping = typename Arm::mapping_type;
+  bpu::CorePredictorConfig cfg;
+  if constexpr (Arm::kBtbSets != 0) cfg.btb.sets = Arm::kBtbSets;
+  cfg.btb.partition_by_hart = Arm::kPartitionByHart;
+  if constexpr (Arm::kTokenKeyed) {
+    auto stm = std::make_unique<core::STManager>(spec.seed);
+    const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
+                                 spec.direction == DirectionKind::kTage64;
+    auto monitor = std::make_unique<core::EventMonitor>(
+        stm.get(), monitor_config_for(spec, separate_tagged));
+    Mapping mapping(stm.get());
+    return with_direction(spec, cfg, std::move(stm), std::move(monitor),
+                          std::move(mapping));
+  } else {
+    return with_direction(spec, cfg, nullptr, nullptr, Mapping{});
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<bpu::IPredictor> make_engine(const ModelSpec& spec) {
-  // Mirrors BpuModel::create — same configs, same seeding order — so the
-  // devirtualized and legacy engines are statistically indistinguishable.
-  bpu::CorePredictorConfig cfg;
-  switch (spec.model) {
-    case ModelKind::kUnprotected:
-    case ModelKind::kUcode1:
-      return with_direction(spec, cfg, nullptr, nullptr, bpu::BaselineMappingLogic{});
-    case ModelKind::kUcode2:
-      cfg.btb.partition_by_hart = true;  // STIBP logical segmentation
-      return with_direction(spec, cfg, nullptr, nullptr, bpu::BaselineMappingLogic{});
-    case ModelKind::kConservative:
-      cfg.btb.sets = ConservativeMappingLogic::kSets;
-      cfg.btb.partition_by_hart = true;
-      return with_direction(spec, cfg, nullptr, nullptr, ConservativeMappingLogic{});
-    case ModelKind::kStbpu: {
-      auto stm = std::make_unique<core::STManager>(spec.seed);
-      const bool separate_tagged = spec.direction == DirectionKind::kTage8 ||
-                                   spec.direction == DirectionKind::kTage64;
-      auto monitor = std::make_unique<core::EventMonitor>(
-          stm.get(), monitor_config_for(spec, separate_tagged));
-      core::CachedStbpuMapping mapping(stm.get());
-      return with_direction(spec, cfg, std::move(stm), std::move(monitor),
-                            std::move(mapping));
-    }
-  }
-  return nullptr;
+  // Fold over the registry: the arm whose kKind matches builds the engine.
+  // No per-arm switch to maintain — registering an arm IS the factory edit.
+  std::unique_ptr<bpu::IPredictor> out;
+  [&]<class... Arms>(std::type_identity<std::tuple<Arms...>>) {
+    (void)((spec.model == Arms::kKind ? (out = build_arm<Arms>(spec), true)
+                                      : false) ||
+           ...);
+  }(std::type_identity<RegisteredArms>{});
+  return out;
 }
 
 core::RemapCacheStats engine_remap_cache_stats(const bpu::IPredictor& engine) {
   core::RemapCacheStats stats;
   visit_engine(const_cast<bpu::IPredictor&>(engine), [&](auto& e) {
-    if constexpr (requires { e.mapping().stats(); }) stats = e.mapping().stats();
+    using Mapping = std::remove_reference_t<decltype(e.mapping())>;
+    if constexpr (bpu::StatsReporting<Mapping>) stats = e.mapping().stats();
   });
   return stats;
 }

@@ -10,13 +10,21 @@
 //                    ucode flush policy: stops every known collision attack
 //                    the way structural changes would;
 //   * stbpu        — secret-token remapping + φ encryption + event-driven
-//                    re-randomization (the paper's design).
+//                    re-randomization (the paper's design);
+//   * cibpu        — rival arm (arxiv 2501.10983): keyed indexing like
+//                    STBPU plus conflict-invisible domain-widened BTB tags,
+//                    but plaintext payloads (core/cibpu_mapping.h);
+//   * xor_isolation— rival arm (arxiv 2005.08183): baseline indexing XORed
+//                    with cheap per-domain masks + φ entry encryption
+//                    (core/xor_isolation_mapping.h).
 // Each model can host any of the four direction predictors of §VII-B2
 // (SKLCond, TAGE-SC-L 8KB/64KB, PerceptronBP).
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "bpu/mapping.h"
 #include "bpu/predictor.h"
@@ -32,6 +40,8 @@ enum class ModelKind : std::uint8_t {
   kUcode2,        // IBPB + IBRS + STIBP
   kConservative,  // full tags, reduced capacity, flush
   kStbpu,
+  kCibpu,          // rival arm: conflict-invisible keyed indexing
+  kXorIsolation,   // rival arm: XOR index masks + entry encryption
 };
 
 enum class DirectionKind : std::uint8_t {
@@ -43,6 +53,21 @@ enum class DirectionKind : std::uint8_t {
 
 [[nodiscard]] std::string to_string(ModelKind m);
 [[nodiscard]] std::string to_string(DirectionKind d);
+
+/// Every registered model kind, in declaration order — the one list the
+/// parsers, scenario grids and parametrized tests iterate so a new arm
+/// shows up everywhere by construction.
+[[nodiscard]] std::span<const ModelKind> all_model_kinds();
+[[nodiscard]] std::span<const DirectionKind> all_direction_kinds();
+
+/// Parse a model/direction kind from its to_string name. On failure the
+/// error names the offending string AND lists every registered kind —
+/// `unknown model kind 'foo' (registered: unprotected, ..., XOR_isolation)`
+/// — so a typo in a spec or CLI flag is self-diagnosing.
+[[nodiscard]] bool parse_model_kind(std::string_view name, ModelKind& out,
+                                    std::string& err);
+[[nodiscard]] bool parse_direction_kind(std::string_view name, DirectionKind& out,
+                                        std::string& err);
 
 /// Conservative mapping logic: the BTB keeps the complete 48-bit branch
 /// address (set bits excluded) as its tag and the complete target — no
@@ -139,8 +164,10 @@ bool apply_switch_policy(ModelKind kind, const bpu::ExecContext& from,
   switch (kind) {
     case ModelKind::kUnprotected:
     case ModelKind::kStbpu:
-      // STBPU retains history across switches: the OS reloads the ST
-      // register, modelled implicitly by the per-entity token lookup.
+    case ModelKind::kCibpu:
+    case ModelKind::kXorIsolation:
+      // Token-keyed designs retain history across switches: the OS reloads
+      // the ST register, modelled implicitly by the per-entity token lookup.
       return false;
     case ModelKind::kUcode1:
     case ModelKind::kUcode2:

@@ -146,5 +146,40 @@ TEST(Dos, ReuseDosPoisonsBaselineButNotStbpu) {
       << "the attacker's 'collisions' land in its own mapping";
 }
 
+TEST(Dos, RivalArmsResistTargetedEvictionAndReusePoisoning) {
+  // The rival defenses (CIBPU keyed indexing, XOR per-domain masking) must
+  // both blunt the exact-address DoS attacks that devastate the baseline:
+  // either the attacker's aim is scrambled (eviction) or its writes land
+  // in its own mapping / decode to garbage (reuse).
+  for (const auto kind : {models::ModelKind::kCibpu, models::ModelKind::kXorIsolation}) {
+    auto clean_e = models::BpuModel::create({.model = kind});
+    auto attacked_e = models::BpuModel::create({.model = kind});
+    const auto ev = dos_eviction(*clean_e, *attacked_e, {}, /*targeted=*/true);
+    EXPECT_GT(ev.victim_oae_clean, 0.95) << models::to_string(kind);
+    EXPECT_LT(ev.degradation(), 0.05) << models::to_string(kind);
+
+    auto clean_r = models::BpuModel::create({.model = kind});
+    auto attacked_r = models::BpuModel::create({.model = kind});
+    const auto ru = dos_reuse(*clean_r, *attacked_r, {});
+    EXPECT_LT(ru.degradation(), 0.05) << models::to_string(kind);
+  }
+}
+
+TEST(Gem, XorIsolationLinearityLeavesGemViable) {
+  // XOR masking is a fixed per-domain permutation of sets, so eviction-set
+  // construction inside the attacker's own domain works exactly as on the
+  // baseline — the honest weakness the three-way matrix reports. CIBPU's
+  // keyed per-entity indexing (plus the monitor) breaks the same
+  // construction.
+  auto xor_m = models::BpuModel::create({.model = models::ModelKind::kXorIsolation});
+  const auto rx = gem_eviction_set(*xor_m, 0x0000'2345'6780ULL, {});
+  EXPECT_TRUE(rx.success);
+  EXPECT_LE(rx.eviction_set.size(), 8u);
+
+  auto cibpu_m = models::BpuModel::create({.model = models::ModelKind::kCibpu});
+  const auto rc = gem_eviction_set(*cibpu_m, 0x0000'2345'6780ULL, {});
+  EXPECT_FALSE(rc.success);
+}
+
 }  // namespace
 }  // namespace stbpu::attacks

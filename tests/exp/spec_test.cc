@@ -43,6 +43,7 @@ TEST(ExperimentSpec, JsonRoundTrip) {
   spec.monitor.misprediction_threshold = 1000;
   spec.monitor.eviction_threshold = 500;
   spec.monitor.tagged_misprediction_threshold = 250;
+  spec.arms = {"STBPU", "CIBPU"};
   spec.cache_stats = true;
   spec.stall_stats = true;
 
@@ -80,6 +81,33 @@ TEST(ExperimentSpec, RejectsUnknownFieldsAndBadScale) {
 
   ASSERT_TRUE(json_parse(R"({"scale": {"name": "quick"}})", doc, err));
   EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));  // missing scenario
+}
+
+TEST(ExperimentSpec, ArmsValidateAgainstRegisteredModelKinds) {
+  JsonValue doc;
+  std::string err;
+  ExperimentSpec out;
+
+  // Valid arm names round-trip; emission is skipped when empty.
+  ASSERT_TRUE(json_parse(R"({"scenario": "attack_matrix",
+                             "arms": ["XOR_isolation", "unprotected"]})",
+                         doc, err));
+  ASSERT_TRUE(ExperimentSpec::from_json(doc, out, err)) << err;
+  EXPECT_EQ(out.arms, (std::vector<std::string>{"XOR_isolation", "unprotected"}));
+  ExperimentSpec empty;
+  empty.scenario = "x";
+  EXPECT_EQ(empty.to_json().find("arms"), std::string::npos);
+
+  // Unknown arm: the error names the offender and where it sits.
+  ASSERT_TRUE(json_parse(R"({"scenario": "attack_matrix", "arms": ["CIBPV"]})", doc,
+                         err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
+  EXPECT_NE(err.find("'CIBPV'"), std::string::npos) << err;
+  EXPECT_NE(err.find("arms"), std::string::npos) << err;
+
+  // Non-string entries are malformed.
+  ASSERT_TRUE(json_parse(R"({"scenario": "attack_matrix", "arms": [7]})", doc, err));
+  EXPECT_FALSE(ExperimentSpec::from_json(doc, out, err));
 }
 
 TEST(ExperimentSpec, ShardSelection) {
@@ -207,8 +235,8 @@ TEST(Registry, BuiltinScenarios) {
                             "fig5_smt",       "fig6_rsweep",    "ablation",
                             "sec6_empirical", "sec6_thresholds", "table1_attack_surface",
                             "table2_remap_functions", "ooo_engine", "mix_batch",
-                            "tenant_churn"};
-  EXPECT_EQ(all_scenarios().size(), 13u);
+                            "tenant_churn",   "attack_matrix"};
+  EXPECT_EQ(all_scenarios().size(), 14u);
   for (const char* name : expected) {
     EXPECT_NE(find_scenario(name), nullptr) << name;
   }
@@ -221,12 +249,16 @@ TEST(Registry, GridShapes) {
   spec.scenario = "fig5_smt";
   // 31 SMT pairs × 4 direction predictors.
   EXPECT_EQ(find_scenario("fig5_smt")->point_labels(spec).size(), 124u);
-  // 4 throughput combos + 18 workloads × 4 predictors.
-  EXPECT_EQ(find_scenario("fig4_single")->point_labels(spec).size(), 76u);
-  // A quick-scale fig6: 4 base pairs + 6 r values × 4 pairs.
-  EXPECT_EQ(find_scenario("fig6_rsweep")->point_labels(spec).size(), 28u);
+  // 6 throughput combos + 18 workloads × 4 predictors.
+  EXPECT_EQ(find_scenario("fig4_single")->point_labels(spec).size(), 78u);
+  // A quick-scale fig6: 4 base pairs + 3 defense arms × 6 r values × 4 pairs.
+  EXPECT_EQ(find_scenario("fig6_rsweep")->point_labels(spec).size(), 76u);
   // tenant_churn: 1 / 1K / 32K / 1M / 1M-under-eviction-pressure.
   EXPECT_EQ(find_scenario("tenant_churn")->point_labels(spec).size(), 5u);
+  // attack_matrix: 4 attacks × 4 arms, shrinking under the arms filter.
+  EXPECT_EQ(find_scenario("attack_matrix")->point_labels(spec).size(), 16u);
+  spec.arms = {"STBPU"};
+  EXPECT_EQ(find_scenario("attack_matrix")->point_labels(spec).size(), 4u);
 }
 
 TEST(Json, ParsesAndRejects) {

@@ -42,31 +42,32 @@ void expect_equivalent(const models::ModelSpec& spec, trace::VectorStream& strea
 }
 
 TEST(EngineEquivalence, AllModelsAllDirectionsBitIdentical) {
+  // The kind/direction axes come from the registry itself
+  // (all_model_kinds/all_direction_kinds), so an arm added to
+  // RegisteredArms is covered here with no test edit.
   auto stream = make_trace("perlbench", 60'000);
   const sim::BpuSimOptions opt{.max_branches = 50'000, .warmup_branches = 10'000};
-  const models::ModelKind kinds[] = {
-      models::ModelKind::kUnprotected, models::ModelKind::kUcode1,
-      models::ModelKind::kUcode2, models::ModelKind::kConservative,
-      models::ModelKind::kStbpu};
-  const models::DirectionKind dirs[] = {
-      models::DirectionKind::kSklCond, models::DirectionKind::kTage8,
-      models::DirectionKind::kTage64, models::DirectionKind::kPerceptron};
-  for (const auto kind : kinds) {
-    for (const auto dir : dirs) {
+  for (const auto kind : models::all_model_kinds()) {
+    for (const auto dir : models::all_direction_kinds()) {
       expect_equivalent({.model = kind, .direction = dir}, stream, opt);
     }
   }
 }
 
-TEST(EngineEquivalence, StbpuWithAggressiveRerandomization) {
+TEST(EngineEquivalence, TokenKeyedArmsWithAggressiveRerandomization) {
   // Tiny thresholds force many monitor-triggered ψ re-keys mid-trace —
-  // exactly the regime where a stale memo-cache entry would diverge.
+  // exactly the regime where a stale memo-cache entry would diverge. Every
+  // token-keyed arm (STBPU and both rivals) goes through it.
   auto stream = make_trace("mcf", 80'000);
   const sim::BpuSimOptions opt{.max_branches = 70'000, .warmup_branches = 10'000};
-  models::ModelSpec spec{.model = models::ModelKind::kStbpu,
-                         .direction = models::DirectionKind::kSklCond};
-  spec.rerand_difficulty_r = 1e-5;  // thresholds of a few events
-  expect_equivalent(spec, stream, opt);
+  for (const auto kind :
+       {models::ModelKind::kStbpu, models::ModelKind::kCibpu,
+        models::ModelKind::kXorIsolation}) {
+    models::ModelSpec spec{.model = kind,
+                           .direction = models::DirectionKind::kSklCond};
+    spec.rerand_difficulty_r = 1e-5;  // thresholds of a few events
+    expect_equivalent(spec, stream, opt);
+  }
 }
 
 TEST(EngineEquivalence, ContextSwitchHeavyWorkload) {
@@ -76,7 +77,8 @@ TEST(EngineEquivalence, ContextSwitchHeavyWorkload) {
   const sim::BpuSimOptions opt{.max_branches = 70'000, .warmup_branches = 10'000};
   for (const auto kind :
        {models::ModelKind::kUcode1, models::ModelKind::kUcode2,
-        models::ModelKind::kConservative, models::ModelKind::kStbpu}) {
+        models::ModelKind::kConservative, models::ModelKind::kStbpu,
+        models::ModelKind::kCibpu, models::ModelKind::kXorIsolation}) {
     expect_equivalent({.model = kind, .direction = models::DirectionKind::kSklCond},
                       stream, opt);
   }
